@@ -1,0 +1,95 @@
+"""Ablation benches for the pipeline's design choices (DESIGN.md §5).
+
+Measures both runtime and *classification quality* deltas when the
+paper's reconstruction steps are disabled:
+
+* referrer map (page context) on/off,
+* Location-header repair on/off,
+* query-string normalization on/off,
+* content-type inference order (extension-first vs header-first),
+* keyword index on/off (runtime only; results must be identical).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.core import AdClassificationPipeline, PipelineConfig
+
+_VARIANTS = {
+    "full": PipelineConfig(),
+    "no-referrer-map": PipelineConfig(use_referrer_map=False),
+    "no-location-repair": PipelineConfig(use_location_repair=False),
+    "no-embedded-urls": PipelineConfig(use_embedded_urls=False),
+    "no-normalization": PipelineConfig(use_normalization=False),
+    "no-type-fixup": PipelineConfig(redirect_type_fixup=False),
+    "header-first-types": PipelineConfig(extension_first=False),
+    "linear-scan": PipelineConfig(use_keyword_index=False),
+}
+
+
+def _quality(entries, truths):
+    true_positive = false_positive = false_negative = 0
+    for entry, truth in zip(entries, truths):
+        truth_ad = truth.intent in ("ad", "tracker")
+        predicted = entry.classification.is_blacklisted
+        if predicted and truth_ad:
+            true_positive += 1
+        elif predicted and not truth_ad:
+            false_positive += 1
+        elif truth_ad and not entry.is_ad:
+            false_negative += 1
+    precision = true_positive / max(1, true_positive + false_positive)
+    recall = true_positive / max(1, true_positive + false_negative)
+    return precision, recall
+
+
+def test_pipeline_ablations(benchmark, rbn2, lists, results_dir):
+    _generator, trace, _entries = rbn2
+    records = trace.http[:150_000]
+    truths = trace.truth[:150_000]
+
+    import time
+
+    rows = []
+    metrics = {}
+    for name, config in _VARIANTS.items():
+        pipeline = AdClassificationPipeline(lists, config)
+        started = time.perf_counter()
+        entries = pipeline.process(records)
+        elapsed = time.perf_counter() - started
+        precision, recall = _quality(entries, truths)
+        ad_share = sum(1 for e in entries if e.is_ad) / len(entries)
+        metrics[name] = (precision, recall, ad_share)
+        rows.append(
+            {
+                "variant": name,
+                "precision": f"{precision:.4f}",
+                "recall": f"{recall:.4f}",
+                "ad share": f"{100 * ad_share:.2f}%",
+                "runtime (s)": f"{elapsed:.2f}",
+                "us/request": f"{1e6 * elapsed / len(records):.1f}",
+            }
+        )
+
+    # The benchmark clock measures the full (reference) variant.
+    reference = AdClassificationPipeline(lists, _VARIANTS["full"])
+    benchmark.pedantic(reference.process, args=(records,), rounds=1, iterations=1)
+
+    text = render_table(rows, title="Pipeline ablations (150K requests of RBN-2)")
+    write_result(results_dir, "ablations.txt", text)
+    print("\n" + text)
+
+    full_precision, full_recall, full_share = metrics["full"]
+    # Disabling normalization may only hurt precision.
+    assert metrics["no-normalization"][0] <= full_precision + 1e-9
+    # Disabling the referrer map must hurt: third-party/domain context
+    # is lost, so recall drops (domain-scoped rules stop firing) or
+    # precision drops.
+    no_map_precision, no_map_recall, _ = metrics["no-referrer-map"]
+    assert no_map_recall < full_recall or no_map_precision < full_precision
+    # The keyword index must not change classifications at all.
+    assert metrics["linear-scan"][0] == full_precision
+    assert metrics["linear-scan"][1] == full_recall
+    assert metrics["linear-scan"][2] == full_share

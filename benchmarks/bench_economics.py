@@ -1,0 +1,76 @@
+"""Future-work extension — the economic impact of ad-blocking (§11).
+
+The paper closes with "we also plan to explore the economic impact...".
+This bench runs the revenue-proxy model over the same pages visited
+under each browser profile and reports the publisher-revenue outcome —
+including the acceptable-ads programme's recovery and its fees.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import write_result
+
+from repro.analysis.economics import revenue_report
+from repro.analysis.report import render_table
+from repro.browser.emulator import BrowserEmulator
+from repro.browser.ghostery import GhosteryDatabase
+from repro.browser.profiles import STANDARD_PROFILES
+from repro.web.page import build_page
+
+_N_PAGES = 150
+
+
+def _revenues(ecosystem, lists):
+    rng = random.Random(77)
+    publishers = [
+        p for p in ecosystem.publishers
+        if p.ad_networks and not p.ad_free and not p.https_landing
+    ]
+    pages = [build_page(rng.choice(publishers), ecosystem, rng) for _ in range(_N_PAGES)]
+    ghostery = GhosteryDatabase.from_ecosystem(ecosystem)
+
+    reports = {}
+    for profile in STANDARD_PROFILES:
+        emulator = BrowserEmulator(
+            profile, lists,
+            ghostery_db=ghostery if profile.ghostery_categories else None,
+            rng=random.Random(7),
+        )
+        visits = [emulator.visit(page, list_update=False) for page in pages]
+        reports[profile.name] = revenue_report(visits)
+    return reports
+
+
+def test_economics(benchmark, ecosystem, lists, results_dir):
+    reports = benchmark.pedantic(_revenues, args=(ecosystem, lists), rounds=1, iterations=1)
+
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            {
+                "profile": name,
+                "earned ($)": f"{report.earned:.3f}",
+                "blocked ($)": f"{report.blocked:.3f}",
+                "loss share": f"{100 * report.loss_share:.1f}%",
+                "AA earned ($)": f"{report.acceptable_earned:.3f}",
+                "AA fees ($)": f"{report.acceptable_fees:.3f}",
+            }
+        )
+    text = render_table(
+        rows, title=f"Revenue-proxy model over {_N_PAGES} identical page views per profile"
+    )
+    write_result(results_dir, "economics.txt", text)
+    print("\n" + text)
+
+    vanilla = reports["Vanilla"]
+    paranoia = reports["AdBP-Pa"]
+    default_install = reports["AdBP-Ad"]
+    assert vanilla.blocked == 0.0
+    assert paranoia.loss_share > 0.8
+    # The acceptable-ads compromise: the default install earns the
+    # publisher strictly more than paranoia mode, at the cost of fees.
+    assert default_install.earned > paranoia.earned
+    assert default_install.acceptable_fees > 0.0
+    assert default_install.earned < vanilla.earned

@@ -1,0 +1,102 @@
+"""Micro-benchmarks: filter-engine matching throughput.
+
+Not a paper table — engineering benchmarks for the substrate that the
+whole methodology stands on, including the keyword-index speedup over
+a linear scan (DESIGN.md §5, ablation 1).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.filterlist.engine import FilterEngine, RequestContext
+from repro.filterlist.options import ContentType
+
+
+@pytest.fixture(scope="module")
+def url_corpus(ecosystem):
+    """A mixed URL corpus: ads, trackers, content."""
+    from repro.web.page import build_page
+
+    rng = random.Random(10)
+    urls = []
+    publishers = [p for p in ecosystem.publishers if p.ad_networks]
+    while len(urls) < 2000:
+        page = build_page(rng.choice(publishers), ecosystem, rng)
+        urls.extend(
+            (obj.url, obj.abp_type, page.page_url) for obj in page.objects
+        )
+    return urls[:2000]
+
+
+def _run_matches(engine, corpus):
+    hits = 0
+    for url, content_type, page_url in corpus:
+        if engine.match(url, RequestContext(content_type, page_url)).is_ad:
+            hits += 1
+    return hits
+
+
+def test_match_indexed(benchmark, lists, url_corpus):
+    engine = FilterEngine(use_keyword_index=True)
+    for name, lst in lists.items():
+        engine.add_filters(lst.filters, list_name=name)
+    hits = benchmark(_run_matches, engine, url_corpus)
+    assert hits > 0
+
+
+def test_match_linear(benchmark, lists, url_corpus):
+    engine = FilterEngine(use_keyword_index=False)
+    for name, lst in lists.items():
+        engine.add_filters(lst.filters, list_name=name)
+    hits = benchmark(_run_matches, engine, url_corpus)
+    assert hits > 0
+
+
+def test_classify_indexed(benchmark, lists, url_corpus):
+    engine = FilterEngine(use_keyword_index=True)
+    for name, lst in lists.items():
+        engine.add_filters(lst.filters, list_name=name)
+
+    def run():
+        return sum(
+            1 for url, content_type, page_url in url_corpus
+            if engine.classify(url, RequestContext(content_type, page_url)).is_ad
+        )
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_match_combined_regex(benchmark, lists, url_corpus):
+    """The combined-alternation backend (historic blocker design)."""
+    from repro.filterlist.combined import CombinedRegexEngine
+
+    engine = CombinedRegexEngine()
+    for name, lst in lists.items():
+        engine.add_filters(lst.filters, list_name=name)
+    hits = benchmark(_run_matches, engine, url_corpus)
+    assert hits > 0
+
+
+def test_engine_build(benchmark, lists):
+    def build():
+        engine = FilterEngine()
+        for name, lst in lists.items():
+            engine.add_filters(lst.filters, list_name=name)
+        return engine
+
+    engine = benchmark(build)
+    assert engine.filter_count > 50
+
+
+def test_single_match_hot_path(benchmark, lists):
+    engine = FilterEngine()
+    for name, lst in lists.items():
+        engine.add_filters(lst.filters, list_name=name)
+    context = RequestContext(ContentType.IMAGE, "http://news0001.de/story")
+    url = "http://static.news0001.de/media/img/1234.jpg"
+    result = benchmark(engine.match, url, context)
+    assert not result.is_ad

@@ -1,0 +1,71 @@
+"""Figure 2 — ad-request ratio per browser configuration.
+
+Paper: box-plots of the ad-request percentage over 1K iterations of
+1/5/10 random page loads for Vanilla, AdBP-Pa and Ghostery-Pa; the
+distributions separate as activity grows, motivating the 5% threshold.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import write_result
+
+from repro.analysis.report import render_boxplot_row, render_table
+
+_CONFIGS = ("Vanilla", "AdBP-Pa", "Ghostery-Pa")
+_LOADS = (1, 5, 10)
+_ITERATIONS = 1000
+
+
+def _ratio_samples(crawl):
+    rng = random.Random(42)
+    samples: dict[tuple[str, int], list[float]] = {}
+    for name in _CONFIGS:
+        visits = crawl[name].visits
+        for loads in _LOADS:
+            values = []
+            for _ in range(_ITERATIONS):
+                picked = rng.sample(visits, loads)
+                requests = ads = 0
+                for visit in picked:
+                    for request in visit.requests:
+                        requests += 1
+                        if request.obj.intent in ("ad", "tracker"):
+                            ads += 1
+                values.append(100.0 * ads / max(1, requests))
+            samples[(name, loads)] = values
+    return samples
+
+
+def test_figure2(benchmark, crawl, results_dir):
+    samples = benchmark.pedantic(_ratio_samples, args=(crawl,), rounds=1, iterations=1)
+    rows = []
+    for loads in _LOADS:
+        for name in _CONFIGS:
+            row = render_boxplot_row(f"{name} @ {loads} loads", samples[(name, loads)])
+            rows.append(row)
+    text = render_table(rows, title="Figure 2: % ad requests per config (box-plot summaries)")
+    write_result(results_dir, "figure2_adratio_threshold.txt", text)
+    print("\n" + text)
+
+    import numpy as np
+
+    def median(name, loads):
+        return float(np.median(samples[(name, loads)]))
+
+    def quantile(name, loads, q):
+        return float(np.percentile(samples[(name, loads)], q))
+
+    # Vanilla always shows substantial ad ratios; blockers stay low.
+    assert median("Vanilla", 10) > 10.0
+    assert median("AdBP-Pa", 10) < 2.0
+    assert median("Ghostery-Pa", 10) < median("Vanilla", 10)
+    # The key property: separation becomes clean at 10 page loads —
+    # 5% discriminates (paper §4.3).
+    assert quantile("Vanilla", 10, 1) > 5.0
+    assert quantile("AdBP-Pa", 10, 99) < 5.0
+    # At 1 page load the spread is wider than at 10.
+    spread_1 = quantile("Vanilla", 1, 95) - quantile("Vanilla", 1, 5)
+    spread_10 = quantile("Vanilla", 10, 95) - quantile("Vanilla", 10, 5)
+    assert spread_1 > spread_10

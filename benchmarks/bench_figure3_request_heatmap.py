@@ -1,0 +1,55 @@
+"""Figure 3 — heat map: total requests vs ad requests per (IP, UA).
+
+Paper: most pairs issue a significant number of ad requests; a
+distinct population issues many requests but almost no ads (blockers
+and non-browser devices); overall 18.89% ad requests in RBN-2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.analysis.usage import request_heatmap
+from repro.core import aggregate_users
+
+
+def _heatmap(entries):
+    stats = aggregate_users(entries)
+    return request_heatmap(stats)
+
+
+def test_figure3(benchmark, rbn2, results_dir):
+    _generator, _trace, entries = rbn2
+    data = benchmark.pedantic(_heatmap, args=(entries,), rounds=1, iterations=1)
+    histogram, x_edges, y_edges = data.log_bins(n_bins=24)
+
+    # Render the heat map as a coarse ASCII density grid.
+    lines = ["Figure 3: requests (x, log10) vs ad requests (y, log10) per (IP, UA) pair", ""]
+    shades = " .:-=+*#%@"
+    peak = histogram.max() or 1.0
+    for row in range(histogram.shape[1] - 1, -1, -1):
+        cells = []
+        for col in range(histogram.shape[0]):
+            level = int((len(shades) - 1) * histogram[col, row] / peak)
+            cells.append(shades[level])
+        lines.append(f"y={y_edges[row]:4.1f} |" + "".join(cells))
+    lines.append("       " + "".join("-" for _ in range(histogram.shape[0])))
+    lines.append(f"x: {x_edges[0]:.1f} .. {x_edges[-1]:.1f}")
+    lines.append("")
+    lines.append(f"pairs: {len(data.total_requests)}")
+    lines.append(f"overall ad-request share: {100 * data.overall_ad_share:.2f}% (paper: 18.89%)")
+    text = "\n".join(lines) + "\n"
+    write_result(results_dir, "figure3_request_heatmap.txt", text)
+    print("\n" + text)
+
+    # Shape assertions.
+    assert 0.13 < data.overall_ad_share < 0.25
+    totals = np.asarray(data.total_requests)
+    ads = np.asarray(data.ad_requests)
+    # A "lower right" population exists: active pairs with ~no ads.
+    active = totals > np.percentile(totals, 75)
+    assert (ads[active] <= 0.01 * totals[active]).sum() > 0
+    # And the bulk of active pairs does issue ads.
+    assert (ads[active] > 0.05 * totals[active]).sum() > (active.sum() // 4)

@@ -1,0 +1,65 @@
+"""Figure 6 — object-size PDFs by MIME class, ad vs non-ad (RBN-1).
+
+Paper: ad images mode at ~43 bytes (tracking pixels); ad videos mostly
+>1 MB (unchunked 15-45 s spots) while non-ad video objects are smaller
+chunks; non-ad images larger than ad images; non-ad text smaller than
+ad text (interactive XHRs).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.report import render_histogram, render_table
+from repro.analysis.traffic import object_size_distributions
+
+
+def test_figure6(benchmark, rbn1, results_dir):
+    _generator, _trace, entries = rbn1
+    distribution = benchmark.pedantic(
+        object_size_distributions, args=(entries,), rounds=1, iterations=1
+    )
+
+    chunks = []
+    rows = []
+    for klass in ("image", "text", "video", "app"):
+        for is_ad, label in ((True, "ad"), (False, "non-ad")):
+            mode = distribution.mode_bytes(is_ad, klass)
+            median = distribution.median_bytes(is_ad, klass)
+            count = len(distribution.samples.get((is_ad, klass), []))
+            rows.append(
+                {
+                    "class": klass,
+                    "kind": label,
+                    "n": count,
+                    "mode (bytes)": f"{mode:.0f}" if mode else "-",
+                    "median (bytes)": f"{median:.0f}" if median else "-",
+                }
+            )
+        histogram, edges = distribution.density(True, klass)
+        chunks.append(
+            render_histogram(
+                histogram, edges,
+                title=f"Figure 6a: ad {klass} log10-size density",
+                label=lambda e: f"10^{e:4.1f}B",
+            )
+        )
+    text = render_table(rows, title="Figure 6: object-size distribution summaries (RBN-1)")
+    text += "\n" + "\n".join(chunks)
+    write_result(results_dir, "figure6_object_sizes.txt", text)
+    print("\n" + text[:1500])
+
+    # The paper's characteristic size relations.
+    ad_image_mode = distribution.mode_bytes(True, "image")
+    assert ad_image_mode is not None and 20 < ad_image_mode < 200  # ~43 B spike
+    ad_video = distribution.median_bytes(True, "video")
+    nonad_video = distribution.median_bytes(False, "video")
+    assert ad_video is not None and ad_video > 1_000_000
+    assert nonad_video is not None and nonad_video < ad_video
+    ad_image = distribution.median_bytes(True, "image")
+    nonad_image = distribution.median_bytes(False, "image")
+    assert nonad_image > ad_image
+    ad_text = distribution.median_bytes(True, "text")
+    nonad_text = distribution.median_bytes(False, "text")
+    if ad_text and nonad_text:
+        assert nonad_text < ad_text  # interactive XHRs are tiny

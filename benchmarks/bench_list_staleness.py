@@ -1,0 +1,59 @@
+"""Ablation — classification quality vs filter-list staleness.
+
+The paper classifies its traces with lists fetched around capture
+time; this bench quantifies what happens as the list version diverges
+from the traffic (rules removed/added per release), a reproducibility
+caveat the original study could not measure.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.core import AdClassificationPipeline, grade_classification
+from repro.filterlist.evolution import ChurnRates, evolve
+
+_STEPS = (0, 2, 5, 10, 20)
+_RATES = ChurnRates(removed=0.06, added=0.05, rewritten=0.01)
+
+
+def _staleness_quality(lists, records, truths):
+    rows = []
+    for steps in _STEPS:
+        bundle = dict(lists)
+        if steps:
+            bundle["easylist"] = evolve(lists["easylist"], steps=steps, rates=_RATES)
+            bundle["easyprivacy"] = evolve(lists["easyprivacy"], steps=steps, rates=_RATES)
+        entries = AdClassificationPipeline(bundle).process(records)
+        matrix = grade_classification(entries, truths)
+        rows.append(
+            {
+                "list age (releases)": steps,
+                "rules": sum(len(bundle[name].filters) for name in bundle),
+                "precision": f"{matrix.precision:.4f}",
+                "recall": f"{matrix.recall:.4f}",
+                "f1": f"{matrix.f1:.4f}",
+            }
+        )
+    return rows
+
+
+def test_list_staleness(benchmark, rbn2, lists, results_dir):
+    _generator, trace, _entries = rbn2
+    records = trace.http[:120_000]
+    truths = trace.truth[:120_000]
+    rows = benchmark.pedantic(
+        _staleness_quality, args=(lists, records, truths), rounds=1, iterations=1
+    )
+    text = render_table(rows, title="Classification quality vs filter-list staleness")
+    write_result(results_dir, "list_staleness.txt", text)
+    print("\n" + text)
+
+    recalls = [float(row["recall"]) for row in rows]
+    # Fresh lists are best; heavy divergence visibly hurts recall.
+    assert recalls[0] == max(recalls)
+    assert recalls[-1] < recalls[0] - 0.05
+    # Precision is not destroyed by staleness (rules are specific).
+    precisions = [float(row["precision"]) for row in rows]
+    assert min(precisions) > 0.9

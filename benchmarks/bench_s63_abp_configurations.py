@@ -1,0 +1,63 @@
+"""§6.3 — Adblock Plus configurations inferred from the trace.
+
+Paper: only ~13.1% of likely-ABP users plausibly subscribe to
+EasyPrivacy (vs ~0.1% baseline quietness), and at most ~20% opt out of
+the acceptable-ads whitelist (11.8% with zero whitelisted requests vs
+6.1% for non-adblock users).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.core import (
+    acceptable_ads_optout_shares,
+    aggregate_users,
+    annotate_browsers,
+    classify_usage,
+    easyprivacy_subscription_shares,
+    heavy_hitters,
+)
+from repro.trace.capture import abp_server_ips, easylist_download_clients
+
+
+def _config_shares(ecosystem, trace, entries):
+    stats = aggregate_users(entries)
+    annotation = annotate_browsers(heavy_hitters(stats))
+    downloads = easylist_download_clients(trace.tls, abp_server_ips(ecosystem))
+    usages = classify_usage(list(annotation.browsers.values()), downloads)
+    rows = []
+    for max_hits in (0, 10, 25):
+        ep_abp, ep_plain = easyprivacy_subscription_shares(usages, max_hits=max_hits)
+        aa_abp, aa_plain = acceptable_ads_optout_shares(usages, max_hits=max_hits)
+        rows.append(
+            {
+                "<= hits": max_hits,
+                "EP-quiet ABP": f"{100 * ep_abp:.1f}%",
+                "EP-quiet plain": f"{100 * ep_plain:.1f}%",
+                "AA-quiet ABP": f"{100 * aa_abp:.1f}%",
+                "AA-quiet plain": f"{100 * aa_plain:.1f}%",
+            }
+        )
+    return rows, usages
+
+
+def test_s63_configurations(benchmark, rbn2, ecosystem, results_dir):
+    _generator, trace, entries = rbn2
+    rows, usages = benchmark.pedantic(
+        _config_shares, args=(ecosystem, trace, entries), rounds=1, iterations=1
+    )
+    text = render_table(
+        rows,
+        title="S6.3: ABP configuration estimators (paper: EP 13.1% vs 0.1%; AA 11.8% vs 6.1%)",
+    )
+    write_result(results_dir, "s63_abp_configurations.txt", text)
+    print("\n" + text)
+
+    ep_abp, ep_plain = easyprivacy_subscription_shares(usages, max_hits=10)
+    # A clear adoption gap must separate likely-ABP from plain users.
+    assert ep_abp > ep_plain + 0.03
+    assert ep_plain < 0.05
+    aa_abp, aa_plain = acceptable_ads_optout_shares(usages, max_hits=0)
+    assert aa_abp > aa_plain

@@ -1,0 +1,81 @@
+"""§7.3 — the non-intrusive-ads whitelist in the wild (RBN-2).
+
+Paper: 9.2% of ad requests match the whitelist (15.3% of EasyList+AA
+classifications); only 57.3% of whitelisted requests would otherwise
+be blocked (overly general rules!), 23.2% of those by EasyPrivacy;
+publishers in dating/shopping/translation/streaming benefit most,
+adult sites not at all; the dominant ad company gets ~47.9% of its
+ad requests whitelisted.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.analysis.whitelist import (
+    adtech_whitelist_table,
+    publisher_whitelist_table,
+    whitelist_summary,
+)
+
+
+def _analyze(entries, ecosystem):
+    summary = whitelist_summary(entries)
+    publishers = publisher_whitelist_table(entries, min_blacklisted=200, ecosystem=ecosystem)
+    adtech = adtech_whitelist_table(entries, min_blacklisted=500)
+    return summary, publishers, adtech
+
+
+def test_s73_whitelist(benchmark, rbn2, ecosystem, results_dir):
+    _generator, _trace, entries = rbn2
+    summary, publishers, adtech = benchmark.pedantic(
+        _analyze, args=(entries, ecosystem), rounds=1, iterations=1
+    )
+
+    lines = [
+        "S7.3: non-intrusive ads whitelist",
+        f"whitelisted share of ad requests: {100 * summary.whitelisted_share_of_ads:.1f}% (paper 9.2%)",
+        f"restricted to EasyList+AA:        {100 * summary.whitelisted_share_of_easylist_aa:.1f}% (paper 15.3%)",
+        f"whitelisted that match blacklist: {100 * summary.blacklisted_share_of_whitelisted:.1f}% (paper 57.3%)",
+        f"of those, EasyPrivacy hits:       {100 * summary.easyprivacy_share_of_blacklisted_whitelisted:.1f}% (paper 23.2%)",
+        "",
+    ]
+    publisher_rows = [
+        {
+            "publisher": row.domain,
+            "category": row.category,
+            "blacklisted": row.blacklisted,
+            "whitelist share": f"{100 * row.whitelist_share:.1f}%",
+        }
+        for row in publishers[:15]
+    ]
+    adtech_rows = [
+        {
+            "ad-tech host": row.domain,
+            "blacklisted": row.blacklisted,
+            "whitelist share": f"{100 * row.whitelist_share:.1f}%",
+        }
+        for row in adtech[:10]
+    ]
+    text = "\n".join(lines)
+    text += render_table(publisher_rows, title="Top publishers by blacklisted requests")
+    text += "\n" + render_table(adtech_rows, title="Ad-tech hosts by blacklisted requests")
+    write_result(results_dir, "s73_whitelist.txt", text)
+    print("\n" + text)
+
+    # Shape assertions.
+    assert 0.03 < summary.whitelisted_share_of_ads < 0.30
+    assert summary.whitelisted_share_of_easylist_aa > summary.whitelisted_share_of_ads
+    assert 0.3 < summary.blacklisted_share_of_whitelisted < 0.9
+    # Some publishers benefit a lot, others not at all.
+    shares = [row.whitelist_share for row in publishers]
+    assert max(shares) > 0.10
+    assert min(shares) == 0.0
+    # Adult publishers never whitelisted (AA affinity 0).
+    adult = [row for row in publishers if row.category == "adult"]
+    assert all(row.whitelist_share == 0.0 for row in adult)
+    # The dominant network's whitelisted share is substantial.
+    googol_hosts = [row for row in adtech if "googol" in row.domain or "doubleklick" in row.domain]
+    if googol_hosts:
+        assert max(row.whitelist_share for row in googol_hosts) > 0.10

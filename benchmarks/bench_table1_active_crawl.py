@@ -1,0 +1,61 @@
+"""Table 1 — active measurements: aggregate results per browser mode.
+
+Paper: ad-blockers lessen the total number of requests; classification
+hits collapse for the lists a profile subscribes to (bold/starred
+cells).  Vanilla: EL hits ~8.1% and EP hits ~8.3% of HTTP requests.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.filterlist.lists import EASYLIST, EASYPRIVACY
+
+_PROFILE_ORDER = (
+    "Vanilla", "AdBP-Pa", "AdBP-Ad", "AdBP-Pr",
+    "Ghostery-Pa", "Ghostery-Ad", "Ghostery-Pr",
+)
+
+
+def _table1_rows(crawl, pipeline):
+    rows = []
+    for name in _PROFILE_ORDER:
+        result = crawl[name]
+        entries = pipeline.process(result.records.http)
+        easylist_hits = sum(
+            1 for e in entries
+            if (e.blacklist_name or "").startswith(EASYLIST)
+            or (e.is_whitelisted and not e.classification.is_blacklisted)
+        )
+        easyprivacy_hits = sum(1 for e in entries if e.blacklist_name == EASYPRIVACY)
+        rows.append(
+            {
+                "Browser Mode": name,
+                "#HTTPS": result.https_connections,
+                "#HTTP": result.http_requests,
+                "#ELhits": easylist_hits,
+                "#EPhits": easyprivacy_hits,
+            }
+        )
+    return rows
+
+
+def test_table1(benchmark, crawl, pipeline, results_dir):
+    rows = benchmark.pedantic(_table1_rows, args=(crawl, pipeline), rounds=1, iterations=1)
+    text = render_table(rows, title="Table 1: active crawl, per browser mode")
+    write_result(results_dir, "table1_active_crawl.txt", text)
+    print("\n" + text)
+
+    by_mode = {row["Browser Mode"]: row for row in rows}
+    vanilla = by_mode["Vanilla"]
+    # Shape assertions from the paper.
+    assert by_mode["AdBP-Pa"]["#HTTP"] < vanilla["#HTTP"]
+    assert by_mode["AdBP-Pa"]["#ELhits"] < 0.25 * vanilla["#ELhits"]
+    assert by_mode["AdBP-Pa"]["#EPhits"] < 0.10 * vanilla["#EPhits"]
+    assert by_mode["AdBP-Ad"]["#EPhits"] > 0.5 * vanilla["#EPhits"]
+    assert by_mode["AdBP-Pr"]["#ELhits"] > 0.5 * vanilla["#ELhits"]
+    assert by_mode["Ghostery-Pa"]["#ELhits"] > by_mode["AdBP-Pa"]["#ELhits"]
+    # Vanilla list-hit ratios near the paper's 8.1% / 8.3%.
+    assert 0.03 < vanilla["#ELhits"] / vanilla["#HTTP"] < 0.20
+    assert 0.03 < vanilla["#EPhits"] / vanilla["#HTTP"] < 0.20

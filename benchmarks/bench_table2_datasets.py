@@ -1,0 +1,53 @@
+"""Table 2 — the two passive data sets.
+
+Paper: RBN-1 (11 Apr 2015 00:00, 4 days, 7.5K subscribers, 18.8 TB /
+131.95M requests) and RBN-2 (11 Aug 2015 15:30, 15.5 h, 19.7K
+subscribers, 11.4 TB / 85.09M requests).  The reproduction generates
+scaled-down equivalents; per-subscriber intensities are the comparable
+quantities.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.trace.capture import capture_stats
+
+
+def _table2_rows(rbn1, rbn2):
+    rows = []
+    for name, (generator, trace, _entries) in (("RBN-1", rbn1), ("RBN-2", rbn2)):
+        stats = capture_stats(trace, subscribers=generator.subscribers)
+        rows.append(
+            {
+                "Trace": name,
+                "Duration (h)": f"{stats.duration_hours:.1f}",
+                "Subscribers": stats.subscribers,
+                "HTTPreqs": stats.http_requests,
+                "HTTPbytes (GB)": f"{stats.http_bytes / 1e9:.2f}",
+                "reqs/subscriber": f"{stats.http_requests / stats.subscribers:.0f}",
+                "TLS conns": stats.tls_connections,
+            }
+        )
+    return rows
+
+
+def test_table2(benchmark, rbn1, rbn2, results_dir):
+    rows = benchmark.pedantic(_table2_rows, args=(rbn1, rbn2), rounds=1, iterations=1)
+    text = render_table(rows, title="Table 2: data sets (scaled reproduction)")
+    write_result(results_dir, "table2_datasets.txt", text)
+    print("\n" + text)
+
+    rbn1_row, rbn2_row = rows
+    # Durations: 4 days vs 15.5 hours.
+    assert 90 < float(rbn1_row["Duration (h)"]) <= 96
+    assert 13 < float(rbn2_row["Duration (h)"]) <= 15.6
+    # The per-subscriber request rate is of the paper's order:
+    # RBN-1: 131.95M / 7.5K / 96 h ~ 183 req/sub/h;
+    # RBN-2: 85.09M / 19.7K / 15.5 h ~ 278 req/sub/h (peak-time trace).
+    rate1 = float(rbn1_row["reqs/subscriber"]) / float(rbn1_row["Duration (h)"])
+    rate2 = float(rbn2_row["reqs/subscriber"]) / float(rbn2_row["Duration (h)"])
+    assert 30 < rate1 < 600
+    assert 30 < rate2 < 600
+    assert rate2 > rate1  # RBN-2 captures peak time

@@ -1,0 +1,43 @@
+"""Table 3 — ad-blocker usage classes from the two indicators.
+
+Paper (RBN-2 active browsers): A 46.8%, B 15.7%, C 22.2%, D 15.3% of
+instances; class C contributes 12.9% of requests but only 6.5% of ad
+requests.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.analysis.usage import usage_table
+from repro.core import aggregate_users, annotate_browsers, classify_usage, heavy_hitters
+from repro.trace.capture import abp_server_ips, easylist_download_clients
+
+
+def _usage_rows(ecosystem, trace, entries):
+    stats = aggregate_users(entries)
+    annotation = annotate_browsers(heavy_hitters(stats))
+    downloads = easylist_download_clients(trace.tls, abp_server_ips(ecosystem))
+    usages = classify_usage(list(annotation.browsers.values()), downloads)
+    total_ads = sum(1 for e in entries if e.is_ad)
+    return usage_table(usages, total_requests=len(entries), total_ads=total_ads), usages
+
+
+def test_table3(benchmark, rbn2, ecosystem, results_dir):
+    _generator, trace, entries = rbn2
+    rows, usages = benchmark.pedantic(
+        _usage_rows, args=(ecosystem, trace, entries), rounds=1, iterations=1
+    )
+    text = render_table(rows, title="Table 3: usage classes (paper: A 46.8 / B 15.7 / C 22.2 / D 15.3)")
+    write_result(results_dir, "table3_usage_classes.txt", text)
+    print("\n" + text)
+
+    shares = {row["Type"]: float(row["Instances"].rstrip("%")) for row in rows}
+    assert 30.0 < shares["A"] < 65.0
+    assert 4.0 < shares["B"] < 30.0
+    assert 12.0 < shares["C"] < 35.0
+    assert 4.0 < shares["D"] < 30.0
+    # C users' ad share is disproportionately small.
+    c_row = next(row for row in rows if row["Type"] == "C")
+    assert float(c_row["% ad reqs."].rstrip("%")) < float(c_row["% requests"].rstrip("%"))

@@ -1,0 +1,95 @@
+"""Table 5 + §8.1 — the ad-serving infrastructure (RBN-1).
+
+Paper: top-10 ASes serve 56.8% of ad objects; Google leads with 21.0%
+of ad requests / 33.9% of ad bytes (50.7% / 15.9% of its own AS
+traffic); dedicated ad-tech ASes (Criteo: 78.1% / 88.2%) are almost
+pure; clouds/CDNs mix ads with regular content.  Server-level: 29.0K
+EasyList servers, heavy-tailed requests/server, ~10.1K exclusive ad
+servers delivering 32.7% of ads.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.infrastructure import as_table, server_statistics
+from repro.analysis.report import render_table
+
+
+def _analyze(entries, asdb):
+    return as_table(entries, asdb, top=10), server_statistics(entries)
+
+
+def test_table5(benchmark, rbn1, ecosystem, results_dir):
+    _generator, _trace, entries = rbn1
+    rows, servers = benchmark.pedantic(
+        _analyze, args=(entries, ecosystem.asdb), rounds=1, iterations=1
+    )
+
+    rendered = [
+        {
+            "AS": row.name,
+            "%ads reqs (trace)": f"{100 * row.share_of_trace_ad_requests:.1f}%",
+            "%ads bytes (trace)": f"{100 * row.share_of_trace_ad_bytes:.1f}%",
+            "%ads reqs (in AS)": f"{100 * row.ad_request_ratio_within_as:.1f}%",
+            "%ads bytes (in AS)": f"{100 * row.ad_byte_ratio_within_as:.1f}%",
+        }
+        for row in rows
+    ]
+    exclusive_count, exclusive_share = servers.exclusive_ad_servers()
+    tracking_count, tracking_share = servers.tracking_servers()
+    busiest, busiest_requests = servers.busiest_ad_server()
+    percentiles = servers.easylist_percentiles()
+    text = render_table(rendered, title="Table 5: ad traffic by AS, top 10 (RBN-1)")
+    text += "\n".join(
+        [
+            "",
+            "S8.1 server-side statistics:",
+            f"servers total: {servers.n_servers}",
+            f"EasyList servers: {servers.easylist_servers}  "
+            f"EasyPrivacy servers: {servers.easyprivacy_servers}  "
+            f"both: {servers.servers_with_both}",
+            f"EasyList objects/server: median {percentiles[50]:.0f}, "
+            f"p90 {percentiles[90]:.0f}, p95 {percentiles[95]:.0f}, p99 {percentiles[99]:.0f}, "
+            f"mean {servers.easylist_mean():.0f}",
+            f"exclusive ad servers (>90% ads): {exclusive_count} "
+            f"delivering {100 * exclusive_share:.1f}% of ads (paper: 10.1K / 32.7%)",
+            f"tracking servers (>90% EP): {tracking_count} "
+            f"delivering {100 * tracking_share:.1f}% of EP objects (paper: 3.3K / 18.8%)",
+            f"busiest ad server: {busiest} with {busiest_requests} ad requests",
+            "",
+        ]
+    )
+    write_result(results_dir, "table5_as_ranking.txt", text)
+    print("\n" + text)
+
+    # Shape assertions.
+    by_name = {row.name: row for row in rows}
+    assert rows[0].name == "Googol"  # the dominant player leads
+    assert rows[0].share_of_trace_ad_requests > 0.10
+    top10_share = sum(row.share_of_trace_ad_requests for row in rows)
+    assert top10_share > 0.45  # paper: 56.8%
+    # Dedicated ad-tech ASes are nearly pure ad servers.
+    for adtech_name in ("Criterion", "AppNexus-like"):
+        if adtech_name in by_name:
+            assert by_name[adtech_name].ad_request_ratio_within_as > 0.3
+    # CDNs serve mostly regular content (low internal ad ratio).
+    if "Akamight" in by_name:
+        assert by_name["Akamight"].ad_request_ratio_within_as < 0.4
+    # Heavy tail: mean far above median.
+    assert servers.easylist_mean() > 2 * max(1.0, percentiles[50])
+    # Exclusive ad servers exist but do not carry everything: shared
+    # CDN/cloud front-ends serve ads alongside regular content (§8.1).
+    assert exclusive_count > 0 and 0.05 < exclusive_share < 0.97
+    mixed_servers = [
+        server for server, requests in servers.requests.items()
+        if servers.ad_requests.get(server, 0) > 0
+        and servers.ad_requests[server] < 0.9 * requests
+    ]
+    assert mixed_servers, "no server mixes ad and regular content"
+    nonad_via_mixed = sum(
+        servers.requests[server] - servers.ad_requests[server] for server in mixed_servers
+    )
+    total_nonad = sum(servers.requests.values()) - sum(servers.ad_requests.values())
+    # Paper: ad-touched servers deliver 54.3% of non-ad objects.
+    assert nonad_via_mixed / total_nonad > 0.2

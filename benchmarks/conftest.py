@@ -1,0 +1,79 @@
+"""Shared state for the experiment benches.
+
+Trace generation and classification are expensive, so they happen once
+per pytest session here; each bench then measures (and re-renders) its
+own table/figure computation.  Rendered outputs land in
+``benchmarks/results/`` so a bench run regenerates the paper's rows
+and series as reviewable text artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.browser.crawler import Crawler
+from repro.core import AdClassificationPipeline
+from repro.trace import RBNTraceGenerator, rbn1_config, rbn2_config
+from repro.web import Ecosystem, EcosystemConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Scales chosen so the full bench suite fits in laptop memory/time;
+# every reported quantity is a ratio or distribution (scale-invariant).
+RBN1_SCALE = 0.003
+RBN2_SCALE = 0.008
+CRAWL_SITES = 300
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def ecosystem() -> Ecosystem:
+    return Ecosystem.generate(EcosystemConfig(n_publishers=300))
+
+
+@pytest.fixture(scope="session")
+def lists(ecosystem):
+    from repro.filterlist import build_lists
+
+    return build_lists(ecosystem.list_spec())
+
+
+@pytest.fixture(scope="session")
+def pipeline(lists) -> AdClassificationPipeline:
+    return AdClassificationPipeline(lists)
+
+
+@pytest.fixture(scope="session")
+def rbn1(ecosystem, lists, pipeline):
+    """(generator, trace, classified entries) for the RBN-1 analogue."""
+    generator = RBNTraceGenerator(rbn1_config(scale=RBN1_SCALE), ecosystem=ecosystem, lists=lists)
+    trace = generator.generate()
+    entries = pipeline.process(trace.http)
+    return generator, trace, entries
+
+
+@pytest.fixture(scope="session")
+def rbn2(ecosystem, lists, pipeline):
+    """(generator, trace, classified entries) for the RBN-2 analogue."""
+    generator = RBNTraceGenerator(rbn2_config(scale=RBN2_SCALE), ecosystem=ecosystem, lists=lists)
+    trace = generator.generate()
+    entries = pipeline.process(trace.http)
+    return generator, trace, entries
+
+
+@pytest.fixture(scope="session")
+def crawl(ecosystem, lists):
+    """Active-measurement crawl results over the top sites."""
+    crawler = Crawler(ecosystem, lists, seed=4)
+    return crawler.crawl(n_sites=CRAWL_SITES)
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Ad traffic in the wild (paper §7: Fig 5, Table 4, Fig 6, §7.3).
+
+Simulates the 4-day RBN-1 capture and characterizes the classified ad
+traffic: diurnal patterns of the ad-request share, the Content-Type
+mix, the characteristic object sizes, and the effect of the
+non-intrusive-ads whitelist.
+
+    python examples/ad_traffic_characterization.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.analysis.traffic import (
+    ad_timeseries,
+    content_type_table,
+    object_size_distributions,
+    traffic_summary,
+)
+from repro.analysis.whitelist import whitelist_summary
+from repro.core import AdClassificationPipeline
+from repro.filterlist.lists import EASYLIST, EASYPRIVACY
+from repro.trace import RBNTraceGenerator, rbn1_config
+from repro.web import Ecosystem, EcosystemConfig
+
+
+def main(scale: float = 0.002) -> None:
+    print(f"simulating RBN-1 (4 days) at scale {scale} ...")
+    ecosystem = Ecosystem.generate(EcosystemConfig(n_publishers=300))
+    generator = RBNTraceGenerator(rbn1_config(scale=scale), ecosystem=ecosystem)
+    trace = generator.generate()
+    pipeline = AdClassificationPipeline(generator.lists)
+    entries = pipeline.process(trace.http)
+
+    summary = traffic_summary(entries)
+    print(f"\nS7.1 headline numbers (paper: 17.25% requests / 1.13% bytes):")
+    print(f"  ad share of requests: {summary.ad_request_share:.2%}")
+    print(f"  ad share of bytes:    {summary.ad_byte_share:.2%}")
+    print(f"  by list: EasyList {summary.easylist_share_of_ads:.1%} (paper 55.9%), "
+          f"EasyPrivacy {summary.easyprivacy_share_of_ads:.1%} (35.1%), "
+          f"non-intrusive {summary.non_intrusive_share_of_ads:.1%}")
+
+    # Fig 5: diurnal share swing.
+    series = ad_timeseries(entries)
+    shares = np.array(series.share(EASYLIST)) + np.array(series.share(EASYPRIVACY))
+    interior = shares[1:-1]
+    print(f"\nFig 5: ad-request share swings {interior.min():.1%} .. {interior.max():.1%} "
+          f"over the day (paper: 6% .. 12%)")
+
+    rows = [
+        {
+            "Content-type": row.content_type,
+            "Ads Reqs": f"{100 * row.ad_request_share:.1f}%",
+            "Ads Bytes": f"{100 * row.ad_byte_share:.1f}%",
+            "Non-Ads Reqs": f"{100 * row.nonad_request_share:.1f}%",
+            "Non-Ads Bytes": f"{100 * row.nonad_byte_share:.1f}%",
+        }
+        for row in content_type_table(entries)
+    ]
+    print()
+    print(render_table(rows, title="Table 4: traffic by Content-Type"))
+
+    distribution = object_size_distributions(entries)
+    size_rows = []
+    for klass in ("image", "text", "video", "app"):
+        for is_ad, label in ((True, "ad"), (False, "non-ad")):
+            mode = distribution.mode_bytes(is_ad, klass)
+            median = distribution.median_bytes(is_ad, klass)
+            size_rows.append(
+                {
+                    "class": klass,
+                    "kind": label,
+                    "mode": f"{mode:,.0f} B" if mode else "-",
+                    "median": f"{median:,.0f} B" if median else "-",
+                }
+            )
+    print(render_table(size_rows, title="Figure 6: characteristic object sizes"))
+    print("=> ad images spike at ~43 B (tracking pixels); ad videos are unchunked megabyte spots.")
+
+    wl = whitelist_summary(entries)
+    print(f"\nS7.3 whitelist: {wl.whitelisted_share_of_ads:.1%} of ad requests whitelisted "
+          f"(paper 9.2%); only {wl.blacklisted_share_of_whitelisted:.1%} of whitelisted "
+          f"requests would otherwise be blocked (paper 57.3%)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.002)

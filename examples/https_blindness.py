@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""HTTPS blindness: the methodology's expiry date (paper §10).
+
+The paper's classification only sees port-80 headers.  This example
+grows HTTPS adoption in the synthetic web and shows how the passive
+vantage point's picture degrades — fewer observable requests, unstable
+ad-share estimates — while the methodology itself produces numbers
+that *look* fine.  (Historically accurate: HTTPS passed 50% of page
+loads within two years of the paper.)
+
+    python examples/https_blindness.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.sensitivity import https_sensitivity
+from repro.trace import RBNTraceGenerator, rbn2_config
+from repro.web import Ecosystem, EcosystemConfig
+
+
+def make_generator(https_share: float) -> RBNTraceGenerator:
+    ecosystem = Ecosystem.generate(
+        EcosystemConfig(n_publishers=120, seed=5, https_landing_share=https_share)
+    )
+    config = rbn2_config(scale=0.0, seed=9)
+    config.population.n_households = 30
+    config.duration_s = 4 * 3600.0
+    return RBNTraceGenerator(config, ecosystem=ecosystem)
+
+
+def main() -> None:
+    print("sweeping HTTPS adoption (each point regenerates & reclassifies a trace) ...")
+    points = https_sensitivity(
+        make_generator, https_shares=(0.0, 0.12, 0.3, 0.5, 0.7)
+    )
+    rows = [
+        {
+            "HTTPS share": f"{100 * p.https_share:.0f}%",
+            "observable HTTP requests": p.observed_requests,
+            "measured ad share": f"{100 * p.ad_request_share:.1f}%",
+            "likely-ABP share of actives": f"{100 * p.likely_abp_share:.1f}%",
+        }
+        for p in points
+    ]
+    print()
+    print(render_table(rows, title="What the port-80 vantage point still sees"))
+    baseline = points[0].observed_requests
+    final = points[-1].observed_requests
+    print(f"at 70% HTTPS adoption the vantage point observes only "
+          f"{final / baseline:.0%} of the traffic it saw at 0% —")
+    print("the methodology never signals its own blindness (S10).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — reproduction of "Annoyed Users: Ads and Ad-Block Usage in
+the Wild" (Pujol, Hohlfeld, Feldmann — ACM IMC 2015).
+
+Subpackages:
+
+* :mod:`repro.filterlist` — AdBlock-Plus-compatible filter engine and
+  synthetic EasyList / EasyPrivacy / acceptable-ads generators.
+* :mod:`repro.http` — Bro-like HTTP analysis (TCP reassembly, HTTP
+  parsing, log records, User-Agent annotation).
+* :mod:`repro.web` — synthetic web + ad-tech ecosystem (publishers,
+  exchanges, trackers, CDNs, AS registry).
+* :mod:`repro.browser` — instrumented browser emulator and the active
+  measurement crawler (7 profiles over the top-1K sites).
+* :mod:`repro.trace` — residential broadband trace generator with
+  household/NAT/device population and diurnal activity.
+* :mod:`repro.core` — the paper's contribution: the passive ad
+  classification pipeline and the ad-blocker usage indicators.
+* :mod:`repro.analysis` — the evaluation analyses behind every table
+  and figure.
+
+Quick start::
+
+    from repro.web import Ecosystem
+    from repro.trace import rbn2_config, RBNTraceGenerator
+    from repro.core import AdClassificationPipeline
+
+    ecosystem = Ecosystem.generate()
+    generator = RBNTraceGenerator(rbn2_config(scale=0.005), ecosystem=ecosystem)
+    trace = generator.generate()
+    pipeline = AdClassificationPipeline(generator.lists)
+    classified = pipeline.process(trace.http)
+    ads = sum(1 for entry in classified if entry.is_ad)
+    print(f"{ads / len(classified):.1%} of requests are ad-related")
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import AdClassificationPipeline, PipelineConfig
+from repro.filterlist import ContentType, FilterEngine, RequestContext, build_lists
+from repro.trace import RBNTraceGenerator, rbn1_config, rbn2_config
+from repro.web import Ecosystem, EcosystemConfig
+
+__all__ = [
+    "__version__",
+    "AdClassificationPipeline",
+    "PipelineConfig",
+    "ContentType",
+    "FilterEngine",
+    "RequestContext",
+    "build_lists",
+    "RBNTraceGenerator",
+    "rbn1_config",
+    "rbn2_config",
+    "Ecosystem",
+    "EcosystemConfig",
+]

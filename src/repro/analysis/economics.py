@@ -1,0 +1,161 @@
+"""Economic impact model of ad-blocking (the paper's future work).
+
+§11: "we also plan to explore the economic impact and implications
+that ad-blocking tech has for the 'free' Web."  This module implements
+a first-order revenue-proxy model over the simulator's ground truth:
+
+* every *displayed* ad impression earns its publisher CPM-priced
+  revenue (category-dependent CPM, video ≫ display ≫ text);
+* impressions blocked client-side earn nothing;
+* acceptable-ads impressions earn, but the whitelisting programme
+  takes a cut (the paper cites large players paying Adblock Plus to be
+  whitelisted);
+* the model reports per-category revenue, the loss attributable to
+  ad-blockers, and the share recovered through the acceptable-ads
+  programme.
+
+This is a *model*, not measurement — it quantifies the mechanism the
+paper's introduction describes ("as more end users adopt them,
+revenues decline").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.browser.emulator import BrowserVisit
+from repro.web.categories import SiteCategory
+from repro.web.page import ObjectKind, PageFetch
+
+__all__ = ["CpmModel", "RevenueReport", "revenue_of_visit", "revenue_report"]
+
+# USD per thousand impressions, 2015-flavoured defaults.
+_DEFAULT_CPMS: dict[ObjectKind, float] = {
+    ObjectKind.AD_CREATIVE: 2.0,  # display banners
+    ObjectKind.AD_VIDEO: 15.0,  # pre-roll video
+    ObjectKind.TEXT_AD: 1.0,  # in-HTML text ads (CPC-ish proxy)
+}
+
+_CATEGORY_MULTIPLIER: dict[SiteCategory, float] = {
+    SiteCategory.NEWS: 1.3,
+    SiteCategory.TECHNOLOGY: 1.4,
+    SiteCategory.SHOPPING: 1.6,
+    SiteCategory.DATING: 1.5,
+    SiteCategory.ADULT: 0.4,
+    SiteCategory.FILE_SHARING: 0.3,
+    SiteCategory.VIDEO_STREAMING: 1.2,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CpmModel:
+    """Impression pricing: kind-based CPM x category multiplier."""
+
+    cpms: dict = field(default_factory=lambda: dict(_DEFAULT_CPMS))
+    acceptable_ads_cut: float = 0.30  # programme fee on whitelisted ads
+
+    def impression_value(self, kind: ObjectKind, category: SiteCategory) -> float:
+        base = self.cpms.get(kind)
+        if base is None:
+            return 0.0
+        return base * _CATEGORY_MULTIPLIER.get(category, 1.0) / 1000.0
+
+
+@dataclass(slots=True)
+class RevenueReport:
+    """Aggregated revenue outcome over a set of visits."""
+
+    earned: float = 0.0  # actually-displayed impressions
+    blocked: float = 0.0  # value destroyed by client-side blocking
+    acceptable_earned: float = 0.0  # earned via the whitelist ...
+    acceptable_fees: float = 0.0  # ... minus the programme's cut
+    hidden_text_ads: float = 0.0  # element-hidden in-HTML ads
+    by_category: dict = field(default_factory=lambda: defaultdict(float))
+    blocked_by_category: dict = field(default_factory=lambda: defaultdict(float))
+
+    @property
+    def potential(self) -> float:
+        """Revenue had no blocking occurred."""
+        return self.earned + self.blocked + self.hidden_text_ads
+
+    @property
+    def loss_share(self) -> float:
+        potential = self.potential
+        if potential == 0:
+            return 0.0
+        return (self.blocked + self.hidden_text_ads) / potential
+
+    @property
+    def acceptable_recovery_share(self) -> float:
+        """Share of ad-block-exposed revenue kept via acceptable ads."""
+        exposed = self.blocked + self.hidden_text_ads + self.acceptable_earned
+        if exposed == 0:
+            return 0.0
+        return self.acceptable_earned / exposed
+
+
+_IMPRESSION_KINDS = (ObjectKind.AD_CREATIVE, ObjectKind.AD_VIDEO)
+
+
+def revenue_of_visit(
+    visit: BrowserVisit, model: CpmModel | None = None
+) -> RevenueReport:
+    """Account one page visit's impressions."""
+    model = model or CpmModel()
+    page: PageFetch = visit.page
+    category = page.publisher.category
+    report = RevenueReport()
+
+    from repro.filterlist.lists import ACCEPTABLE_ADS
+
+    subscribes_acceptable = ACCEPTABLE_ADS in visit.profile.abp_lists
+    # HTTPS-fetched impressions were displayed too — invisible to a
+    # header trace, not to the user.
+    displayed_ids = {request.obj.object_id for request in visit.requests}
+    displayed_ids |= {obj.object_id for obj in visit.encrypted}
+    for obj in page.objects:
+        if obj.kind not in _IMPRESSION_KINDS:
+            continue
+        value = model.impression_value(obj.kind, category)
+        if obj.object_id in displayed_ids:
+            # The programme fee applies only to impressions that got
+            # through *because of* the whitelist subscription.
+            if obj.acceptable and subscribes_acceptable:
+                fee = value * model.acceptable_ads_cut
+                report.acceptable_earned += value - fee
+                report.acceptable_fees += fee
+                report.earned += value - fee
+            else:
+                report.earned += value
+            report.by_category[category.value] += value
+        else:
+            report.blocked += value
+            report.blocked_by_category[category.value] += value
+
+    text_value = model.impression_value(ObjectKind.TEXT_AD, category)
+    shown_text = page.text_ads - visit.hidden_text_ads
+    report.earned += shown_text * text_value
+    report.by_category[category.value] += shown_text * text_value
+    report.hidden_text_ads += visit.hidden_text_ads * text_value
+    return report
+
+
+def revenue_report(
+    visits: list[BrowserVisit], model: CpmModel | None = None
+) -> RevenueReport:
+    """Aggregate :func:`revenue_of_visit` over many visits."""
+    model = model or CpmModel()
+    total = RevenueReport()
+    for visit in visits:
+        partial = revenue_of_visit(visit, model)
+        total.earned += partial.earned
+        total.blocked += partial.blocked
+        total.acceptable_earned += partial.acceptable_earned
+        total.acceptable_fees += partial.acceptable_fees
+        total.hidden_text_ads += partial.hidden_text_ads
+        for key, value in partial.by_category.items():
+            total.by_category[key] += value
+        for key, value in partial.blocked_by_category.items():
+            total.blocked_by_category[key] += value
+    return total

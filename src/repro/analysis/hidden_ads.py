@@ -1,0 +1,65 @@
+"""Hidden (element-hidden) ads: what the passive methodology misses.
+
+§3.1/§10: text ads embedded in the main HTML generate no request of
+their own — Adblock Plus hides them with CSS and a header-trace
+vantage point can neither see nor count them.  With the simulator's
+ground truth we can quantify the blind spot: how much ad *exposure*
+(impressions shown to non-blocking users) is invisible to the paper's
+methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.emulator import BrowserVisit
+from repro.web.page import ObjectKind
+
+__all__ = ["HiddenAdReport", "hidden_ad_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class HiddenAdReport:
+    """Exposure accounting over a set of visits."""
+
+    request_borne_impressions: int  # creatives/videos actually fetched
+    text_ad_impressions: int  # in-HTML ads displayed (no request)
+    text_ads_hidden: int  # in-HTML ads element-hidden by ABP
+    pages: int
+
+    @property
+    def invisible_share(self) -> float:
+        """Share of displayed impressions the header trace never sees."""
+        displayed = self.request_borne_impressions + self.text_ad_impressions
+        if displayed == 0:
+            return 0.0
+        return self.text_ad_impressions / displayed
+
+    @property
+    def hiding_rate(self) -> float:
+        total_text = self.text_ad_impressions + self.text_ads_hidden
+        if total_text == 0:
+            return 0.0
+        return self.text_ads_hidden / total_text
+
+
+_IMPRESSION_KINDS = (ObjectKind.AD_CREATIVE, ObjectKind.AD_VIDEO)
+
+
+def hidden_ad_report(visits: list[BrowserVisit]) -> HiddenAdReport:
+    """Account request-borne vs in-HTML ad impressions per visit."""
+    request_borne = 0
+    text_shown = 0
+    text_hidden = 0
+    for visit in visits:
+        request_borne += sum(
+            1 for request in visit.requests if request.obj.kind in _IMPRESSION_KINDS
+        )
+        text_hidden += visit.hidden_text_ads
+        text_shown += visit.page.text_ads - visit.hidden_text_ads
+    return HiddenAdReport(
+        request_borne_impressions=request_borne,
+        text_ad_impressions=text_shown,
+        text_ads_hidden=text_hidden,
+        pages=len(visits),
+    )

@@ -1,0 +1,185 @@
+"""§8.1 analyses: ad-serving infrastructure, servers and ASes (Table 5)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import ClassifiedRequest
+from repro.filterlist.lists import EASYLIST, EASYPRIVACY
+from repro.web.asdb import AsDatabase
+
+__all__ = [
+    "ServerStats",
+    "server_statistics",
+    "AsRow",
+    "as_table",
+]
+
+
+@dataclass(slots=True)
+class ServerStats:
+    """Per-server (IP) aggregates and the §8.1 derived populations."""
+
+    requests: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    ad_requests: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    easylist_requests: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    easyprivacy_requests: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.requests)
+
+    @property
+    def easylist_servers(self) -> int:
+        """Servers serving >=1 EasyList-classified object (29.0K)."""
+        return sum(1 for count in self.easylist_requests.values() if count)
+
+    @property
+    def easyprivacy_servers(self) -> int:
+        return sum(1 for count in self.easyprivacy_requests.values() if count)
+
+    @property
+    def servers_with_both(self) -> int:
+        return sum(
+            1
+            for server in self.easylist_requests
+            if self.easylist_requests[server] and self.easyprivacy_requests.get(server)
+        )
+
+    @property
+    def servers_with_any_ad(self) -> int:
+        return sum(1 for count in self.ad_requests.values() if count)
+
+    def easylist_percentiles(self, quantiles=(50, 90, 95, 99)) -> dict[int, float]:
+        """Distribution of EasyList objects per serving server."""
+        values = [count for count in self.easylist_requests.values() if count]
+        if not values:
+            return {q: 0.0 for q in quantiles}
+        array = np.asarray(values, dtype=float)
+        return {q: float(np.percentile(array, q)) for q in quantiles}
+
+    def easylist_mean(self) -> float:
+        values = [count for count in self.easylist_requests.values() if count]
+        return float(np.mean(values)) if values else 0.0
+
+    def busiest_ad_server(self) -> tuple[str, int]:
+        if not self.ad_requests:
+            return ("", 0)
+        server = max(self.ad_requests, key=self.ad_requests.get)
+        return server, self.ad_requests[server]
+
+    def exclusive_ad_servers(
+        self, *, ad_share: float = 0.9, min_requests: int = 10
+    ) -> tuple[int, float]:
+        """Servers whose traffic is >= ``ad_share`` ads, and the share
+        of all ad objects they deliver (paper: 10.1K servers, 32.7%)."""
+        total_ads = sum(self.ad_requests.values()) or 1
+        count = 0
+        delivered = 0
+        for server, requests in self.requests.items():
+            if requests < min_requests:
+                continue
+            ads = self.ad_requests.get(server, 0)
+            if ads / requests >= ad_share:
+                count += 1
+                delivered += ads
+        return count, delivered / total_ads
+
+    def tracking_servers(
+        self, *, share: float = 0.9, min_requests: int = 10
+    ) -> tuple[int, float]:
+        """Servers serving almost only EasyPrivacy objects (3.3K, 18.8%)."""
+        total_ep = sum(self.easyprivacy_requests.values()) or 1
+        count = 0
+        delivered = 0
+        for server, requests in self.requests.items():
+            if requests < min_requests:
+                continue
+            ep = self.easyprivacy_requests.get(server, 0)
+            if ep / requests >= share:
+                count += 1
+                delivered += ep
+        return count, delivered / total_ep
+
+
+def server_statistics(entries: list[ClassifiedRequest]) -> ServerStats:
+    stats = ServerStats()
+    for entry in entries:
+        server = entry.record.server
+        stats.requests[server] += 1
+        classification = entry.classification
+        if classification.is_ad:
+            stats.ad_requests[server] += 1
+        blacklist = classification.blacklist_name or ""
+        if blacklist.startswith(EASYLIST):
+            stats.easylist_requests[server] += 1
+        elif blacklist == EASYPRIVACY:
+            stats.easyprivacy_requests[server] += 1
+    return stats
+
+
+@dataclass(frozen=True, slots=True)
+class AsRow:
+    """One row of Table 5."""
+
+    name: str
+    ad_requests: int
+    ad_bytes: int
+    total_requests: int
+    total_bytes: int
+    trace_ad_requests: int
+    trace_ad_bytes: int
+
+    @property
+    def share_of_trace_ad_requests(self) -> float:
+        return self.ad_requests / self.trace_ad_requests if self.trace_ad_requests else 0.0
+
+    @property
+    def share_of_trace_ad_bytes(self) -> float:
+        return self.ad_bytes / self.trace_ad_bytes if self.trace_ad_bytes else 0.0
+
+    @property
+    def ad_request_ratio_within_as(self) -> float:
+        return self.ad_requests / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def ad_byte_ratio_within_as(self) -> float:
+        return self.ad_bytes / self.total_bytes if self.total_bytes else 0.0
+
+
+def as_table(
+    entries: list[ClassifiedRequest], asdb: AsDatabase, *, top: int = 10
+) -> list[AsRow]:
+    """Table 5: top ASes by ad objects served."""
+    per_as: dict[str, list[int]] = defaultdict(lambda: [0, 0, 0, 0])
+    trace_ad_requests = 0
+    trace_ad_bytes = 0
+    for entry in entries:
+        as_ = asdb.lookup(entry.record.server)
+        name = as_.name if as_ else "unknown"
+        counters = per_as[name]
+        counters[2] += 1
+        counters[3] += entry.bytes
+        if entry.is_ad:
+            counters[0] += 1
+            counters[1] += entry.bytes
+            trace_ad_requests += 1
+            trace_ad_bytes += entry.bytes
+
+    rows = [
+        AsRow(
+            name=name,
+            ad_requests=counters[0],
+            ad_bytes=counters[1],
+            total_requests=counters[2],
+            total_bytes=counters[3],
+            trace_ad_requests=trace_ad_requests,
+            trace_ad_bytes=trace_ad_bytes,
+        )
+        for name, counters in per_as.items()
+    ]
+    rows.sort(key=lambda row: row.ad_requests, reverse=True)
+    return rows[:top]

@@ -1,0 +1,76 @@
+"""Cross-trace consistency: RBN-1 vs RBN-2 (§7.1: "We observe the
+same trend in RBN-2").
+
+The paper uses two captures four months apart and leans on their
+agreement; this module compares two classified traces on the headline
+metrics and reports the deltas, so reproduction runs can make the same
+argument quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.traffic import content_type_table, traffic_summary
+from repro.core.pipeline import ClassifiedRequest
+
+__all__ = ["TraceComparison", "compare_traces"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceComparison:
+    """Headline metric pairs for two traces (a, b)."""
+
+    ad_request_share: tuple[float, float]
+    ad_byte_share: tuple[float, float]
+    easylist_share: tuple[float, float]
+    easyprivacy_share: tuple[float, float]
+    non_intrusive_share: tuple[float, float]
+    top_ad_mime: tuple[str, str]
+
+    def max_relative_delta(self) -> float:
+        """Largest relative disagreement across the share metrics."""
+        deltas = []
+        for a, b in (
+            self.ad_request_share,
+            self.easylist_share,
+            self.easyprivacy_share,
+            self.non_intrusive_share,
+        ):
+            reference = max(a, b, 1e-9)
+            deltas.append(abs(a - b) / reference)
+        return max(deltas)
+
+    @property
+    def consistent(self) -> bool:
+        """Same-trend check: list ordering and leading ad MIME agree."""
+        a_order = self.easylist_share[0] >= self.easyprivacy_share[0]
+        b_order = self.easylist_share[1] >= self.easyprivacy_share[1]
+        return a_order == b_order and self.top_ad_mime[0] == self.top_ad_mime[1]
+
+
+def compare_traces(
+    entries_a: list[ClassifiedRequest], entries_b: list[ClassifiedRequest]
+) -> TraceComparison:
+    """Compute the §7.1 metrics for both traces side by side."""
+    summary_a = traffic_summary(entries_a)
+    summary_b = traffic_summary(entries_b)
+
+    def top_mime(entries: list[ClassifiedRequest]) -> str:
+        rows = content_type_table(entries, top=1)
+        return rows[0].content_type if rows else "-"
+
+    return TraceComparison(
+        ad_request_share=(summary_a.ad_request_share, summary_b.ad_request_share),
+        ad_byte_share=(summary_a.ad_byte_share, summary_b.ad_byte_share),
+        easylist_share=(summary_a.easylist_share_of_ads, summary_b.easylist_share_of_ads),
+        easyprivacy_share=(
+            summary_a.easyprivacy_share_of_ads,
+            summary_b.easyprivacy_share_of_ads,
+        ),
+        non_intrusive_share=(
+            summary_a.non_intrusive_share_of_ads,
+            summary_b.non_intrusive_share_of_ads,
+        ),
+        top_ad_mime=(top_mime(entries_a), top_mime(entries_b)),
+    )

@@ -1,0 +1,161 @@
+"""Sensitivity analyses for the methodology's main free parameters.
+
+The paper fixes three knobs with limited justification; this module
+sweeps them against simulator ground truth:
+
+* the **ad-ratio threshold** (§4.3 picks 5% and notes "a slightly
+  higher or lower threshold does not alter the results significantly")
+  — :func:`threshold_sweep` quantifies that claim;
+* **HTTPS blindness** (§10: HTTPS traffic is invisible to the
+  methodology) — :func:`https_sensitivity` re-runs the study while
+  growing the HTTPS share of the synthetic web;
+* **Ghostery DB coverage** — how residual EasyList hits of
+  Ghostery-Paranoia users (Table 1) scale with curation coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.adblock_detect import classify_usage, usage_breakdown
+from repro.core.pipeline import AdClassificationPipeline
+from repro.core.users import aggregate_users, annotate_browsers, heavy_hitters
+from repro.core.validation import ConfusionMatrix, grade_detection
+from repro.trace.capture import abp_server_ips, easylist_download_clients
+from repro.trace.generator import RBNTraceGenerator
+
+__all__ = [
+    "ThresholdPoint",
+    "threshold_sweep",
+    "HttpsPoint",
+    "https_sensitivity",
+    "ghostery_coverage_sweep",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdPoint:
+    """Detection quality at one ad-ratio threshold."""
+
+    threshold: float
+    class_shares: dict
+    detection: ConfusionMatrix
+
+
+def threshold_sweep(
+    generator: RBNTraceGenerator,
+    trace,
+    entries,
+    *,
+    thresholds: tuple[float, ...] = (0.01, 0.02, 0.05, 0.08, 0.10, 0.15),
+) -> list[ThresholdPoint]:
+    """Sweep the indicator-1 threshold, grading against ground truth."""
+    stats = aggregate_users(entries)
+    annotation = annotate_browsers(heavy_hitters(stats))
+    downloads = easylist_download_clients(trace.tls, abp_server_ips(generator.ecosystem))
+    profiles = {
+        (household.ip, device.user_agent): device.profile
+        for household in generator.households
+        for device in household.devices
+    }
+
+    points = []
+    for threshold in thresholds:
+        usages = classify_usage(
+            list(annotation.browsers.values()), downloads, threshold=threshold
+        )
+        rows = usage_breakdown(usages)
+        shares = {row.usage_type: row.instance_share for row in rows}
+        points.append(
+            ThresholdPoint(
+                threshold=threshold,
+                class_shares=shares,
+                detection=grade_detection(usages, profiles),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True, slots=True)
+class HttpsPoint:
+    """Methodology output at one HTTPS deployment level."""
+
+    https_share: float
+    observed_requests: int
+    ad_request_share: float
+    likely_abp_share: float
+
+
+def https_sensitivity(
+    make_generator,
+    *,
+    https_shares: tuple[float, ...] = (0.0, 0.12, 0.3, 0.5, 0.7),
+) -> list[HttpsPoint]:
+    """Re-run generation+classification while growing HTTPS adoption.
+
+    ``make_generator(https_share) -> RBNTraceGenerator`` builds a fresh
+    generator whose ecosystem has the given HTTPS landing-page share.
+    As HTTPS grows the vantage point observes fewer requests and the
+    classification covers a shrinking slice of reality — §10's core
+    limitation, quantified.
+    """
+    points = []
+    for share in https_shares:
+        generator = make_generator(share)
+        trace = generator.generate()
+        pipeline = AdClassificationPipeline(generator.lists)
+        entries = pipeline.process(trace.http)
+        ads = sum(1 for entry in entries if entry.is_ad)
+
+        stats = aggregate_users(entries)
+        annotation = annotate_browsers(heavy_hitters(stats))
+        downloads = easylist_download_clients(
+            trace.tls, abp_server_ips(generator.ecosystem)
+        )
+        usages = classify_usage(list(annotation.browsers.values()), downloads)
+        likely = sum(1 for usage in usages if usage.likely_adblock)
+        points.append(
+            HttpsPoint(
+                https_share=share,
+                observed_requests=len(entries),
+                ad_request_share=ads / len(entries) if entries else 0.0,
+                likely_abp_share=likely / len(usages) if usages else 0.0,
+            )
+        )
+    return points
+
+
+def ghostery_coverage_sweep(
+    ecosystem,
+    lists,
+    *,
+    coverages: tuple[float, ...] = (0.2, 0.5, 0.8, 1.0),
+    n_sites: int = 60,
+) -> list[tuple[float, int]]:
+    """Residual EasyList hits of a Ghostery-Paranoia crawl vs coverage.
+
+    Returns (coverage, EL hits in the crawl's classified traffic).
+    At coverage 1.0 the residual collapses towards AdBP-Pa's level;
+    at low coverage Ghostery barely dents the ad traffic.
+    """
+    from repro.browser.crawler import Crawler
+    from repro.browser.ghostery import GhosteryDatabase
+    from repro.browser.profiles import profile_by_name
+
+    pipeline = AdClassificationPipeline(lists)
+    results = []
+    for coverage in coverages:
+        crawler = Crawler(
+            ecosystem, lists, seed=4, profiles=(profile_by_name("Ghostery-Pa"),)
+        )
+        crawler._ghostery = GhosteryDatabase.from_ecosystem(
+            ecosystem, ad_coverage=coverage, tracker_coverage=coverage
+        )
+        crawl = crawler.crawl(n_sites=n_sites)
+        entries = pipeline.process(crawl["Ghostery-Pa"].records.http)
+        hits = sum(
+            1 for entry in entries
+            if (entry.blacklist_name or "").startswith("easylist")
+        )
+        results.append((coverage, hits))
+    return results

@@ -1,0 +1,166 @@
+"""§7.3 analyses: the non-intrusive-ads whitelist in the wild."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import ClassifiedRequest
+from repro.filterlist.lists import ACCEPTABLE_ADS, EASYPRIVACY
+from repro.http.url import hostname_of
+from repro.web.ecosystem import Ecosystem
+
+__all__ = [
+    "WhitelistSummary",
+    "whitelist_summary",
+    "DomainWhitelistRow",
+    "publisher_whitelist_table",
+    "adtech_whitelist_table",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WhitelistSummary:
+    """§7.3's headline ratios."""
+
+    ad_requests: int
+    whitelisted: int
+    whitelisted_and_blacklisted: int
+    whitelisted_blacklist_ep: int  # would-be-blocked by EasyPrivacy
+    easylist_aa_ads: int  # ads ignoring EasyPrivacy hits
+
+    @property
+    def whitelisted_share_of_ads(self) -> float:
+        """Paper: 9.2% of ad requests match the whitelist."""
+        return self.whitelisted / self.ad_requests if self.ad_requests else 0.0
+
+    @property
+    def whitelisted_share_of_easylist_aa(self) -> float:
+        """Paper: 15.3% when restricted to EasyList + acceptable ads."""
+        if not self.easylist_aa_ads:
+            return 0.0
+        return self.whitelisted / self.easylist_aa_ads
+
+    @property
+    def blacklisted_share_of_whitelisted(self) -> float:
+        """Paper: only 57.3% of whitelisted requests would otherwise be
+        blocked (the rest match overly general rules)."""
+        return self.whitelisted_and_blacklisted / self.whitelisted if self.whitelisted else 0.0
+
+    @property
+    def easyprivacy_share_of_blacklisted_whitelisted(self) -> float:
+        """Paper: 23.2% of those would be filtered by EasyPrivacy."""
+        if not self.whitelisted_and_blacklisted:
+            return 0.0
+        return self.whitelisted_blacklist_ep / self.whitelisted_and_blacklisted
+
+
+def whitelist_summary(entries: list[ClassifiedRequest]) -> WhitelistSummary:
+    ad_requests = whitelisted = both = both_ep = easylist_aa = 0
+    for entry in entries:
+        classification = entry.classification
+        if not classification.is_ad:
+            continue
+        ad_requests += 1
+        blacklist = classification.blacklist_name or ""
+        is_whitelisted = classification.whitelist_name == ACCEPTABLE_ADS
+        if is_whitelisted or blacklist != EASYPRIVACY:
+            easylist_aa += 1
+        if is_whitelisted:
+            whitelisted += 1
+            if classification.is_blacklisted:
+                both += 1
+                if EASYPRIVACY in classification.blacklist_lists:
+                    both_ep += 1
+    return WhitelistSummary(
+        ad_requests=ad_requests,
+        whitelisted=whitelisted,
+        whitelisted_and_blacklisted=both,
+        whitelisted_blacklist_ep=both_ep,
+        easylist_aa_ads=easylist_aa,
+    )
+
+
+@dataclass(slots=True)
+class DomainWhitelistRow:
+    """Per-domain blacklist/whitelist counts (§7.3 publishers/ad-tech)."""
+
+    domain: str
+    category: str
+    blacklisted: int = 0
+    whitelisted: int = 0
+
+    @property
+    def whitelist_share(self) -> float:
+        return self.whitelisted / self.blacklisted if self.blacklisted else 0.0
+
+
+def publisher_whitelist_table(
+    entries: list[ClassifiedRequest],
+    *,
+    min_blacklisted: int = 1000,
+    ecosystem: Ecosystem | None = None,
+) -> list[DomainWhitelistRow]:
+    """Publishers (page FQDNs) ranked by blacklisted requests, with the
+    share rescued by the whitelist.  Only whitelisted requests that
+    match the blacklist count (the paper's footnote on list accuracy).
+    """
+    blacklisted: dict[str, int] = defaultdict(int)
+    whitelisted: dict[str, int] = defaultdict(int)
+    for entry in entries:
+        classification = entry.classification
+        if not classification.is_blacklisted:
+            continue
+        page_host = hostname_of(entry.page_url)
+        blacklisted[page_host] += 1
+        if classification.whitelist_name == ACCEPTABLE_ADS:
+            whitelisted[page_host] += 1
+
+    rows = []
+    for domain, count in blacklisted.items():
+        if count < min_blacklisted:
+            continue
+        category = ""
+        if ecosystem is not None:
+            publisher = ecosystem.publisher_by_domain(domain)
+            if publisher is not None:
+                category = publisher.category.value
+        rows.append(
+            DomainWhitelistRow(
+                domain=domain,
+                category=category,
+                blacklisted=count,
+                whitelisted=whitelisted.get(domain, 0),
+            )
+        )
+    rows.sort(key=lambda row: row.blacklisted, reverse=True)
+    return rows
+
+
+def adtech_whitelist_table(
+    entries: list[ClassifiedRequest], *, min_blacklisted: int = 10_000
+) -> list[DomainWhitelistRow]:
+    """Ad-tech serving FQDNs ranked by blacklisted requests (§7.3)."""
+    blacklisted: dict[str, int] = defaultdict(int)
+    whitelisted: dict[str, int] = defaultdict(int)
+    for entry in entries:
+        classification = entry.classification
+        if not classification.is_blacklisted:
+            continue
+        host = entry.record.host
+        blacklisted[host] += 1
+        if classification.whitelist_name == ACCEPTABLE_ADS:
+            whitelisted[host] += 1
+
+    rows = [
+        DomainWhitelistRow(
+            domain=domain,
+            category="ad-tech",
+            blacklisted=count,
+            whitelisted=whitelisted.get(domain, 0),
+        )
+        for domain, count in blacklisted.items()
+        if count >= min_blacklisted
+    ]
+    rows.sort(key=lambda row: row.blacklisted, reverse=True)
+    return rows

@@ -1,0 +1,25 @@
+"""Instrumented browser emulation substrate (active measurements, §4)."""
+
+from repro.browser.crawler import Crawler, CrawlResult
+from repro.browser.emulator import (
+    ABP_UPDATE_HOSTS,
+    BrowserEmulator,
+    BrowserVisit,
+    EmulatedRequest,
+)
+from repro.browser.ghostery import GhosteryCategory, GhosteryDatabase
+from repro.browser.profiles import STANDARD_PROFILES, BrowserProfile, profile_by_name
+
+__all__ = [
+    "Crawler",
+    "CrawlResult",
+    "ABP_UPDATE_HOSTS",
+    "BrowserEmulator",
+    "BrowserVisit",
+    "EmulatedRequest",
+    "GhosteryCategory",
+    "GhosteryDatabase",
+    "STANDARD_PROFILES",
+    "BrowserProfile",
+    "profile_by_name",
+]

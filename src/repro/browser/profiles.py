@@ -1,0 +1,76 @@
+"""Browser configuration profiles of the active measurement study (§4.1).
+
+Seven profiles, exactly the paper's matrix:
+
+* ``Vanilla`` — no extension.
+* ``AdBP-Ads`` — Adblock Plus with EasyList + the acceptable-ads
+  whitelist (the out-of-the-box install).
+* ``AdBP-Privacy`` — Adblock Plus with EasyPrivacy only.
+* ``AdBP-Paranoia`` — Adblock Plus with EasyList + EasyPrivacy.
+* ``Ghostery-Ads`` / ``Ghostery-Privacy`` / ``Ghostery-Paranoia`` —
+  Ghostery blocking the Advertisements / Privacy / all categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.ghostery import GhosteryCategory
+from repro.filterlist.lists import ACCEPTABLE_ADS, EASYLIST, EASYPRIVACY
+
+__all__ = ["BrowserProfile", "STANDARD_PROFILES", "profile_by_name"]
+
+
+@dataclass(frozen=True, slots=True)
+class BrowserProfile:
+    """One browser configuration the emulator can run.
+
+    Attributes:
+        name: paper's profile name (Table 1 rows).
+        abp_lists: Adblock Plus subscriptions; empty means ABP absent.
+        ghostery_categories: Ghostery blocking categories; empty means
+            Ghostery absent.
+    """
+
+    name: str
+    abp_lists: tuple[str, ...] = ()
+    ghostery_categories: tuple[GhosteryCategory, ...] = ()
+
+    @property
+    def has_adblocker(self) -> bool:
+        return bool(self.abp_lists) or bool(self.ghostery_categories)
+
+    @property
+    def has_abp(self) -> bool:
+        return bool(self.abp_lists)
+
+
+STANDARD_PROFILES: tuple[BrowserProfile, ...] = (
+    BrowserProfile("Vanilla"),
+    BrowserProfile("AdBP-Ad", abp_lists=(EASYLIST, ACCEPTABLE_ADS)),
+    BrowserProfile("AdBP-Pr", abp_lists=(EASYPRIVACY,)),
+    BrowserProfile("AdBP-Pa", abp_lists=(EASYLIST, EASYPRIVACY)),
+    BrowserProfile(
+        "Ghostery-Ad", ghostery_categories=(GhosteryCategory.ADVERTISING,)
+    ),
+    BrowserProfile(
+        "Ghostery-Pr",
+        ghostery_categories=(GhosteryCategory.ANALYTICS, GhosteryCategory.BEACONS),
+    ),
+    BrowserProfile(
+        "Ghostery-Pa",
+        ghostery_categories=(
+            GhosteryCategory.ADVERTISING,
+            GhosteryCategory.ANALYTICS,
+            GhosteryCategory.BEACONS,
+            GhosteryCategory.WIDGETS,
+        ),
+    ),
+)
+
+
+def profile_by_name(name: str) -> BrowserProfile:
+    for profile in STANDARD_PROFILES:
+        if profile.name == name:
+            return profile
+    raise KeyError(f"unknown browser profile: {name!r}")

@@ -1,0 +1,306 @@
+"""Command-line interface.
+
+Composable subcommands over on-disk TSV logs, mirroring how the
+paper's pipeline was operated (Bro logs staged to disk, classification
+and analyses run offline):
+
+* ``repro ecosystem`` — inspect the synthetic web and its filter lists.
+* ``repro trace`` — generate an RBN capture to TSV (HTTP log + TLS log).
+* ``repro classify`` — run the Fig 1 pipeline over a stored HTTP log.
+* ``repro usage`` — the §6 ad-blocker usage study over stored logs.
+* ``repro crawl`` — the §4 active measurement (Table 1).
+* ``repro report`` — §7 traffic characterization over a stored log.
+
+All commands that need the ecosystem/lists rebuild them
+deterministically from ``--publishers/--eco-seed``, so separate
+invocations compose as long as those flags agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence, TextIO
+
+from repro.analysis.report import render_table
+from repro.core import AdClassificationPipeline
+from repro.filterlist import build_lists
+from repro.filterlist.stats import compare_lists
+from repro.http.log import read_log, write_log
+from repro.trace import (
+    RBNTraceGenerator,
+    TlsConnectionRecord,
+    abp_server_ips,
+    easylist_download_clients,
+    rbn1_config,
+    rbn2_config,
+)
+from repro.web import Ecosystem, EcosystemConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _ecosystem_from(args: argparse.Namespace) -> Ecosystem:
+    return Ecosystem.generate(
+        EcosystemConfig(n_publishers=args.publishers, seed=args.eco_seed)
+    )
+
+
+def _add_ecosystem_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--publishers", type=int, default=300,
+                        help="number of synthetic publishers (default 300)")
+    parser.add_argument("--eco-seed", type=int, default=20151028,
+                        help="ecosystem generation seed")
+
+
+def _write_tls(records: list[TlsConnectionRecord], stream: TextIO) -> None:
+    stream.write("#ts\tclient\tserver\tserver_port\n")
+    for record in records:
+        stream.write(f"{record.ts}\t{record.client}\t{record.server}\t{record.server_port}\n")
+
+
+def _read_tls(stream: TextIO) -> list[TlsConnectionRecord]:
+    records = []
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        ts, client, server, port = line.split("\t")
+        records.append(
+            TlsConnectionRecord(ts=float(ts), client=client, server=server,
+                                server_port=int(port))
+        )
+    return records
+
+
+# ---------------------------------------------------------------------------
+
+
+def _cmd_ecosystem(args: argparse.Namespace) -> int:
+    ecosystem = _ecosystem_from(args)
+    lists = build_lists(ecosystem.list_spec())
+    print(f"publishers:  {len(ecosystem.publishers)}")
+    print(f"ad networks: {len(ecosystem.ad_networks)} "
+          f"({sum(1 for n in ecosystem.ad_networks if n.acceptable_ads)} in acceptable-ads)")
+    print(f"trackers:    {len(ecosystem.trackers)}")
+    print(f"ASes:        {len(ecosystem.asdb.all())}")
+    print()
+    print(render_table(compare_lists(lists), title="synthetic filter lists"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    ecosystem = _ecosystem_from(args)
+    preset = rbn1_config if args.preset == "rbn1" else rbn2_config
+    config = preset(scale=args.scale)
+    generator = RBNTraceGenerator(config, ecosystem=ecosystem)
+    trace = generator.generate()
+    with open(args.out, "w") as stream:
+        count = write_log(trace.http, stream)
+    print(f"wrote {count} HTTP records to {args.out}")
+    if args.tls_out:
+        with open(args.tls_out, "w") as stream:
+            _write_tls(trace.tls, stream)
+        print(f"wrote {len(trace.tls)} TLS records to {args.tls_out}")
+    print(f"({generator.subscribers} subscribers, "
+          f"{config.duration_s / 3600:.1f} h window)")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    ecosystem = _ecosystem_from(args)
+    lists = build_lists(ecosystem.list_spec())
+    pipeline = AdClassificationPipeline(lists)
+    with open(args.trace) as stream:
+        records = list(read_log(stream))
+    entries = pipeline.process(records)
+
+    ads = sum(1 for entry in entries if entry.is_ad)
+    whitelisted = sum(1 for entry in entries if entry.is_whitelisted)
+    print(f"{len(entries)} requests classified")
+    print(f"ad-related: {ads} ({ads / max(1, len(entries)):.1%})")
+    print(f"whitelisted: {whitelisted} ({whitelisted / max(1, ads):.1%} of ads)")
+
+    if args.out:
+        with open(args.out, "w") as stream:
+            stream.write("#ts\tclient\turl\tpage\tis_ad\tblacklist\twhitelisted\n")
+            for entry in entries:
+                stream.write(
+                    "\t".join(
+                        [
+                            str(entry.record.ts),
+                            entry.record.client,
+                            entry.record.url,
+                            entry.page_url,
+                            "1" if entry.is_ad else "0",
+                            entry.blacklist_name or "-",
+                            "1" if entry.is_whitelisted else "0",
+                        ]
+                    )
+                    + "\n"
+                )
+        print(f"wrote classification to {args.out}")
+    return 0
+
+
+def _cmd_usage(args: argparse.Namespace) -> int:
+    from repro.core import (
+        aggregate_users,
+        annotate_browsers,
+        classify_usage,
+        heavy_hitters,
+        usage_breakdown,
+    )
+
+    ecosystem = _ecosystem_from(args)
+    lists = build_lists(ecosystem.list_spec())
+    pipeline = AdClassificationPipeline(lists)
+    with open(args.trace) as stream:
+        records = list(read_log(stream))
+    entries = pipeline.process(records)
+
+    with open(args.tls) as stream:
+        tls_records = _read_tls(stream)
+    downloads = easylist_download_clients(tls_records, abp_server_ips(ecosystem))
+
+    stats = aggregate_users(entries)
+    annotation = annotate_browsers(heavy_hitters(stats, min_requests=args.min_requests))
+    usages = classify_usage(
+        list(annotation.browsers.values()), downloads, threshold=args.threshold
+    )
+    total_ads = sum(1 for entry in entries if entry.is_ad)
+    rows = [
+        {
+            "Type": row.usage_type,
+            "Instances": row.instances,
+            "share": f"{100 * row.instance_share:.1f}%",
+            "% requests": f"{100 * row.request_share:.1f}%",
+            "% ad reqs": f"{100 * row.ad_request_share:.1f}%",
+        }
+        for row in usage_breakdown(usages, total_requests=len(entries), total_ads=total_ads)
+    ]
+    print(render_table(rows, title="ad-blocker usage classes (paper Table 3)"))
+    likely = sum(1 for usage in usages if usage.likely_adblock)
+    print(f"likely Adblock Plus users: {likely}/{len(usages)} active browsers")
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    from repro.browser.crawler import Crawler
+    from repro.filterlist.lists import EASYLIST, EASYPRIVACY
+
+    ecosystem = _ecosystem_from(args)
+    lists = build_lists(ecosystem.list_spec())
+    pipeline = AdClassificationPipeline(lists)
+    crawler = Crawler(ecosystem, lists, seed=args.seed)
+    results = crawler.crawl(n_sites=args.sites)
+
+    rows = []
+    for name, result in results.items():
+        entries = pipeline.process(result.records.http)
+        rows.append(
+            {
+                "Browser Mode": name,
+                "#HTTPS": result.https_connections,
+                "#HTTP": result.http_requests,
+                "#ELhits": sum(
+                    1 for e in entries
+                    if (e.blacklist_name or "").startswith(EASYLIST)
+                    or (e.is_whitelisted and not e.classification.is_blacklisted)
+                ),
+                "#EPhits": sum(1 for e in entries if e.blacklist_name == EASYPRIVACY),
+            }
+        )
+    print(render_table(rows, title=f"active crawl over top-{args.sites} (paper Table 1)"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.traffic import content_type_table, traffic_summary
+
+    ecosystem = _ecosystem_from(args)
+    lists = build_lists(ecosystem.list_spec())
+    pipeline = AdClassificationPipeline(lists)
+    with open(args.trace) as stream:
+        records = list(read_log(stream))
+    entries = pipeline.process(records)
+
+    summary = traffic_summary(entries)
+    print(f"requests: {summary.total_requests}; ad share "
+          f"{summary.ad_request_share:.2%} of requests / "
+          f"{summary.ad_byte_share:.2%} of bytes")
+    print(f"list split: EasyList {summary.easylist_share_of_ads:.1%}, "
+          f"EasyPrivacy {summary.easyprivacy_share_of_ads:.1%}, "
+          f"non-intrusive {summary.non_intrusive_share_of_ads:.1%}\n")
+    rows = [
+        {
+            "Content-type": row.content_type,
+            "Ads Reqs": f"{100 * row.ad_request_share:.1f}%",
+            "Ads Bytes": f"{100 * row.ad_byte_share:.1f}%",
+            "Non-Ads Reqs": f"{100 * row.nonad_request_share:.1f}%",
+            "Non-Ads Bytes": f"{100 * row.nonad_byte_share:.1f}%",
+        }
+        for row in content_type_table(entries)
+    ]
+    print(render_table(rows, title="traffic by Content-Type (paper Table 4)"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Annoyed Users' (IMC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eco = sub.add_parser("ecosystem", help="inspect the synthetic web & filter lists")
+    _add_ecosystem_flags(p_eco)
+    p_eco.set_defaults(func=_cmd_ecosystem)
+
+    p_trace = sub.add_parser("trace", help="generate an RBN capture to TSV")
+    _add_ecosystem_flags(p_trace)
+    p_trace.add_argument("--preset", choices=("rbn1", "rbn2"), default="rbn2")
+    p_trace.add_argument("--scale", type=float, default=0.002)
+    p_trace.add_argument("--out", required=True, help="HTTP log TSV path")
+    p_trace.add_argument("--tls-out", help="TLS connection log TSV path")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_classify = sub.add_parser("classify", help="classify a stored HTTP log")
+    _add_ecosystem_flags(p_classify)
+    p_classify.add_argument("--trace", required=True)
+    p_classify.add_argument("--out", help="write per-request classification TSV")
+    p_classify.set_defaults(func=_cmd_classify)
+
+    p_usage = sub.add_parser("usage", help="ad-blocker usage study over stored logs")
+    _add_ecosystem_flags(p_usage)
+    p_usage.add_argument("--trace", required=True)
+    p_usage.add_argument("--tls", required=True)
+    p_usage.add_argument("--threshold", type=float, default=0.05)
+    p_usage.add_argument("--min-requests", type=int, default=1000)
+    p_usage.set_defaults(func=_cmd_usage)
+
+    p_crawl = sub.add_parser("crawl", help="active measurement study (Table 1)")
+    _add_ecosystem_flags(p_crawl)
+    p_crawl.add_argument("--sites", type=int, default=100)
+    p_crawl.add_argument("--seed", type=int, default=4)
+    p_crawl.set_defaults(func=_cmd_crawl)
+
+    p_report = sub.add_parser("report", help="traffic characterization (Table 4)")
+    _add_ecosystem_flags(p_report)
+    p_report.add_argument("--trace", required=True)
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's primary contribution: passive ad classification and
+ad-blocker usage inference from HTTP header traces."""
+
+from repro.core.adblock_detect import (
+    AD_RATIO_THRESHOLD,
+    UsageType,
+    UserUsage,
+    acceptable_ads_optout_shares,
+    classify_usage,
+    easyprivacy_subscription_shares,
+    usage_breakdown,
+)
+from repro.core.content_type import infer_content_type, mime_class, type_from_extension, type_from_mime
+from repro.core.normalize import ProtectedValues, collect_protected_values, normalize_url
+from repro.core.pipeline import (
+    AdClassificationPipeline,
+    ClassifiedRequest,
+    PipelineConfig,
+    UserKey,
+)
+from repro.core.referrer_map import Attribution, ReferrerMap
+from repro.core.pageviews import attribution_accuracy, page_view_stats
+from repro.core.validation import ConfusionMatrix, grade_classification, grade_detection
+from repro.core.users import (
+    HEAVY_HITTER_THRESHOLD,
+    BrowserAnnotation,
+    UserStats,
+    aggregate_users,
+    annotate_browsers,
+    heavy_hitters,
+)
+
+__all__ = [
+    "attribution_accuracy",
+    "page_view_stats",
+    "ConfusionMatrix",
+    "grade_classification",
+    "grade_detection",
+    "AD_RATIO_THRESHOLD",
+    "UsageType",
+    "UserUsage",
+    "acceptable_ads_optout_shares",
+    "classify_usage",
+    "easyprivacy_subscription_shares",
+    "usage_breakdown",
+    "infer_content_type",
+    "mime_class",
+    "type_from_extension",
+    "type_from_mime",
+    "ProtectedValues",
+    "collect_protected_values",
+    "normalize_url",
+    "AdClassificationPipeline",
+    "ClassifiedRequest",
+    "PipelineConfig",
+    "UserKey",
+    "Attribution",
+    "ReferrerMap",
+    "HEAVY_HITTER_THRESHOLD",
+    "BrowserAnnotation",
+    "UserStats",
+    "aggregate_users",
+    "annotate_browsers",
+    "heavy_hitters",
+]

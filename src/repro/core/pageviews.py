@@ -1,0 +1,97 @@
+"""Page-view reconstruction statistics (StreamStructure/ReSurf check).
+
+The referrer map underpins the whole methodology, so this module
+measures how well it recovers *page structure*: how many page views
+the map reconstructs per user, how many requests attach to each page,
+and — with simulator ground truth — the attribution accuracy (did a
+request land on the page that really triggered it?).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.pipeline import ClassifiedRequest
+from repro.http.url import hostname_of, registrable_domain
+from repro.trace.records import GroundTruth
+
+__all__ = ["PageViewStats", "page_view_stats", "attribution_accuracy"]
+
+
+@dataclass(slots=True)
+class PageViewStats:
+    """Reconstructed browsing structure of a classified trace."""
+
+    n_requests: int = 0
+    n_pages: int = 0  # distinct (user, page_url) attributions
+    n_users: int = 0
+    requests_per_page: dict = field(default_factory=lambda: defaultdict(int))
+
+    @property
+    def mean_requests_per_page(self) -> float:
+        if not self.requests_per_page:
+            return 0.0
+        return self.n_requests / len(self.requests_per_page)
+
+    def page_size_distribution(self) -> list[int]:
+        return sorted(self.requests_per_page.values())
+
+
+def page_view_stats(entries: Sequence[ClassifiedRequest]) -> PageViewStats:
+    """Group requests by their reconstructed page attribution."""
+    stats = PageViewStats(n_requests=len(entries))
+    users = set()
+    for entry in entries:
+        users.add(entry.user)
+        stats.requests_per_page[(entry.user, entry.page_url)] += 1
+    stats.n_pages = len(stats.requests_per_page)
+    stats.n_users = len(users)
+    return stats
+
+
+@dataclass(frozen=True, slots=True)
+class AttributionAccuracy:
+    """How often requests were attached to the right page."""
+
+    exact: float  # attributed page URL == true page URL
+    same_site: float  # at least the registrable domain matches
+    graded: int  # requests with ground truth available
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"exact {self.exact:.1%}, same-site {self.same_site:.1%} "
+            f"over {self.graded} requests"
+        )
+
+
+def attribution_accuracy(
+    entries: Sequence[ClassifiedRequest], truths: Sequence[GroundTruth]
+) -> AttributionAccuracy:
+    """Grade page attribution against generative ground truth.
+
+    Requests without a true page (app traffic) are skipped.  ``exact``
+    is strict URL equality; ``same_site`` accepts any page on the true
+    page's registrable domain — which is all the *matching semantics*
+    ($domain=, third-party) actually need.
+    """
+    exact = same_site = graded = 0
+    for entry, truth in zip(entries, truths):
+        if not truth.page_url:
+            continue
+        graded += 1
+        if entry.page_url == truth.page_url:
+            exact += 1
+            same_site += 1
+            continue
+        attributed = registrable_domain(hostname_of(entry.page_url))
+        true_domain = registrable_domain(hostname_of(truth.page_url))
+        if attributed == true_domain:
+            same_site += 1
+    if graded == 0:
+        return AttributionAccuracy(exact=0.0, same_site=0.0, graded=0)
+    return AttributionAccuracy(
+        exact=exact / graded, same_site=same_site / graded, graded=graded
+    )

@@ -1,0 +1,146 @@
+"""Per-user aggregation and browser annotation (§6, §6.1).
+
+A "user" is the (client IP, User-Agent) pair.  This module aggregates
+classified requests into per-user statistics, annotates User-Agents
+into browser families (the paper's manual labelling step, automated by
+:mod:`repro.http.useragent`), and selects the *active browsers* (heavy
+hitters, >1K requests) the usage study runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.pipeline import ClassifiedRequest, UserKey
+from repro.filterlist.lists import ACCEPTABLE_ADS, EASYLIST, EASYPRIVACY
+from repro.http.useragent import BrowserFamily, UserAgentInfo, parse_user_agent
+
+__all__ = ["UserStats", "aggregate_users", "heavy_hitters", "annotate_browsers"]
+
+HEAVY_HITTER_THRESHOLD = 1000  # requests (§6.1)
+
+
+@dataclass(slots=True)
+class UserStats:
+    """Aggregated request statistics of one (IP, User-Agent) pair."""
+
+    user: UserKey
+    requests: int = 0
+    bytes: int = 0
+    ad_requests: int = 0  # any list hit, incl. whitelist-only (§6 fn 2)
+    easylist_hits: int = 0  # blacklisted by EasyList (or derivatives)
+    easylist_blocked_hits: int = 0  # EasyList hits NOT rescued by a whitelist
+    easyprivacy_hits: int = 0
+    whitelisted: int = 0  # acceptable-ads whitelist hits
+    whitelisted_and_blacklisted: int = 0
+    ad_bytes: int = 0
+    first_ts: float = float("inf")
+    last_ts: float = float("-inf")
+
+    @property
+    def client(self) -> str:
+        return self.user[0]
+
+    @property
+    def user_agent(self) -> str:
+        return self.user[1]
+
+    @property
+    def ad_ratio(self) -> float:
+        """Indicator-1 ratio (§6.2): share of requests that a default
+        Adblock Plus install would have *blocked* — EasyList hits not
+        rescued by the acceptable-ads whitelist.  An ABP user's
+        surviving (whitelisted) ads must not count against them, or
+        every default install would look like a non-blocker."""
+        if self.requests == 0:
+            return 0.0
+        return self.easylist_blocked_hits / self.requests
+
+    @property
+    def total_ad_ratio(self) -> float:
+        """Fraction of requests hitting any list (Fig 3's y-axis)."""
+        if self.requests == 0:
+            return 0.0
+        return self.ad_requests / self.requests
+
+    @property
+    def ua_info(self) -> UserAgentInfo:
+        return parse_user_agent(self.user_agent)
+
+    def add(self, entry: ClassifiedRequest) -> None:
+        self.requests += 1
+        self.bytes += entry.bytes
+        self.first_ts = min(self.first_ts, entry.record.ts)
+        self.last_ts = max(self.last_ts, entry.record.ts)
+        classification = entry.classification
+        if not classification.is_ad:
+            return
+        self.ad_requests += 1
+        self.ad_bytes += entry.bytes
+        blacklist = classification.blacklist_name
+        if blacklist is not None and blacklist.startswith(EASYLIST):
+            self.easylist_hits += 1
+            if not classification.is_whitelisted:
+                self.easylist_blocked_hits += 1
+        elif blacklist == EASYPRIVACY:
+            self.easyprivacy_hits += 1
+        if classification.whitelist_name == ACCEPTABLE_ADS:
+            self.whitelisted += 1
+            if classification.is_blacklisted:
+                self.whitelisted_and_blacklisted += 1
+
+
+def aggregate_users(entries: Iterable[ClassifiedRequest]) -> dict[UserKey, UserStats]:
+    """Fold classified requests into per-user statistics."""
+    stats: dict[UserKey, UserStats] = {}
+    for entry in entries:
+        user_stats = stats.get(entry.user)
+        if user_stats is None:
+            user_stats = UserStats(user=entry.user)
+            stats[entry.user] = user_stats
+        user_stats.add(entry)
+    return stats
+
+
+def heavy_hitters(
+    stats: dict[UserKey, UserStats], *, min_requests: int = HEAVY_HITTER_THRESHOLD
+) -> dict[UserKey, UserStats]:
+    """The paper's *active users*: pairs above the request threshold."""
+    return {user: s for user, s in stats.items() if s.requests > min_requests}
+
+
+@dataclass(slots=True)
+class BrowserAnnotation:
+    """§6.1's annotated browser population, split by family."""
+
+    desktop: dict[UserKey, UserStats] = field(default_factory=dict)
+    mobile: dict[UserKey, UserStats] = field(default_factory=dict)
+    discarded: dict[UserKey, UserStats] = field(default_factory=dict)
+
+    @property
+    def browsers(self) -> dict[UserKey, UserStats]:
+        merged = dict(self.desktop)
+        merged.update(self.mobile)
+        return merged
+
+    def by_family(self) -> dict[BrowserFamily, list[UserStats]]:
+        result: dict[BrowserFamily, list[UserStats]] = {}
+        for user_stats in self.browsers.values():
+            result.setdefault(user_stats.ua_info.family, []).append(user_stats)
+        return result
+
+
+def annotate_browsers(stats: dict[UserKey, UserStats]) -> BrowserAnnotation:
+    """Split users into desktop browsers, mobile browsers, and
+    non-browser pairs (consoles, TVs, updaters, apps) that §6.1 drops."""
+    annotation = BrowserAnnotation()
+    for user, user_stats in stats.items():
+        info = user_stats.ua_info
+        if info.is_mobile_browser:
+            annotation.mobile[user] = user_stats
+        elif info.is_desktop_browser:
+            annotation.desktop[user] = user_stats
+        else:
+            annotation.discarded[user] = user_stats
+    return annotation

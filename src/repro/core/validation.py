@@ -1,0 +1,120 @@
+"""Validation utilities: grading the passive methodology.
+
+The simulator carries generative ground truth per request
+(:class:`repro.trace.records.GroundTruth`), so — unlike the original
+study — every classification run can be graded.  This module holds the
+confusion-matrix plumbing used by tests, benches and the sensitivity
+analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.pipeline import ClassifiedRequest
+from repro.trace.records import GroundTruth
+
+__all__ = ["ConfusionMatrix", "grade_classification", "grade_detection"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfusionMatrix:
+    """Binary confusion matrix with the usual derived metrics."""
+
+    true_positive: int = 0
+    false_positive: int = 0
+    false_negative: int = 0
+    true_negative: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive + self.false_positive
+            + self.false_negative + self.true_negative
+        )
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positive + self.true_negative) / self.total if self.total else 0.0
+
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return ConfusionMatrix(
+            self.true_positive + other.true_positive,
+            self.false_positive + other.false_positive,
+            self.false_negative + other.false_negative,
+            self.true_negative + other.true_negative,
+        )
+
+
+def grade_classification(
+    entries: Sequence[ClassifiedRequest],
+    truths: Sequence[GroundTruth],
+    *,
+    blacklist_only: bool = True,
+) -> ConfusionMatrix:
+    """Grade per-request ad classification against ground truth.
+
+    ``blacklist_only`` (default) compares blacklist hits against
+    ad/tracker intent — whitelist-only hits are the acceptable-ads
+    list's deliberate behaviour (§7.3's gstatic anomaly), not errors.
+    """
+    tp = fp = fn = tn = 0
+    for entry, truth in zip(entries, truths):
+        truth_ad = truth.intent in ("ad", "tracker")
+        if blacklist_only:
+            predicted = entry.classification.is_blacklisted
+        else:
+            predicted = entry.is_ad
+        if predicted and truth_ad:
+            tp += 1
+        elif predicted:
+            fp += 1
+        elif truth_ad:
+            fn += 1
+        else:
+            tn += 1
+    return ConfusionMatrix(tp, fp, fn, tn)
+
+
+def grade_detection(
+    usages: Iterable,
+    device_profiles: dict,
+) -> ConfusionMatrix:
+    """Grade per-user ad-blocker detection (class C vs ABP installed).
+
+    Args:
+        usages: :class:`~repro.core.adblock_detect.UserUsage` items.
+        device_profiles: ``(client, user_agent) ->``
+            :class:`~repro.browser.profiles.BrowserProfile` mapping
+            built from the generator's households.
+    """
+    tp = fp = fn = tn = 0
+    for usage in usages:
+        profile = device_profiles.get(usage.stats.user)
+        has_abp = bool(profile is not None and profile.has_abp)
+        if usage.likely_adblock and has_abp:
+            tp += 1
+        elif usage.likely_adblock:
+            fp += 1
+        elif has_abp:
+            fn += 1
+        else:
+            tn += 1
+    return ConfusionMatrix(tp, fp, fn, tn)

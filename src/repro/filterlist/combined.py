@@ -1,0 +1,105 @@
+"""Combined-regex matcher: an alternative engine backend.
+
+Early ad-blockers (and some HTTP proxies) compiled all patterns into
+one giant alternation regex instead of keyword-indexing individual
+filters.  This backend implements that design for comparison:
+
+* **pre-filter**: one combined regex per filter list answers "does ANY
+  pattern of this list occur in the URL?" in a single scan;
+* filters with context options (types, ``$domain=``, third-party)
+  still need individual confirmation, so the combined pass is used as
+  a *negative* filter — URLs that cannot match anything are rejected
+  in one regex execution, which is the common case.
+
+Semantics are identical to :class:`~repro.filterlist.engine.FilterEngine`
+(property-tested); the trade-off is build time and per-hit cost versus
+the keyword index.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.filterlist.engine import Classification, FilterEngine, MatchResult, RequestContext
+from repro.filterlist.filter import Filter
+
+__all__ = ["CombinedRegexEngine"]
+
+
+def _pattern_regex_source(filter_: Filter) -> str:
+    """The already-compiled single-filter regex, as a source fragment."""
+    return f"(?:{filter_.regex.pattern})"
+
+
+class CombinedRegexEngine:
+    """Drop-in matcher using combined-alternation pre-filtering.
+
+    Wraps a linear-scan :class:`FilterEngine` for the confirmation
+    step; the combined regexes reject non-matching URLs first.
+    """
+
+    def __init__(self) -> None:
+        self._inner = FilterEngine(use_keyword_index=False)
+        self._blocking_sources: list[str] = []
+        self._exception_sources: list[str] = []
+        self._blocking_combined: re.Pattern[str] | None = None
+        self._exception_combined: re.Pattern[str] | None = None
+
+    def add_filters(self, filters, list_name: str | None = None) -> None:
+        materialized = list(filters)
+        self._inner.add_filters(materialized, list_name=list_name)
+        for filter_ in materialized:
+            source = _pattern_regex_source(filter_)
+            if filter_.is_exception:
+                self._exception_sources.append(source)
+            else:
+                self._blocking_sources.append(source)
+        self._blocking_combined = None  # rebuild lazily
+        self._exception_combined = None
+
+    def _combined(self, sources: list[str]) -> re.Pattern[str] | None:
+        if not sources:
+            return None
+        return re.compile("|".join(sources), re.IGNORECASE)
+
+    @property
+    def filter_count(self) -> int:
+        return self._inner.filter_count
+
+    def _ensure_built(self) -> None:
+        if self._blocking_combined is None and self._blocking_sources:
+            self._blocking_combined = self._combined(self._blocking_sources)
+        if self._exception_combined is None and self._exception_sources:
+            self._exception_combined = self._combined(self._exception_sources)
+
+    def match(self, url: str, context: RequestContext) -> MatchResult:
+        self._ensure_built()
+        if (
+            self._blocking_combined is not None
+            and self._blocking_combined.search(url) is None
+        ):
+            # Nothing can block this URL; exceptions alone never block,
+            # and $document page whitelisting needs no blocking hit —
+            # delegate those rare cases.
+            if self._exception_combined is None or (
+                self._exception_combined.search(context.page_url) is None
+            ):
+                return MatchResult(decision="none")
+        return self._inner.match(url, context)
+
+    def classify(self, url: str, context: RequestContext) -> Classification:
+        self._ensure_built()
+        blocking_possible = (
+            self._blocking_combined is not None
+            and self._blocking_combined.search(url) is not None
+        )
+        exception_possible = self._exception_combined is not None and (
+            self._exception_combined.search(url) is not None
+            or self._exception_combined.search(context.page_url) is not None
+        )
+        if not blocking_possible and not exception_possible:
+            return Classification(blacklist_filter=None, whitelist_filter=None)
+        return self._inner.classify(url, context)
+
+    def should_block(self, url: str, context: RequestContext) -> bool:
+        return self.match(url, context).is_blocked

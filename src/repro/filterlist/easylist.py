@@ -1,0 +1,201 @@
+"""Synthetic EasyList / EasyPrivacy / acceptable-ads generators.
+
+The real lists are large, constantly changing and fetched from the
+network; the reproduction instead *synthesizes* lists that target the
+synthetic web ecosystem while mirroring the structural make-up of the
+real ones:
+
+* ``||addomain^`` domain-anchor blocking rules for ad-tech hosts,
+* generic path/query patterns (``/adserver/``, ``&banner_id=`` ...)
+  with content-type and ``third-party`` options,
+* ``$domain=`` scoped rules and per-publisher exceptions,
+* element-hiding rules for in-HTML text ads,
+* an acceptable-ads whitelist made of ``@@`` exceptions — including
+  the paper's observed anomaly of overly general ``$document`` rules
+  that whitelist an entire infrastructure domain (§7.3's
+  ``gstatic.com`` example),
+* EasyPrivacy rules for tracker beacons.
+
+All generators are deterministic given the spec, so traces and lists
+always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.filterlist.filter import Filter
+from repro.filterlist.lists import (
+    ACCEPTABLE_ADS,
+    DEFAULT_EXPIRES,
+    EASYLIST,
+    EASYPRIVACY,
+    FilterList,
+)
+from repro.filterlist.parser import parse_list_text
+
+__all__ = [
+    "ListSynthesisSpec",
+    "GENERIC_AD_PATTERNS",
+    "GENERIC_TRACKER_PATTERNS",
+    "synthesize_easylist",
+    "synthesize_easyprivacy",
+    "synthesize_acceptable_ads",
+    "synthesize_language_derivative",
+    "build_lists",
+]
+
+# Generic pattern rules in the style real lists use.  These are written
+# for this reproduction and match the synthetic ecosystem's URL shapes.
+GENERIC_AD_PATTERNS: tuple[str, ...] = (
+    "/adserver/*",
+    "/adsales/*",
+    "/adbanner.",
+    "/adframe.$subdocument",
+    "/banners/*$image",
+    "/popunder.$script",
+    "&ad_slot=",
+    "&banner_id=",
+    "?advert=",
+    "/ad/creative/*",
+    "-ad-300x250.",
+    "-ad-728x90.",
+    "/video-ads/*$media",
+    "/sponsored/*$third-party",
+    "||*/adtag/*$script,third-party",
+)
+
+GENERIC_TRACKER_PATTERNS: tuple[str, ...] = (
+    "/pixel.gif?",
+    "/beacon.gif?",
+    "/collect?*&uid=",
+    "/track.js$script",
+    "/analytics.js$script,third-party",
+    "/stats/event?",
+    "&visitor_id=",
+    "/__utm.gif?",
+)
+
+
+@dataclass(slots=True)
+class ListSynthesisSpec:
+    """Everything the generators need to know about the ecosystem.
+
+    Built by :func:`repro.web.ecosystem.Ecosystem.list_spec`, but kept
+    as plain data so the filter package stays independent of the web
+    package.
+    """
+
+    ad_network_domains: list[str] = field(default_factory=list)
+    tracker_domains: list[str] = field(default_factory=list)
+    # Ad networks participating in the acceptable-ads programme.
+    acceptable_ad_domains: list[str] = field(default_factory=list)
+    # Infrastructure domains whitelisted with overly general rules
+    # (the paper's gstatic.com anomaly).
+    overly_general_whitelist_domains: list[str] = field(default_factory=list)
+    # Publisher domains hosting first-party ad paths, matched by
+    # $domain= scoped generic rules.
+    self_hosting_publisher_domains: list[str] = field(default_factory=list)
+    # Publisher domains with in-HTML text ads -> element hiding rules.
+    text_ad_publisher_domains: list[str] = field(default_factory=list)
+    # Non-English publisher domains for the language derivative list.
+    foreign_publisher_domains: list[str] = field(default_factory=list)
+    version: str = "201508110000"
+
+
+def _header(title: str, version: str, expires_days: int) -> list[str]:
+    return [
+        "[Adblock Plus 2.0]",
+        f"! Title: {title}",
+        f"! Version: {version}",
+        f"! Expires: {expires_days} days",
+        "! Licence: synthetic reproduction list",
+    ]
+
+
+def synthesize_easylist(spec: ListSynthesisSpec) -> FilterList:
+    """Build the synthetic EasyList (blocks ads on "English" sites)."""
+    lines = _header("EasyList (synthetic)", spec.version, 4)
+
+    for domain in sorted(spec.ad_network_domains):
+        lines.append(f"||{domain}^$third-party")
+        # A second, asset-scoped rule as real lists often carry.
+        lines.append(f"||{domain}/creative/*$image,media")
+
+    lines.extend(GENERIC_AD_PATTERNS)
+
+    for domain in sorted(spec.self_hosting_publisher_domains):
+        lines.append(f"/ads/serve/*$domain={domain}")
+
+    # Exceptions that keep functional resources loadable: real lists
+    # whitelist e.g. ad-network-hosted players used for main content.
+    for domain in sorted(spec.ad_network_domains)[:3]:
+        lines.append(f"@@||{domain}/player/core.js$script")
+
+    for domain in sorted(spec.text_ad_publisher_domains):
+        lines.append(f"{domain}##.textad")
+        lines.append(f'{domain}###sponsored-links')
+    lines.append("##.banner-ad-row")
+
+    text = "\n".join(lines) + "\n"
+    return FilterList.from_text(text, EASYLIST)
+
+
+def synthesize_easyprivacy(spec: ListSynthesisSpec) -> FilterList:
+    """Build the synthetic EasyPrivacy (blocks trackers)."""
+    lines = _header("EasyPrivacy (synthetic)", spec.version, 1)
+    for domain in sorted(spec.tracker_domains):
+        lines.append(f"||{domain}^$third-party")
+    lines.extend(GENERIC_TRACKER_PATTERNS)
+    text = "\n".join(lines) + "\n"
+    return FilterList.from_text(text, EASYPRIVACY)
+
+
+def synthesize_acceptable_ads(spec: ListSynthesisSpec) -> FilterList:
+    """Build the synthetic non-intrusive-ads whitelist.
+
+    Exception-only list.  Participating networks get targeted ``@@``
+    rules for their text/static ad paths; infrastructure domains get
+    the overly general ``$document`` rules the paper flags (§7.3).
+    """
+    lines = _header("Allow non-intrusive advertising (synthetic)", spec.version, 4)
+    for domain in sorted(spec.acceptable_ad_domains):
+        lines.append(f"@@||{domain}/textad/$third-party")
+        lines.append(f"@@||{domain}/static/*$image,script")
+    for domain in sorted(spec.overly_general_whitelist_domains):
+        lines.append(f"@@||{domain}^$document")
+    text = "\n".join(lines) + "\n"
+    return FilterList.from_text(text, ACCEPTABLE_ADS)
+
+
+def synthesize_language_derivative(spec: ListSynthesisSpec, language: str = "de") -> FilterList:
+    """An EasyList language customization (e.g. EasyList Germany)."""
+    name = f"easylist_{language}"
+    lines = _header(f"EasyList {language.upper()} (synthetic)", spec.version, 4)
+    for domain in sorted(spec.foreign_publisher_domains):
+        lines.append(f"/werbung/*$domain={domain}")
+        lines.append(f"||anzeigen.{domain}^")
+    text = "\n".join(lines) + "\n"
+    parsed = FilterList.from_text(text, name)
+    return parsed
+
+
+def build_lists(spec: ListSynthesisSpec, *, language_derivative: bool = False) -> dict[str, FilterList]:
+    """Build the standard list bundle keyed by canonical name."""
+    lists = {
+        EASYLIST: synthesize_easylist(spec),
+        EASYPRIVACY: synthesize_easyprivacy(spec),
+        ACCEPTABLE_ADS: synthesize_acceptable_ads(spec),
+    }
+    if language_derivative:
+        derived = synthesize_language_derivative(spec)
+        lists[derived.name] = derived
+    for name, lst in lists.items():
+        lst.expires_seconds = DEFAULT_EXPIRES.get(name, lst.expires_seconds)
+    return lists
+
+
+def filters_from_lines(lines: list[str], list_name: str) -> list[Filter]:
+    """Parse raw filter lines into attributed filters (test helper)."""
+    parsed = parse_list_text("\n".join(lines), name=list_name)
+    return parsed.filters

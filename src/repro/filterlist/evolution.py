@@ -1,0 +1,116 @@
+"""Filter-list evolution: version drift and stale-list effects.
+
+EasyList changes daily — rules are added for new ad placements and
+removed when sites die or complain (the paper's §1 notes advertisers
+pressuring list maintainers for removal).  The paper classified an
+August trace with lists fetched around capture time; a *stale* list
+misses newer ad URLs and keeps dead rules.
+
+:func:`evolve` produces a derived list version with controlled churn;
+the ablation bench measures how classification recall decays with list
+age — a reproducibility caveat the paper could not quantify.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.filterlist.filter import Filter
+from repro.filterlist.lists import FilterList
+
+__all__ = ["ChurnRates", "evolve", "staleness_series"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnRates:
+    """Per-step churn fractions (one step ~ one list release).
+
+    Defaults approximate EasyList's public commit activity around
+    2015: a few percent of rules touched per week.
+    """
+
+    removed: float = 0.02  # share of rules dropped per step
+    added: float = 0.03  # share of new rules (relative to size) per step
+    rewritten: float = 0.01  # share of rules whose pattern is adjusted
+
+
+def _synthetic_rule(rng: random.Random, index: int) -> str:
+    """A plausible new blocking rule for a not-yet-seen ad placement."""
+    style = rng.randrange(4)
+    token = f"newad{index:04d}"
+    if style == 0:
+        return f"||{token}-serving.com^$third-party"
+    if style == 1:
+        return f"/{token}/banner/*$image"
+    if style == 2:
+        return f"&{token}_id="
+    return f"/{token}.js$script"
+
+
+def evolve(
+    filter_list: FilterList,
+    *,
+    steps: int = 1,
+    rates: ChurnRates | None = None,
+    seed: int = 20150811,
+) -> FilterList:
+    """Produce the list as it would look ``steps`` releases later.
+
+    Deterministic in (list content, steps, seed).  Exception filters
+    are preserved preferentially — whitelist entries are contractual
+    (the acceptable-ads programme) and churn far less.
+    """
+    rates = rates or ChurnRates()
+    rng = random.Random(f"{seed}:{filter_list.name}:{steps}")
+    filters = list(filter_list.filters)
+    added_counter = 0
+
+    for _step in range(steps):
+        blocking = [f for f in filters if not f.is_exception]
+        exceptions = [f for f in filters if f.is_exception]
+
+        n_remove = int(len(blocking) * rates.removed)
+        if n_remove:
+            removed_indices = set(rng.sample(range(len(blocking)), n_remove))
+            blocking = [f for i, f in enumerate(blocking) if i not in removed_indices]
+
+        n_rewrite = int(len(blocking) * rates.rewritten)
+        for _ in range(n_rewrite):
+            index = rng.randrange(len(blocking))
+            original = blocking[index]
+            # Pattern tightening: append a separator anchor.
+            new_text = original.text
+            if not new_text.endswith("^") and "$" not in new_text:
+                new_text += "^"
+            try:
+                blocking[index] = Filter.parse(new_text, list_name=filter_list.name)
+            except ValueError:
+                pass  # keep the original on a bad rewrite
+
+        n_add = int((len(blocking) + len(exceptions)) * rates.added)
+        for _ in range(max(1, n_add)):
+            added_counter += 1
+            blocking.append(
+                Filter.parse(_synthetic_rule(rng, added_counter), list_name=filter_list.name)
+            )
+        filters = blocking + exceptions
+
+    version = f"{filter_list.version}+{steps}"
+    return FilterList(
+        name=filter_list.name,
+        filters=filters,
+        hiding_rules=list(filter_list.hiding_rules),
+        version=version,
+        expires_seconds=filter_list.expires_seconds,
+    )
+
+
+def staleness_series(
+    filter_list: FilterList, *, max_steps: int = 10, seed: int = 20150811
+) -> list[tuple[int, FilterList]]:
+    """The list at ages 0..max_steps (cumulative evolution)."""
+    series = [(0, filter_list)]
+    for steps in range(1, max_steps + 1):
+        series.append((steps, evolve(filter_list, steps=steps, seed=seed)))
+    return series

@@ -1,0 +1,196 @@
+"""Filter ``$option`` model for Adblock-Plus-style filters.
+
+A filter line may end with ``$opt1,opt2,...`` qualifying when the
+pattern applies.  This module models the options the paper's
+classification relies on:
+
+* content-type options (``script``, ``image``, ``stylesheet``,
+  ``object``, ``xmlhttprequest``, ``subdocument``, ``document``,
+  ``media``, ``font``, ``other``, ``popup``) and their ``~`` inverses;
+* ``domain=a.com|~b.com`` restrictions on the *page* domain;
+* ``third-party`` / ``~third-party``;
+* ``match-case``;
+* exception-only modifiers ``document`` and ``elemhide``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntFlag
+
+__all__ = ["ContentType", "FilterOptions", "OptionParseError", "parse_options"]
+
+
+class ContentType(IntFlag):
+    """Request content categories, as Adblock Plus defines them.
+
+    The passive pipeline infers one of these per request (§3.1) and the
+    engine matches it against each filter's type mask.
+    """
+
+    OTHER = 1 << 0
+    SCRIPT = 1 << 1
+    IMAGE = 1 << 2
+    STYLESHEET = 1 << 3
+    OBJECT = 1 << 4
+    SUBDOCUMENT = 1 << 5
+    DOCUMENT = 1 << 6
+    XMLHTTPREQUEST = 1 << 7
+    MEDIA = 1 << 8
+    FONT = 1 << 9
+    POPUP = 1 << 10
+    PING = 1 << 11
+
+    @classmethod
+    def default_mask(cls) -> "ContentType":
+        """Types a filter matches when no type option is given.
+
+        Following ABP semantics, ``document``, ``popup`` and
+        ``elemhide`` never apply implicitly.
+        """
+        mask = cls(0)
+        for member in cls:
+            if member not in (cls.DOCUMENT, cls.POPUP):
+                mask |= member
+        return mask
+
+
+_TYPE_NAMES: dict[str, ContentType] = {
+    "other": ContentType.OTHER,
+    "script": ContentType.SCRIPT,
+    "image": ContentType.IMAGE,
+    "background": ContentType.IMAGE,  # legacy alias
+    "stylesheet": ContentType.STYLESHEET,
+    "object": ContentType.OBJECT,
+    "object-subrequest": ContentType.OBJECT,
+    "subdocument": ContentType.SUBDOCUMENT,
+    "document": ContentType.DOCUMENT,
+    "xmlhttprequest": ContentType.XMLHTTPREQUEST,
+    "media": ContentType.MEDIA,
+    "font": ContentType.FONT,
+    "popup": ContentType.POPUP,
+    "ping": ContentType.PING,
+}
+
+
+class OptionParseError(ValueError):
+    """Raised for unknown or malformed ``$options``."""
+
+
+@dataclass(slots=True)
+class FilterOptions:
+    """Parsed option set of one filter."""
+
+    type_mask: ContentType = field(default_factory=ContentType.default_mask)
+    domains_include: frozenset[str] = frozenset()
+    domains_exclude: frozenset[str] = frozenset()
+    third_party: bool | None = None
+    match_case: bool = False
+    elemhide_exception: bool = False
+    generic_hide: bool = False
+    collapse: bool | None = None
+
+    @property
+    def is_document_exception(self) -> bool:
+        """True when ``$document`` was given (whole-page whitelisting)."""
+        return bool(self.type_mask & ContentType.DOCUMENT)
+
+    def applies_to_domain(self, page_host: str) -> bool:
+        """Check the ``domain=`` restriction against the page host.
+
+        ABP semantics: the most specific listed domain wins; with only
+        inclusions an unlisted host never matches; with only exclusions
+        an unlisted host matches.
+        """
+        if not self.domains_include and not self.domains_exclude:
+            return True
+        page_host = page_host.lower()
+        best_include = _longest_suffix_match(page_host, self.domains_include)
+        best_exclude = _longest_suffix_match(page_host, self.domains_exclude)
+        if best_include is None and best_exclude is None:
+            return not self.domains_include
+        if best_include is None:
+            return False
+        if best_exclude is None:
+            return True
+        return len(best_include) > len(best_exclude)
+
+
+def _longest_suffix_match(host: str, domains: frozenset[str]) -> str | None:
+    best: str | None = None
+    for domain in domains:
+        if host == domain or host.endswith("." + domain):
+            if best is None or len(domain) > len(best):
+                best = domain
+    return best
+
+
+def parse_options(text: str, *, is_exception: bool) -> FilterOptions:
+    """Parse the comma-separated option list of a filter.
+
+    Args:
+        text: everything after the ``$`` separator.
+        is_exception: whether the filter is an ``@@`` exception —
+            required because ``document``/``elemhide`` are only valid
+            there.
+
+    Raises:
+        OptionParseError: for options this engine does not know; real
+            ABP versions do the same, discarding the whole filter, so
+            unknown options must not silently match everything.
+    """
+    include_types = ContentType(0)
+    exclude_types = ContentType(0)
+    options = FilterOptions()
+    domains_include: set[str] = set()
+    domains_exclude: set[str] = set()
+
+    for raw in text.split(","):
+        option = raw.strip()
+        if not option:
+            continue
+        lower = option.lower()
+        inverted = lower.startswith("~")
+        name = lower[1:] if inverted else lower
+
+        if name in _TYPE_NAMES:
+            if name == "document" and not is_exception and not inverted:
+                raise OptionParseError("$document is only valid in exception filters")
+            if inverted:
+                exclude_types |= _TYPE_NAMES[name]
+            else:
+                include_types |= _TYPE_NAMES[name]
+        elif name.startswith("domain="):
+            for domain in option[len("domain=") :].split("|"):
+                domain = domain.strip().lower()
+                if not domain:
+                    continue
+                if domain.startswith("~"):
+                    domains_exclude.add(domain[1:])
+                else:
+                    domains_include.add(domain)
+        elif name == "third-party":
+            options.third_party = not inverted
+        elif name == "match-case":
+            options.match_case = True
+        elif name == "elemhide":
+            if not is_exception:
+                raise OptionParseError("$elemhide is only valid in exception filters")
+            options.elemhide_exception = True
+        elif name == "generichide":
+            options.generic_hide = True
+        elif name == "collapse":
+            options.collapse = not inverted
+        else:
+            raise OptionParseError(f"unknown filter option: {option!r}")
+
+    if include_types:
+        options.type_mask = include_types
+    elif exclude_types:
+        options.type_mask = ContentType.default_mask() & ~exclude_types
+    elif options.elemhide_exception and not include_types:
+        # A pure $elemhide exception matches no resource requests.
+        options.type_mask = ContentType(0)
+    options.domains_include = frozenset(domains_include)
+    options.domains_exclude = frozenset(domains_exclude)
+    return options

@@ -1,0 +1,117 @@
+"""Filter-list composition statistics.
+
+The EasyList maintainers publish periodic composition statistics (the
+paper cites their 2011 post for EasyPrivacy adoption); this module
+computes the same kind of breakdown for any list — rule kinds, anchor
+styles, option usage — which is also how the synthetic generators are
+sanity-checked against real-list shape.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.filterlist.filter import Filter
+from repro.filterlist.lists import FilterList
+from repro.filterlist.options import ContentType
+
+__all__ = ["ListStats", "list_stats", "compare_lists"]
+
+
+@dataclass(slots=True)
+class ListStats:
+    """Composition summary of one filter list."""
+
+    name: str
+    total_rules: int = 0
+    blocking: int = 0
+    exceptions: int = 0
+    hiding_rules: int = 0
+    domain_anchored: int = 0  # ||…
+    start_anchored: int = 0  # |…
+    with_options: int = 0
+    third_party_scoped: int = 0
+    domain_scoped: int = 0  # $domain=
+    type_scoped: int = 0  # restricted content-type mask
+    document_exceptions: int = 0
+    option_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def exception_share(self) -> float:
+        requests = self.blocking + self.exceptions
+        return self.exceptions / requests if requests else 0.0
+
+    @property
+    def anchored_share(self) -> float:
+        requests = self.blocking + self.exceptions
+        return (self.domain_anchored + self.start_anchored) / requests if requests else 0.0
+
+
+def _filter_stats(stats: ListStats, filter_: Filter) -> None:
+    if filter_.is_exception:
+        stats.exceptions += 1
+    else:
+        stats.blocking += 1
+    if filter_.pattern.startswith("||"):
+        stats.domain_anchored += 1
+    elif filter_.pattern.startswith("|"):
+        stats.start_anchored += 1
+
+    options = filter_.options
+    has_option = False
+    if options.third_party is not None:
+        stats.third_party_scoped += 1
+        stats.option_counts["third-party"] += 1
+        has_option = True
+    if options.domains_include or options.domains_exclude:
+        stats.domain_scoped += 1
+        stats.option_counts["domain="] += 1
+        has_option = True
+    if options.type_mask != ContentType.default_mask():
+        stats.type_scoped += 1
+        for member in ContentType:
+            if member is ContentType.DOCUMENT:
+                continue  # counted via document_exceptions below
+            if member in options.type_mask and member not in ContentType.default_mask():
+                stats.option_counts[member.name.lower()] += 1
+        has_option = True
+    if options.is_document_exception:
+        stats.document_exceptions += 1
+        stats.option_counts["document"] += 1
+        has_option = True
+    if options.match_case:
+        stats.option_counts["match-case"] += 1
+        has_option = True
+    if has_option:
+        stats.with_options += 1
+
+
+def list_stats(filter_list: FilterList) -> ListStats:
+    """Compute the composition summary of ``filter_list``."""
+    stats = ListStats(name=filter_list.name)
+    for filter_ in filter_list.filters:
+        _filter_stats(stats, filter_)
+    stats.hiding_rules = len(filter_list.hiding_rules)
+    stats.total_rules = len(filter_list.filters) + stats.hiding_rules
+    return stats
+
+
+def compare_lists(lists: dict[str, FilterList]) -> list[dict]:
+    """Tabular comparison across a list bundle (for reports)."""
+    rows = []
+    for name, filter_list in lists.items():
+        stats = list_stats(filter_list)
+        rows.append(
+            {
+                "list": name,
+                "rules": stats.total_rules,
+                "blocking": stats.blocking,
+                "exceptions": stats.exceptions,
+                "hiding": stats.hiding_rules,
+                "||anchored": stats.domain_anchored,
+                "$options": stats.with_options,
+                "exception share": f"{100 * stats.exception_share:.1f}%",
+            }
+        )
+    return rows

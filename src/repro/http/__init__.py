@@ -1,0 +1,80 @@
+"""Bro-like HTTP analysis substrate: TCP reassembly, HTTP parsing, logs.
+
+Public surface of :mod:`repro.http`:
+
+* :func:`repro.http.analyzer.analyze_segments` — packets to transactions.
+* :class:`repro.http.message.HttpTransaction` and friends.
+* :class:`repro.http.log.HttpLogRecord` — the Bro ``http.log`` analogue
+  the classification pipeline consumes.
+* :func:`repro.http.useragent.parse_user_agent` — device/browser
+  annotation used by the ad-blocker usage study.
+"""
+
+from repro.http.analyzer import HttpAnalyzer, analyze_segments
+from repro.http.log import (
+    HttpLogRecord,
+    read_log,
+    records_from_text,
+    records_to_text,
+    transaction_to_record,
+    write_log,
+)
+from repro.http.message import Headers, HttpRequest, HttpResponse, HttpTransaction
+from repro.http.parser import (
+    HttpParseError,
+    parse_request_stream,
+    parse_response_stream,
+    serialize_request,
+    serialize_response,
+)
+from repro.http.tcp import FlowKey, FlowTable, TcpFlow, TcpSegment, TcpStream
+from repro.http.url import (
+    SplitUrl,
+    embedded_urls,
+    hostname_of,
+    is_third_party,
+    join_url,
+    parse_query,
+    path_extension,
+    registrable_domain,
+    split_url,
+)
+from repro.http.useragent import BrowserFamily, DeviceClass, UserAgentInfo, parse_user_agent
+
+__all__ = [
+    "HttpAnalyzer",
+    "analyze_segments",
+    "HttpLogRecord",
+    "read_log",
+    "write_log",
+    "records_from_text",
+    "records_to_text",
+    "transaction_to_record",
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpTransaction",
+    "HttpParseError",
+    "parse_request_stream",
+    "parse_response_stream",
+    "serialize_request",
+    "serialize_response",
+    "FlowKey",
+    "FlowTable",
+    "TcpFlow",
+    "TcpSegment",
+    "TcpStream",
+    "SplitUrl",
+    "split_url",
+    "join_url",
+    "hostname_of",
+    "registrable_domain",
+    "is_third_party",
+    "path_extension",
+    "parse_query",
+    "embedded_urls",
+    "BrowserFamily",
+    "DeviceClass",
+    "UserAgentInfo",
+    "parse_user_agent",
+]

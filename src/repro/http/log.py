@@ -1,0 +1,134 @@
+"""Bro-style TSV log records for HTTP transactions.
+
+The paper's pipeline runs on logs produced by the Bro HTTP analyzer
+rather than raw packets.  :class:`HttpLogRecord` mirrors the fields the
+paper lists in §3.1 — Host, URI, Referer, Content-Type, Content-Length
+and (their Bro extension) Location — plus the timing fields §8.2 needs.
+Logs round-trip through a plain TSV format so experiments can be staged
+to disk.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, fields
+from typing import Iterable, Iterator, TextIO
+
+from repro.http.message import HttpTransaction
+
+__all__ = ["HttpLogRecord", "transaction_to_record", "write_log", "read_log"]
+
+_UNSET = "-"
+
+
+@dataclass(slots=True)
+class HttpLogRecord:
+    """One line of the HTTP log (flattened transaction)."""
+
+    ts: float
+    client: str
+    server: str
+    method: str
+    host: str
+    uri: str
+    referrer: str | None
+    user_agent: str | None
+    status: int | None
+    content_type: str | None
+    content_length: int | None
+    location: str | None
+    tcp_handshake_ms: float
+    http_handshake_ms: float | None
+    flow_id: int
+
+    @property
+    def url(self) -> str:
+        if self.uri.startswith("http://") or self.uri.startswith("https://"):
+            return self.uri
+        return f"http://{self.host}{self.uri}"
+
+
+def transaction_to_record(txn: HttpTransaction) -> HttpLogRecord:
+    """Flatten an :class:`HttpTransaction` into a log record."""
+    response = txn.response
+    return HttpLogRecord(
+        ts=txn.ts_request,
+        client=txn.client,
+        server=txn.server,
+        method=txn.request.method,
+        host=txn.request.host,
+        uri=txn.request.uri,
+        referrer=txn.request.referer,
+        user_agent=txn.request.user_agent,
+        status=response.status if response else None,
+        content_type=response.content_type if response else None,
+        content_length=response.content_length if response else None,
+        location=response.location if response else None,
+        tcp_handshake_ms=txn.tcp_handshake_ms,
+        http_handshake_ms=txn.http_handshake_ms,
+        flow_id=txn.flow_id,
+    )
+
+
+_FIELD_NAMES = [f.name for f in fields(HttpLogRecord)]
+
+
+def _encode(value: object) -> str:
+    if value is None:
+        return _UNSET
+    text = str(value)
+    return text.replace("\t", "%09").replace("\n", "%0A")
+
+
+def _decode(name: str, token: str) -> object:
+    if token == _UNSET:
+        return None
+    token = token.replace("%09", "\t").replace("%0A", "\n")
+    if name in ("ts", "tcp_handshake_ms", "http_handshake_ms"):
+        return float(token)
+    if name in ("status", "content_length", "flow_id"):
+        return int(token)
+    return token
+
+
+def write_log(records: Iterable[HttpLogRecord], stream: TextIO) -> int:
+    """Write records as TSV with a header line; returns line count."""
+    stream.write("#" + "\t".join(_FIELD_NAMES) + "\n")
+    count = 0
+    for record in records:
+        row = [_encode(getattr(record, name)) for name in _FIELD_NAMES]
+        stream.write("\t".join(row) + "\n")
+        count += 1
+    return count
+
+
+def read_log(stream: TextIO) -> Iterator[HttpLogRecord]:
+    """Read records written by :func:`write_log`."""
+    header: list[str] | None = None
+    for line in stream:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            header = line[1:].split("\t")
+            continue
+        if header is None:
+            header = _FIELD_NAMES
+        tokens = line.split("\t")
+        values = {name: _decode(name, token) for name, token in zip(header, tokens)}
+        # Defaults keep old logs readable if fields were added later.
+        values.setdefault("tcp_handshake_ms", 0.0)
+        values.setdefault("flow_id", 0)
+        yield HttpLogRecord(**values)  # type: ignore[arg-type]
+
+
+def records_to_text(records: Iterable[HttpLogRecord]) -> str:
+    """Serialize records to an in-memory TSV string."""
+    buffer = io.StringIO()
+    write_log(records, buffer)
+    return buffer.getvalue()
+
+
+def records_from_text(text: str) -> list[HttpLogRecord]:
+    """Inverse of :func:`records_to_text`."""
+    return list(read_log(io.StringIO(text)))

@@ -1,0 +1,178 @@
+"""HTTP/1.x wire-format parser.
+
+Parses the byte streams reassembled by :mod:`repro.http.tcp` into
+:class:`~repro.http.message.HttpRequest` / ``HttpResponse`` objects.
+Only the header section is retained — mirroring the paper's capture
+setup, where payload beyond the headers is never stored.  Bodies are
+skipped by ``Content-Length`` accounting (chunked bodies are consumed
+chunk-by-chunk but their content is discarded).
+"""
+
+from __future__ import annotations
+
+from repro.http.message import Headers, HttpRequest, HttpResponse
+
+__all__ = [
+    "HttpParseError",
+    "parse_request_stream",
+    "parse_response_stream",
+    "serialize_request",
+    "serialize_response",
+]
+
+_CRLF = b"\r\n"
+_HEADER_END = b"\r\n\r\n"
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class HttpParseError(ValueError):
+    """Raised when a byte stream is not valid HTTP/1.x."""
+
+
+def _parse_headers(block: bytes) -> Headers:
+    headers = Headers()
+    for line in block.split(_CRLF):
+        if not line:
+            continue
+        colon = line.find(b":")
+        if colon <= 0:
+            raise HttpParseError(f"malformed header line: {line[:80]!r}")
+        name = line[:colon].decode("latin-1").strip()
+        value = line[colon + 1 :].decode("latin-1").strip()
+        headers.add(name, value)
+    return headers
+
+
+def _split_message(data: bytes, offset: int) -> tuple[bytes, bytes, int]:
+    """Return (start_line, header_block, offset_after_headers)."""
+    end = data.find(_HEADER_END, offset, offset + _MAX_HEADER_BYTES)
+    if end < 0:
+        raise HttpParseError("header section not terminated")
+    head = data[offset:end]
+    first_crlf = head.find(_CRLF)
+    if first_crlf < 0:
+        start_line, header_block = head, b""
+    else:
+        start_line, header_block = head[:first_crlf], head[first_crlf + 2 :]
+    return start_line, header_block, end + len(_HEADER_END)
+
+
+def _skip_body(data: bytes, offset: int, headers: Headers, *, bodyless: bool) -> tuple[int, int]:
+    """Skip a message body, returning (new_offset, body_length)."""
+    if bodyless:
+        return offset, 0
+    transfer = (headers.get("Transfer-Encoding") or "").lower()
+    if "chunked" in transfer:
+        total = 0
+        while True:
+            line_end = data.find(_CRLF, offset)
+            if line_end < 0:
+                raise HttpParseError("truncated chunked body")
+            size_token = data[offset:line_end].split(b";")[0].strip()
+            try:
+                size = int(size_token, 16)
+            except ValueError as exc:
+                raise HttpParseError(f"bad chunk size {size_token!r}") from exc
+            offset = line_end + 2 + size + 2
+            total += size
+            if size == 0:
+                return offset, total
+    length = headers.get("Content-Length")
+    if length is not None and length.strip().isdigit():
+        size = int(length.strip())
+        return offset + size, size
+    return offset, 0
+
+
+def _reads_until_close(headers: Headers, version: str) -> bool:
+    """HTTP/1.0-style delimiting: no length, no chunking — the body
+    runs until the connection closes."""
+    if headers.get("Content-Length") is not None:
+        return False
+    if "chunked" in (headers.get("Transfer-Encoding") or "").lower():
+        return False
+    connection = (headers.get("Connection") or "").lower()
+    return version == "HTTP/1.0" or "close" in connection
+
+
+def parse_request_stream(data: bytes) -> list[HttpRequest]:
+    """Parse all pipelined requests in a client-to-server byte stream."""
+    requests: list[HttpRequest] = []
+    offset = 0
+    while offset < len(data):
+        start_line, header_block, offset = _split_message(data, offset)
+        parts = start_line.decode("latin-1").split(" ", 2)
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise HttpParseError(f"malformed request line: {start_line[:80]!r}")
+        method, uri, version = parts
+        headers = _parse_headers(header_block)
+        offset, _ = _skip_body(data, offset, headers, bodyless=method in ("GET", "HEAD"))
+        requests.append(HttpRequest(method=method, uri=uri, headers=headers, version=version))
+    return requests
+
+
+def parse_response_stream(data: bytes, request_methods: list[str] | None = None) -> list[HttpResponse]:
+    """Parse all responses in a server-to-client byte stream.
+
+    ``request_methods`` lets the caller flag HEAD transactions, whose
+    responses never carry a body regardless of ``Content-Length``.
+    """
+    responses: list[HttpResponse] = []
+    offset = 0
+    index = 0
+    while offset < len(data):
+        start_line, header_block, offset = _split_message(data, offset)
+        parts = start_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise HttpParseError(f"malformed status line: {start_line[:80]!r}")
+        version = parts[0]
+        try:
+            status = int(parts[1])
+        except ValueError as exc:
+            raise HttpParseError(f"bad status code {parts[1]!r}") from exc
+        reason = parts[2] if len(parts) == 3 else ""
+        headers = _parse_headers(header_block)
+        method = ""
+        if request_methods and index < len(request_methods):
+            method = request_methods[index]
+        bodyless = method == "HEAD" or status in (204, 304) or 100 <= status < 200
+        if not bodyless and _reads_until_close(headers, version):
+            # The body is everything to end-of-stream; this is
+            # necessarily the connection's last response.
+            body_length = len(data) - offset
+            offset = len(data)
+        else:
+            offset, body_length = _skip_body(data, offset, headers, bodyless=bodyless)
+        responses.append(
+            HttpResponse(
+                status=status,
+                reason=reason,
+                headers=headers,
+                version=version,
+                body_length=body_length,
+            )
+        )
+        index += 1
+    return responses
+
+
+def serialize_request(request: HttpRequest) -> bytes:
+    """Serialize a request to wire format (no body)."""
+    lines = [f"{request.method} {request.uri} {request.version}"]
+    lines.extend(f"{name}: {value}" for name, value in request.headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def serialize_response(response: HttpResponse, body: bytes = b"") -> bytes:
+    """Serialize a response to wire format, appending ``body``.
+
+    When the headers carry no ``Content-Length`` and a body is given,
+    a length header is added so the stream stays parseable.
+    """
+    headers = response.headers.copy()
+    if body and headers.get("Content-Length") is None:
+        headers.set("Content-Length", str(len(body)))
+    reason = response.reason or "OK"
+    lines = [f"{response.version} {response.status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

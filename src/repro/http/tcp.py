@@ -1,0 +1,187 @@
+"""Simplified TCP layer: segments, flows and stream reassembly.
+
+The trace substrate emits :class:`TcpSegment` records instead of raw
+pcap frames; this keeps traces compact while preserving everything the
+paper's methodology observes: directions, timestamps, handshake timing
+(SYN / SYN-ACK) and the in-order byte streams that carry HTTP.
+
+Reassembly handles out-of-order delivery and retransmissions by
+sequence-number bookkeeping, because the trace generator injects both
+to exercise the analyzer the way a real capture would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TcpSegment", "FlowKey", "TcpStream", "TcpFlow", "FlowTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class TcpSegment:
+    """One TCP segment as captured on the wire.
+
+    ``seq`` numbers are byte offsets from the start of the direction's
+    stream (relative sequence numbers, as Bro/Wireshark display them).
+    """
+
+    ts: float
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    seq: int = 0
+    payload: bytes = b""
+    syn: bool = False
+    ack: bool = False
+    fin: bool = False
+    rst: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class FlowKey:
+    """Canonical bidirectional flow identifier (client first)."""
+
+    client: str
+    client_port: int
+    server: str
+    server_port: int
+
+
+class TcpStream:
+    """Reassembles one direction of a TCP flow.
+
+    Segments may arrive out of order or duplicated; data is keyed by
+    sequence number and overlapping retransmissions are ignored where
+    they agree with already-seen bytes.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: dict[int, bytes] = {}
+        self._assembled: bytearray = bytearray()
+        self._next_seq = 0
+
+    def add(self, seq: int, payload: bytes) -> None:
+        if not payload:
+            return
+        if seq + len(payload) <= self._next_seq:
+            return  # pure retransmission of already-assembled bytes
+        if seq < self._next_seq:
+            payload = payload[self._next_seq - seq :]
+            seq = self._next_seq
+        existing = self._chunks.get(seq)
+        if existing is None or len(payload) > len(existing):
+            self._chunks[seq] = payload
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._next_seq in self._chunks:
+            chunk = self._chunks.pop(self._next_seq)
+            self._assembled.extend(chunk)
+            self._next_seq += len(chunk)
+
+    @property
+    def data(self) -> bytes:
+        """Contiguously reassembled bytes so far."""
+        return bytes(self._assembled)
+
+    @property
+    def has_gaps(self) -> bool:
+        return bool(self._chunks)
+
+
+@dataclass
+class TcpFlow:
+    """Bidirectional flow state with handshake timing."""
+
+    key: FlowKey
+    flow_id: int
+    syn_ts: float | None = None
+    synack_ts: float | None = None
+    first_ts: float | None = None
+    last_ts: float | None = None
+    client_stream: TcpStream = field(default_factory=TcpStream)
+    server_stream: TcpStream = field(default_factory=TcpStream)
+    client_payload_ts: list[tuple[int, float]] = field(default_factory=list)
+    server_payload_ts: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def tcp_handshake_ms(self) -> float | None:
+        """SYN-ACK minus SYN time in milliseconds (paper's RTT proxy)."""
+        if self.syn_ts is None or self.synack_ts is None:
+            return None
+        return max(0.0, (self.synack_ts - self.syn_ts) * 1000.0)
+
+    def ts_at_client_offset(self, offset: int) -> float | None:
+        """Timestamp of the segment carrying client-stream byte ``offset``."""
+        return _ts_at_offset(self.client_payload_ts, offset)
+
+    def ts_at_server_offset(self, offset: int) -> float | None:
+        """Timestamp of the segment carrying server-stream byte ``offset``."""
+        return _ts_at_offset(self.server_payload_ts, offset)
+
+
+def _ts_at_offset(index: list[tuple[int, float]], offset: int) -> float | None:
+    """Find the timestamp of the first segment covering stream ``offset``.
+
+    ``index`` holds (start_offset, ts) per payload segment in arrival
+    order; we want the earliest segment whose start is <= offset and
+    that is the last such start (segments are contiguous after
+    reassembly, so the greatest start <= offset covers it).
+    """
+    best: float | None = None
+    best_start = -1
+    for start, ts in index:
+        if start <= offset and start > best_start:
+            best, best_start = ts, start
+    return best
+
+
+class FlowTable:
+    """Groups TCP segments into flows and reassembles both directions."""
+
+    def __init__(self) -> None:
+        self._flows: dict[FlowKey, TcpFlow] = {}
+        self._next_id = 1
+
+    def add_segment(self, segment: TcpSegment) -> TcpFlow:
+        """Route one segment to its flow, creating the flow on SYN."""
+        forward = FlowKey(segment.src, segment.sport, segment.dst, segment.dport)
+        reverse = FlowKey(segment.dst, segment.dport, segment.src, segment.sport)
+
+        flow = self._flows.get(forward)
+        from_client = True
+        if flow is None:
+            flow = self._flows.get(reverse)
+            from_client = False
+        if flow is None:
+            # First segment seen decides who the client is; a SYN (no
+            # ACK) always comes from the client.
+            flow = TcpFlow(key=forward, flow_id=self._next_id)
+            self._next_id += 1
+            self._flows[forward] = flow
+            from_client = True
+
+        if flow.first_ts is None:
+            flow.first_ts = segment.ts
+        flow.last_ts = segment.ts
+
+        if segment.syn and not segment.ack:
+            flow.syn_ts = segment.ts
+        elif segment.syn and segment.ack:
+            flow.synack_ts = segment.ts
+
+        if segment.payload:
+            if from_client:
+                flow.client_payload_ts.append((segment.seq, segment.ts))
+                flow.client_stream.add(segment.seq, segment.payload)
+            else:
+                flow.server_payload_ts.append((segment.seq, segment.ts))
+                flow.server_stream.add(segment.seq, segment.payload)
+        return flow
+
+    def flows(self) -> list[TcpFlow]:
+        return list(self._flows.values())
+
+    def __len__(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,179 @@
+"""User-Agent string parsing and classification.
+
+The paper separates traffic of NATed households into end devices by the
+(IP, User-Agent) pair (§5, following Maier et al.), then restricts the
+ad-blocker analysis to *browsers* — desktop Firefox/Chrome/IE/Safari and
+mobile browsers — discarding consoles, smart TVs, software updaters and
+mobile apps (§6.1).  This module implements that annotation step.
+
+The parser is deliberately rule-based and ordered: real UA sniffing is
+a precedence exercise (every Chrome UA contains "Safari", every IE 11
+UA lacks "MSIE", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+
+__all__ = ["DeviceClass", "BrowserFamily", "UserAgentInfo", "parse_user_agent"]
+
+
+class DeviceClass(str, Enum):
+    """Coarse device category behind a User-Agent string."""
+
+    DESKTOP = "desktop"
+    MOBILE = "mobile"
+    TABLET = "tablet"
+    CONSOLE = "console"
+    SMART_TV = "smart_tv"
+    APP = "app"
+    UPDATER = "updater"
+    MEDIA_PLAYER = "media_player"
+    BOT = "bot"
+    UNKNOWN = "unknown"
+
+
+class BrowserFamily(str, Enum):
+    """Browser families the paper reports on (Fig 4, §6.1)."""
+
+    FIREFOX = "Firefox"
+    CHROME = "Chrome"
+    IE = "IE"
+    SAFARI = "Safari"
+    OPERA = "Opera"
+    MOBILE = "Mobile"
+    OTHER = "Other"
+    NONE = "None"
+
+
+@dataclass(frozen=True, slots=True)
+class UserAgentInfo:
+    """Parsed User-Agent classification.
+
+    ``is_browser`` is the predicate §6.1 uses to keep a (IP, UA) pair
+    in the active-user analysis.
+    """
+
+    raw: str
+    device: DeviceClass
+    family: BrowserFamily
+    os: str
+
+    @property
+    def is_browser(self) -> bool:
+        return self.family not in (BrowserFamily.OTHER, BrowserFamily.NONE)
+
+    @property
+    def is_mobile_browser(self) -> bool:
+        return self.family == BrowserFamily.MOBILE
+
+    @property
+    def is_desktop_browser(self) -> bool:
+        return self.is_browser and not self.is_mobile_browser
+
+
+_CONSOLE_TOKENS = ("playstation", "xbox", "nintendo", "wiiu")
+_TV_TOKENS = ("smart-tv", "smarttv", "googletv", "appletv", "hbbtv", "netcast", "roku")
+_UPDATER_TOKENS = (
+    "update",
+    "installer",
+    "microsoft-cryptoapi",
+    "windowsupdate",
+    "apt-http",
+    "avast",
+    "avira",
+)
+_MEDIA_TOKENS = ("vlc", "itunes", "windows-media-player", "stagefright", "sonos", "spotify")
+_APP_TOKENS = (
+    "dalvik",
+    "cfnetwork",
+    "okhttp",
+    "java/",
+    "python-requests",
+    "curl/",
+    "wget/",
+    "facebookexternalhit",
+    "com.google",
+    "valve/steam",
+    "gamecenter",
+    "whatsapp",
+)
+_BOT_TOKENS = ("bot", "spider", "crawler", "slurp")
+
+
+def _detect_os(lower: str) -> str:
+    if "windows phone" in lower:
+        return "Windows Phone"
+    if "windows" in lower:
+        return "Windows"
+    if "android" in lower:
+        return "Android"
+    if "iphone" in lower or "ipad" in lower or "ios" in lower:
+        return "iOS"
+    if "mac os x" in lower or "macintosh" in lower:
+        return "macOS"
+    if "linux" in lower or "x11" in lower:
+        return "Linux"
+    return "Other"
+
+
+@lru_cache(maxsize=16384)
+def parse_user_agent(user_agent: str | None) -> UserAgentInfo:
+    """Classify a User-Agent string into device class and browser family."""
+    raw = user_agent or ""
+    lower = raw.lower()
+    if not raw:
+        return UserAgentInfo(raw, DeviceClass.UNKNOWN, BrowserFamily.NONE, "Other")
+
+    if any(token in lower for token in _BOT_TOKENS):
+        return UserAgentInfo(raw, DeviceClass.BOT, BrowserFamily.OTHER, _detect_os(lower))
+    if any(token in lower for token in _CONSOLE_TOKENS):
+        return UserAgentInfo(raw, DeviceClass.CONSOLE, BrowserFamily.OTHER, _detect_os(lower))
+    if any(token in lower for token in _TV_TOKENS):
+        return UserAgentInfo(raw, DeviceClass.SMART_TV, BrowserFamily.OTHER, _detect_os(lower))
+    if any(token in lower for token in _UPDATER_TOKENS):
+        return UserAgentInfo(raw, DeviceClass.UPDATER, BrowserFamily.OTHER, _detect_os(lower))
+    if any(token in lower for token in _MEDIA_TOKENS):
+        return UserAgentInfo(raw, DeviceClass.MEDIA_PLAYER, BrowserFamily.OTHER, _detect_os(lower))
+    if any(token in lower for token in _APP_TOKENS):
+        return UserAgentInfo(raw, DeviceClass.APP, BrowserFamily.OTHER, _detect_os(lower))
+
+    os_name = _detect_os(lower)
+
+    mobile = (
+        "mobile" in lower
+        or "iphone" in lower
+        or "android" in lower
+        or "windows phone" in lower
+        or "opera mini" in lower
+        or "opera mobi" in lower
+    )
+    tablet = "ipad" in lower or ("android" in lower and "mobile" not in lower and "tablet" in lower)
+
+    if "mozilla" not in lower and "opera" not in lower:
+        # Everything browser-like starts with Mozilla/ or Opera/ in
+        # practice; remaining strings are custom application agents.
+        return UserAgentInfo(raw, DeviceClass.APP, BrowserFamily.OTHER, os_name)
+
+    if mobile or tablet:
+        device = DeviceClass.TABLET if tablet and not mobile else DeviceClass.MOBILE
+        return UserAgentInfo(raw, device, BrowserFamily.MOBILE, os_name)
+
+    # Desktop browser precedence: Opera, Edge-as-other, IE, Firefox,
+    # Chrome (before Safari!), Safari.
+    if "opr/" in lower or lower.startswith("opera"):
+        family = BrowserFamily.OPERA
+    elif "msie" in lower or "trident/" in lower:
+        family = BrowserFamily.IE
+    elif "firefox/" in lower and "seamonkey" not in lower:
+        family = BrowserFamily.FIREFOX
+    elif ("chrome/" in lower or "chromium/" in lower) and "edge" not in lower:
+        family = BrowserFamily.CHROME
+    elif "safari/" in lower:
+        family = BrowserFamily.SAFARI
+    else:
+        family = BrowserFamily.OTHER
+
+    return UserAgentInfo(raw, DeviceClass.DESKTOP, family, os_name)

@@ -1,0 +1,70 @@
+"""RBN trace generation & capture substrate.
+
+Population model (households/NAT/devices), diurnal activity, the trace
+generator driving browser emulators over the synthetic web, capture
+semantics (port-based HTTP visibility, TLS connection records, ABP
+server detection) and the paper's privacy measures.
+"""
+
+from repro.trace.activity import activity_rate, diurnal_rate, weekly_factor
+from repro.trace.anonymize import (
+    IpAnonymizer,
+    anonymize_records,
+    truncate_records,
+    truncate_to_fqdn,
+)
+from repro.trace.capture import (
+    CaptureStats,
+    abp_server_ips,
+    capture_stats,
+    easylist_download_clients,
+)
+from repro.trace.generator import (
+    RBNTraceConfig,
+    RBNTraceGenerator,
+    generate_trace,
+    rbn1_config,
+    rbn2_config,
+)
+from repro.trace.population import Device, Household, PopulationConfig, generate_population
+from repro.trace.records import (
+    GroundTruth,
+    RttModel,
+    TlsConnectionRecord,
+    TraceRecords,
+    render_visit,
+)
+from repro.trace.pcap import PcapFormatError, read_segments, write_segments
+from repro.trace.wire import render_visit_segments
+
+__all__ = [
+    "PcapFormatError",
+    "read_segments",
+    "write_segments",
+    "activity_rate",
+    "diurnal_rate",
+    "weekly_factor",
+    "IpAnonymizer",
+    "anonymize_records",
+    "truncate_records",
+    "truncate_to_fqdn",
+    "CaptureStats",
+    "abp_server_ips",
+    "capture_stats",
+    "easylist_download_clients",
+    "RBNTraceConfig",
+    "RBNTraceGenerator",
+    "generate_trace",
+    "rbn1_config",
+    "rbn2_config",
+    "Device",
+    "Household",
+    "PopulationConfig",
+    "generate_population",
+    "GroundTruth",
+    "RttModel",
+    "TlsConnectionRecord",
+    "TraceRecords",
+    "render_visit",
+    "render_visit_segments",
+]

@@ -1,0 +1,83 @@
+"""Privacy measures of the capture pipeline (§5).
+
+The paper anonymizes client IPs *at capture time* (real addresses
+never reach disk) and, after classification completes, truncates every
+URL in the logs to its fully qualified domain name.  Both operations
+are reproduced so downstream analyses can be written against the same
+reduced views the authors retained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import replace
+
+from repro.http.log import HttpLogRecord
+from repro.http.url import split_url
+
+__all__ = ["IpAnonymizer", "truncate_to_fqdn", "truncate_records", "anonymize_records"]
+
+
+class IpAnonymizer:
+    """Keyed, deterministic IP pseudonymization.
+
+    Stable within one capture (the same client keeps one pseudonym, so
+    per-user aggregation still works) but unlinkable across captures
+    with different keys — the property the paper's setup relies on.
+    """
+
+    def __init__(self, key: bytes | str = b"capture-key"):
+        if isinstance(key, str):
+            key = key.encode()
+        self._key = key
+        self._cache: dict[str, str] = {}
+
+    def anonymize(self, ip: str) -> str:
+        pseudonym = self._cache.get(ip)
+        if pseudonym is None:
+            digest = hmac.new(self._key, ip.encode(), hashlib.sha256).digest()
+            pseudonym = "anon-" + digest[:6].hex()
+            self._cache[ip] = pseudonym
+        return pseudonym
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def anonymize_records(
+    records: list[HttpLogRecord], anonymizer: IpAnonymizer
+) -> list[HttpLogRecord]:
+    """Capture-time pseudonymization of client addresses.
+
+    Real client IPs "were never stored to disk" (§5) — apply this
+    before any log leaves the capture stage.  Per-user aggregation
+    still works because pseudonyms are stable within the capture.
+    """
+    return [replace(record, client=anonymizer.anonymize(record.client)) for record in records]
+
+
+def truncate_to_fqdn(url: str) -> str:
+    """Strip a URL to scheme + FQDN, removing path/query (§5)."""
+    parts = split_url(url)
+    scheme = parts.scheme or "http"
+    return f"{scheme}://{parts.host}/"
+
+
+def truncate_records(records: list[HttpLogRecord]) -> list[HttpLogRecord]:
+    """Post-classification log reduction: URLs -> FQDNs.
+
+    Run after the ad classification finishes — classification needs
+    full URLs; retention does not.
+    """
+    reduced = []
+    for record in records:
+        reduced.append(
+            replace(
+                record,
+                uri="/",
+                referrer=truncate_to_fqdn(record.referrer) if record.referrer else None,
+                location=truncate_to_fqdn(record.location) if record.location else None,
+            )
+        )
+    return reduced

@@ -1,0 +1,71 @@
+"""DAG-like port-based capture semantics and ABP server detection.
+
+The monitoring cards classify traffic by port (§5): TCP/80 is parsed
+as HTTP; TCP/443 is only visible as connections.  HTTPS connections to
+the Adblock Plus download servers are recognized by destination IP,
+using an IP list obtained out-of-band ("multiple DNS resolvers",
+§3.2) — :func:`abp_server_ips` plays that role against the synthetic
+ecosystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.emulator import ABP_UPDATE_HOSTS
+from repro.trace.records import TlsConnectionRecord, TraceRecords
+from repro.web.ecosystem import Ecosystem
+
+__all__ = ["abp_server_ips", "CaptureStats", "capture_stats", "easylist_download_clients"]
+
+
+def abp_server_ips(ecosystem: Ecosystem) -> frozenset[str]:
+    """IPs of the Adblock Plus filter-download servers.
+
+    In the paper this list comes from resolving the ABP download
+    hostnames with multiple resolvers before and after the capture
+    (they did not change); here the ecosystem's stable resolution
+    provides the same thing.
+    """
+    return frozenset(ecosystem.ip_for_host(host) for host in ABP_UPDATE_HOSTS)
+
+
+@dataclass(frozen=True, slots=True)
+class CaptureStats:
+    """Table 2's per-trace summary row."""
+
+    duration_s: float
+    subscribers: int
+    http_requests: int
+    http_bytes: int
+    tls_connections: int
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration_s / 3600.0
+
+
+def capture_stats(records: TraceRecords, *, subscribers: int) -> CaptureStats:
+    """Summarize a trace the way Table 2 reports data sets."""
+    if records.http:
+        first = min(record.ts for record in records.http)
+        last = max(record.ts for record in records.http)
+        duration = last - first
+    else:
+        duration = 0.0
+    return CaptureStats(
+        duration_s=duration,
+        subscribers=subscribers,
+        http_requests=len(records.http),
+        http_bytes=records.total_http_bytes,
+        tls_connections=len(records.tls),
+    )
+
+
+def easylist_download_clients(
+    tls_records: list[TlsConnectionRecord], abp_ips: frozenset[str]
+) -> set[str]:
+    """Client IPs (households) with at least one connection to an ABP
+    filter server — §6.2's second indicator, which can only be
+    attributed per household because HTTPS hides the User-Agent."""
+    return {record.client for record in tls_records if record.server in abp_ips}

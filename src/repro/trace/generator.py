@@ -1,0 +1,437 @@
+"""Residential broadband network (RBN) trace generator.
+
+Drives the whole substrate stack: the population model browses the
+synthetic web through per-profile browser emulators, and every visit
+is rendered into capture-level records (HTTP log records on port 80,
+TLS connection records on port 443, plus the ground-truth sidecar).
+
+Presets :func:`rbn1_config` and :func:`rbn2_config` mirror the paper's
+two data sets (Table 2):
+
+* RBN-1 — 4 days starting Saturday 00:00 (11 Apr 2015 was a
+  Saturday), ~7.5K subscribers, used for traffic characterization;
+* RBN-2 — 15.5 hours starting Tuesday 15:30 (11 Aug 2015 was a
+  Tuesday), ~19.7K subscribers, used for the ad-blocker usage study.
+
+``scale`` shrinks subscriber counts so experiments run on a laptop;
+every reported quantity in the reproduction is a ratio or distribution
+and is stable under scaling.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.browser.emulator import ABP_UPDATE_HOSTS, BrowserEmulator, BrowserVisit
+from repro.browser.ghostery import GhosteryDatabase
+from repro.browser.profiles import BrowserProfile
+from repro.filterlist.easylist import build_lists
+from repro.filterlist.lists import DEFAULT_EXPIRES, FilterList
+from repro.http.log import HttpLogRecord
+from repro.trace.activity import activity_rate
+from repro.trace.population import Device, Household, PopulationConfig, generate_population
+from repro.trace.records import GroundTruth, RttModel, TlsConnectionRecord, TraceRecords, render_visit
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
+from repro.web.page import PageFetch, build_page
+
+__all__ = ["RBNTraceConfig", "RBNTraceGenerator", "rbn1_config", "rbn2_config", "generate_trace"]
+
+_SATURDAY = 5 * 86400.0
+_TUESDAY_1530 = 1 * 86400.0 + 15.5 * 3600.0
+
+
+@dataclass(slots=True)
+class RBNTraceConfig:
+    """Parameters of one simulated capture."""
+
+    start_ts: float = _TUESDAY_1530
+    duration_s: float = 4 * 3600.0
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    ecosystem: EcosystemConfig = field(default_factory=EcosystemConfig)
+    seed: int = 42
+    # Peak-hour page views per hour for a device with activity == 1.
+    pages_per_hour: float = 1.8
+    # Cap of distinct cached pages per publisher (visit reuse).
+    page_pool_size: int = 3
+    # Mean non-browser request bursts per device per hour at peak.
+    app_bursts_per_hour: float = 1.0
+    # Model browser caching on page revisits: static content objects
+    # are not re-fetched, ads/trackers are (cache-busted).  Off by
+    # default — it biases the measured ad ratio upward, one of §10's
+    # caveats, and is exercised by dedicated tests.
+    browser_cache: bool = False
+
+    @property
+    def end_ts(self) -> float:
+        return self.start_ts + self.duration_s
+
+
+def rbn1_config(scale: float = 0.02, **overrides) -> RBNTraceConfig:
+    """RBN-1 preset: 4-day weekend-to-Tuesday trace (§5, Table 2)."""
+    population = PopulationConfig(n_households=max(10, int(7500 * scale)), seed=111)
+    config = RBNTraceConfig(
+        start_ts=_SATURDAY,
+        duration_s=4 * 86400.0,
+        population=population,
+        seed=1001,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def rbn2_config(scale: float = 0.02, **overrides) -> RBNTraceConfig:
+    """RBN-2 preset: 15.5-hour peak-time trace (§5, Table 2)."""
+    population = PopulationConfig(n_households=max(10, int(19700 * scale)), seed=222)
+    config = RBNTraceConfig(
+        start_ts=_TUESDAY_1530,
+        duration_s=15.5 * 3600.0,
+        population=population,
+        seed=1002,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+class RBNTraceGenerator:
+    """Simulates one capture window over a population and ecosystem."""
+
+    def __init__(
+        self,
+        config: RBNTraceConfig,
+        *,
+        ecosystem: Ecosystem | None = None,
+        lists: dict[str, FilterList] | None = None,
+    ):
+        self.config = config
+        self.ecosystem = ecosystem or Ecosystem.generate(config.ecosystem)
+        self.lists = lists or build_lists(self.ecosystem.list_spec())
+        self.households = generate_population(config.population)
+        self._ghostery = GhosteryDatabase.from_ecosystem(self.ecosystem)
+        self._rng = random.Random(config.seed)
+        self._rtt = RttModel(seed=config.seed + 1)
+        self._emulators: dict[tuple, BrowserEmulator] = {}
+        self._page_pool: dict[str, list[PageFetch]] = {}
+        self._visit_cache: dict[tuple, BrowserVisit] = {}
+        self._revisit_cache: dict[tuple, BrowserVisit] = {}
+        self._seen_pages: set[tuple] = set()
+        self._next_flow = 1
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> TraceRecords:
+        """Run the simulation and return the time-sorted trace."""
+        records = TraceRecords()
+        for household in self.households:
+            for device in household.devices:
+                if device.is_browser:
+                    self._browse(device, household, records)
+                else:
+                    self._app_traffic(device, household, records)
+                self._list_updates(device, household, records)
+        records.sort_by_time()
+        return records
+
+    @property
+    def subscribers(self) -> int:
+        return len(self.households)
+
+    # ------------------------------------------------------------------
+    # Browsing devices
+
+    def _browse(self, device: Device, household: Household, records: TraceRecords) -> None:
+        times = self._event_times(device, self.config.pages_per_hour)
+        for ts in times:
+            visit = self._visit_for(device, household)
+            # Per-visit rendering RNG: timing jitter never perturbs the
+            # global stream, so config toggles (e.g. browser_cache)
+            # leave the rest of the simulation bit-identical.
+            render_rng = random.Random(f"{self.config.seed}:{device.device_id}:{ts:.3f}")
+            rendered = render_visit(
+                visit,
+                client_ip=household.ip,
+                user_agent=device.user_agent,
+                base_ts=ts,
+                ecosystem=self.ecosystem,
+                rtt=self._rtt,
+                rng=render_rng,
+                device_id=device.device_id,
+                flow_id_start=self._next_flow,
+            )
+            self._next_flow += 64  # leave room for the visit's flows
+            # Stamp the true device identity/profile over cached data.
+            proxied = household.proxy_blocker
+            for truth in rendered.truth:
+                truth.device_id = device.device_id
+                truth.profile_name = (
+                    f"ProxyFiltered+{device.profile.name}" if proxied else device.profile.name
+                )
+                truth.has_adblocker = device.profile.has_adblocker or proxied
+            records.extend(rendered)
+
+    # Household-level ad stripping: an EasyList-like policy applied by
+    # the middlebox to every device's traffic (§10's proxy confound).
+    _PROXY_PROFILE = BrowserProfile("ProxyFiltered", abp_lists=("easylist",))
+
+    def _visit_for(self, device: Device, household: Household) -> BrowserVisit:
+        """Fetch (or reuse) a page visit under the effective profile.
+
+        Page views and blocking outcomes are cached per (page,
+        profile-key): the trace needs volume, not unique URLs, and
+        real users revisit pages constantly anyway.  A proxy-filtered
+        household overrides every device's own profile.
+        """
+        profile = self._PROXY_PROFILE if household.proxy_blocker else device.profile
+        publisher = self._sample_publisher_for(device)
+        pool = self._page_pool.get(publisher.domain)
+        if pool is None:
+            pool = []
+            self._page_pool[publisher.domain] = pool
+        if len(pool) < self.config.page_pool_size:
+            pool.append(build_page(publisher, self.ecosystem, self._rng))
+        page_index = self._rng.randrange(len(pool))
+        page = pool[page_index]
+
+        key = self._profile_key(profile)
+        cache_key = (publisher.domain, page_index, key)
+        visit = self._visit_cache.get(cache_key)
+        if visit is None:
+            emulator = self._emulator_for(profile)
+            visit = emulator.visit(page, list_update=False)
+            self._visit_cache[cache_key] = visit
+
+        if self.config.browser_cache:
+            seen_key = (device.device_id, cache_key)
+            if seen_key in self._seen_pages:
+                return self._revisit_variant(cache_key, visit)
+            self._seen_pages.add(seen_key)
+        return visit
+
+    @staticmethod
+    def _is_cacheable(obj) -> bool:
+        from repro.web.page import ObjectKind
+
+        if obj.intent != "content":
+            return False  # ads/trackers are cache-busted per request
+        if obj.kind not in (
+            ObjectKind.IMAGE,
+            ObjectKind.STYLESHEET,
+            ObjectKind.SCRIPT,
+            ObjectKind.FONT,
+        ):
+            return False
+        return hash(obj.url) % 10 < 6  # ~60% carry cache headers
+
+    def _revisit_variant(self, cache_key: tuple, visit: BrowserVisit) -> BrowserVisit:
+        """The visit as replayed from a warm browser cache."""
+        variant = self._revisit_cache.get(cache_key)
+        if variant is None:
+            variant = BrowserVisit(
+                page=visit.page,
+                profile=visit.profile,
+                requests=[r for r in visit.requests if not self._is_cacheable(r.obj)],
+                blocked=visit.blocked,
+                hidden_text_ads=visit.hidden_text_ads,
+                tls_connections=visit.tls_connections,
+            )
+            self._revisit_cache[cache_key] = variant
+        return variant
+
+    _LOW_AD_CATEGORIES = frozenset(
+        {"video_streaming", "audio_streaming", "search", "reference", "translation"}
+    )
+
+    def _sample_publisher_for(self, device: Device):
+        """Zipf draw, biased hard to ad-free sites for diet devices."""
+        publisher = self.ecosystem.sample_publisher(self._rng)
+        if not device.low_ad_diet or self._rng.random() > 0.92:
+            return publisher
+        for _ in range(40):
+            if publisher.ad_free:
+                return publisher
+            publisher = self.ecosystem.sample_publisher(self._rng)
+        return publisher
+
+    def _profile_key(self, profile: BrowserProfile) -> tuple:
+        return (profile.abp_lists, profile.ghostery_categories)
+
+    def _emulator_for(self, profile: BrowserProfile) -> BrowserEmulator:
+        key = self._profile_key(profile)
+        emulator = self._emulators.get(key)
+        if emulator is None:
+            emulator = BrowserEmulator(
+                profile,
+                self.lists,
+                ghostery_db=self._ghostery if profile.ghostery_categories else None,
+                rng=random.Random(self.config.seed + hash(key) % 10000),
+            )
+            self._emulators[key] = emulator
+        return emulator
+
+    # ------------------------------------------------------------------
+    # Non-browser devices (consoles, TVs, updaters, apps)
+
+    def _app_traffic(self, device: Device, household: Household, records: TraceRecords) -> None:
+        times = self._event_times(device, self.config.app_bursts_per_hour)
+        lower_ua = device.user_agent.lower()
+        is_streaming = any(
+            token in lower_ua
+            for token in ("playstation", "spotify", "vlc", "itunes", "roku", "smarttv", "hbbtv")
+        )
+        for ts in times:
+            if is_streaming:
+                # Consoles/TVs/media players stream chunked media:
+                # many requests, essentially no ads — the dense
+                # bottom-right cloud of Fig 3.
+                n_requests = 15 + int(self._rng.paretovariate(1.2))
+            else:
+                n_requests = 1 + int(self._rng.paretovariate(1.5))
+            host = self._app_host(device)
+            server_ip = self.ecosystem.ip_for_host(host)
+            handshake = self._rtt.handshake_ms(server_ip, self._rng)
+            for index in range(min(n_requests, 120)):
+                # A household middlebox strips in-app ads as well.
+                is_ad = self._rng.random() < 0.02 and not household.proxy_blocker
+                if is_ad:
+                    network = self._rng.choice(self.ecosystem.ad_networks)
+                    ad_host = network.serving_domains[0]
+                    url_host, uri = ad_host, f"/adtag/show.js?ad_slot={self._rng.randrange(10**6)}"
+                    intent, mime, size = "ad", "application/javascript", 4000
+                else:
+                    url_host, uri = host, f"/api/sync?seq={index}"
+                    intent, mime, size = "app", "application/octet-stream", int(
+                        self._rng.lognormvariate(8.0, 2.0)
+                    )
+                records.http.append(
+                    HttpLogRecord(
+                        ts=ts + 0.2 * index,
+                        client=household.ip,
+                        server=self.ecosystem.ip_for_host(url_host),
+                        method="GET",
+                        host=url_host,
+                        uri=uri,
+                        referrer=None,
+                        user_agent=device.user_agent,
+                        status=200,
+                        content_type=mime,
+                        content_length=size,
+                        location=None,
+                        tcp_handshake_ms=handshake,
+                        http_handshake_ms=handshake * 1.05 + self._rng.lognormvariate(0.0, 0.6),
+                        flow_id=self._next_flow,
+                    )
+                )
+                records.truth.append(
+                    GroundTruth(
+                        intent=intent,
+                        acceptable=False,
+                        network_name="",
+                        page_url="",
+                        device_id=device.device_id,
+                        profile_name=device.profile.name,
+                        has_adblocker=False,
+                    )
+                )
+            self._next_flow += 1
+
+    def _app_host(self, device: Device) -> str:
+        lower = device.user_agent.lower()
+        if "playstation" in lower or "steam" in lower:
+            return "update.gamecdn.example"
+        if "spotify" in lower or "vlc" in lower or "itunes" in lower:
+            return "media.streamapi.example"
+        if "update" in lower or "cryptoapi" in lower or "avast" in lower:
+            return "swupdate.vendor.example"
+        return "api.mobileapp.example"
+
+    # ------------------------------------------------------------------
+    # ABP filter-list update connections (indicator 2, §3.2)
+
+    def _list_updates(self, device: Device, household: Household, records: TraceRecords) -> None:
+        if not device.profile.has_abp:
+            return
+        config = self.config
+        abp_ip = self.ecosystem.ip_for_host(ABP_UPDATE_HOSTS[0])
+        # A fraction of ABP installs never contacts the download
+        # servers inside the window (browser session predates the
+        # capture, cached lists not yet soft-expired) — the source of
+        # the paper's type-D inconsistency (ABP installed but no
+        # download seen).
+        if random.Random(f"{config.seed}:{device.device_id}:upd").random() < 0.22:
+            return
+        bootstrap_ts = config.start_ts + device.bootstrap_offset_s
+        for index, _name in enumerate(device.profile.abp_lists):
+            ts = bootstrap_ts + index
+            if config.start_ts <= ts <= config.end_ts:
+                records.tls.append(
+                    TlsConnectionRecord(ts=ts, client=household.ip, server=abp_ip)
+                )
+        # List re-checks on soft expiry (EasyList 4 d, EasyPrivacy 1 d)
+        # plus the daily notification ping every ABP install performs —
+        # together the "typically upon bootstrap or once per day"
+        # contact frequency of §3.2.
+        intervals = [DEFAULT_EXPIRES.get(name, 4 * 86400.0) for name in device.profile.abp_lists]
+        intervals.append(6 * 3600.0)  # notification pings, several per day
+        for interval in intervals:
+            ts = bootstrap_ts + interval
+            while ts <= config.end_ts:
+                if ts >= config.start_ts:
+                    records.tls.append(
+                        TlsConnectionRecord(ts=ts, client=household.ip, server=abp_ip)
+                    )
+                ts += interval
+
+    # ------------------------------------------------------------------
+    # Event-time sampling
+
+    def _event_times(self, device: Device, per_hour: float) -> list[float]:
+        """Sample event timestamps from the device's rate curve."""
+        config = self.config
+        base_rate = device.activity * per_hour / 3600.0
+        # Integrate the rate in 30-minute bins, then sample a Poisson
+        # count and place events proportionally to bin mass.
+        bin_width = 1800.0
+        n_bins = max(1, int(math.ceil(config.duration_s / bin_width)))
+        masses: list[float] = []
+        total_mass = 0.0
+        for index in range(n_bins):
+            mid = config.start_ts + (index + 0.5) * bin_width
+            width = min(bin_width, config.end_ts - (config.start_ts + index * bin_width))
+            mass = activity_rate(mid, base_rate, night_owl=device.night_owl) * width
+            masses.append(mass)
+            total_mass += mass
+        count = self._poisson(total_mass)
+        times: list[float] = []
+        for _ in range(count):
+            point = self._rng.random() * total_mass
+            acc = 0.0
+            for index, mass in enumerate(masses):
+                acc += mass
+                if acc >= point:
+                    start = config.start_ts + index * bin_width
+                    times.append(start + self._rng.random() * bin_width)
+                    break
+        times.sort()
+        return times
+
+    def _poisson(self, lam: float) -> int:
+        """Poisson sample (normal approximation for large lambda)."""
+        if lam <= 0:
+            return 0
+        if lam > 50:
+            return max(0, int(self._rng.gauss(lam, math.sqrt(lam)) + 0.5))
+        threshold = math.exp(-lam)
+        count, product = 0, self._rng.random()
+        while product > threshold:
+            count += 1
+            product *= self._rng.random()
+        return count
+
+
+def generate_trace(config: RBNTraceConfig, **kwargs) -> tuple[TraceRecords, RBNTraceGenerator]:
+    """One-shot convenience: build generator, run, return both."""
+    generator = RBNTraceGenerator(config, **kwargs)
+    return generator.generate(), generator

@@ -1,0 +1,108 @@
+"""Binary serialization for TCP segment captures ("mini-pcap").
+
+The wire-level path of the pipeline produces
+:class:`~repro.http.tcp.TcpSegment` streams; this module persists them
+to a compact binary format so captures can be staged to disk and
+replayed through :class:`~repro.http.analyzer.HttpAnalyzer` later —
+the tcpdump-file role in the paper's active measurement setup (§4.1).
+
+Format (little-endian), per segment after an 8-byte magic header:
+
+========  =====================================
+f64       timestamp (epoch seconds)
+4B 4B     src, dst IPv4
+u16 u16   sport, dport
+u32       seq
+u8        flags (SYN=1, ACK=2, FIN=4, RST=8)
+u32       payload length, then the payload
+========  =====================================
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.http.tcp import TcpSegment
+
+__all__ = ["MAGIC", "write_segments", "read_segments", "PcapFormatError"]
+
+MAGIC = b"RPCAP\x01\x00\x00"
+_HEADER = struct.Struct("<d4s4sHHIBI")
+
+_SYN, _ACK, _FIN, _RST = 1, 2, 4, 8
+
+
+class PcapFormatError(ValueError):
+    """Raised for corrupt or truncated capture files."""
+
+
+def _pack_ip(ip: str) -> bytes:
+    try:
+        return socket.inet_aton(ip)
+    except OSError as exc:
+        raise PcapFormatError(f"not an IPv4 address: {ip!r}") from exc
+
+
+def _unpack_ip(raw: bytes) -> str:
+    return socket.inet_ntoa(raw)
+
+
+def write_segments(segments: Iterable[TcpSegment], stream: BinaryIO) -> int:
+    """Write segments to ``stream``; returns the segment count."""
+    stream.write(MAGIC)
+    count = 0
+    for segment in segments:
+        flags = (
+            (_SYN if segment.syn else 0)
+            | (_ACK if segment.ack else 0)
+            | (_FIN if segment.fin else 0)
+            | (_RST if segment.rst else 0)
+        )
+        stream.write(
+            _HEADER.pack(
+                segment.ts,
+                _pack_ip(segment.src),
+                _pack_ip(segment.dst),
+                segment.sport,
+                segment.dport,
+                segment.seq,
+                flags,
+                len(segment.payload),
+            )
+        )
+        stream.write(segment.payload)
+        count += 1
+    return count
+
+
+def read_segments(stream: BinaryIO) -> Iterator[TcpSegment]:
+    """Stream segments back from a capture written by
+    :func:`write_segments`."""
+    magic = stream.read(len(MAGIC))
+    if magic != MAGIC:
+        raise PcapFormatError(f"bad magic: {magic!r}")
+    while True:
+        header = stream.read(_HEADER.size)
+        if not header:
+            return
+        if len(header) < _HEADER.size:
+            raise PcapFormatError("truncated segment header")
+        ts, src, dst, sport, dport, seq, flags, length = _HEADER.unpack(header)
+        payload = stream.read(length)
+        if len(payload) < length:
+            raise PcapFormatError("truncated segment payload")
+        yield TcpSegment(
+            ts=ts,
+            src=_unpack_ip(src),
+            dst=_unpack_ip(dst),
+            sport=sport,
+            dport=dport,
+            seq=seq,
+            payload=payload,
+            syn=bool(flags & _SYN),
+            ack=bool(flags & _ACK),
+            fin=bool(flags & _FIN),
+            rst=bool(flags & _RST),
+        )

@@ -1,0 +1,312 @@
+"""Residential broadband population model: households, NAT, devices.
+
+§5-§6 describe the vantage point: DSL lines with NAT home gateways
+multiplexing many devices onto one IP, identified by (IP, User-Agent)
+pairs.  The paper finds >25 User-Agent strings per household on
+average — browsers alongside consoles, smart TVs, updaters and mobile
+apps — and restricts the ad-blocker analysis to annotated browsers.
+
+This module generates that population with configurable ad-blocker
+penetration per browser family (ABP is harder to install on Safari/IE,
+§6.2) and ABP configuration shares (EasyPrivacy adoption ~13%,
+acceptable-ads opt-out ~20%, §6.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.browser.profiles import BrowserProfile
+from repro.filterlist.lists import ACCEPTABLE_ADS, EASYLIST, EASYPRIVACY
+from repro.http.useragent import BrowserFamily
+
+__all__ = ["Device", "Household", "PopulationConfig", "generate_population"]
+
+
+# ---------------------------------------------------------------------------
+# User-Agent string factories per device type.
+
+_FIREFOX_UA = (
+    "Mozilla/5.0 (Windows NT {nt}; rv:{v}.0) Gecko/20100101 Firefox/{v}.0"
+)
+_CHROME_UA = (
+    "Mozilla/5.0 (Windows NT {nt}) AppleWebKit/537.36 (KHTML, like Gecko) "
+    "Chrome/{v}.0.{b}.100 Safari/537.36"
+)
+_IE_UA = "Mozilla/5.0 (Windows NT {nt}; Trident/7.0; rv:11.0) like Gecko"
+_IE_OLD_UA = "Mozilla/4.0 (compatible; MSIE 8.0; Windows NT {nt})"
+_SAFARI_UA = (
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_{minor}) AppleWebKit/600.{b}.1 "
+    "(KHTML, like Gecko) Version/8.0.{b} Safari/600.{b}.1"
+)
+_IPHONE_UA = (
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 8_{minor} like Mac OS X) AppleWebKit/600.1.4 "
+    "(KHTML, like Gecko) Version/8.0 Mobile/12F70 Safari/600.1.4"
+)
+_ANDROID_UA = (
+    "Mozilla/5.0 (Linux; Android 5.{minor}; SM-G900F) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/{v}.0.{b}.90 Mobile Safari/537.36"
+)
+
+_NONBROWSER_UAS = (
+    "PlayStation 4 3.11",
+    "Mozilla/5.0 (PLAYSTATION 3; 4.76)",
+    "Opera/9.80 (Linux mips; U; HbbTV/1.1.1) SmartTV",
+    "Roku/DVP-6.2",
+    "Microsoft-CryptoAPI/6.1",
+    "Avast Antivirus update agent",
+    "Dalvik/1.6.0 (Linux; U; Android 4.4.2)",
+    "CFNetwork/711.3.18 Darwin/14.0.0",
+    "okhttp/2.4.0",
+    "Spotify/1.0.9 Linux",
+    "VLC/2.2.1 LibVLC/2.2.1",
+    "iTunes/12.2 (Macintosh; OS X 10.10.4)",
+    "Valve/Steam HTTP Client 1.0",
+    "WhatsApp/2.12.176 Android",
+    "Windows-Update-Agent/7.6",
+)
+
+
+def _browser_ua(family: BrowserFamily, rng: random.Random) -> str:
+    if family == BrowserFamily.FIREFOX:
+        return _FIREFOX_UA.format(nt=rng.choice(["6.1", "6.3", "10.0"]), v=rng.randrange(36, 40))
+    if family == BrowserFamily.CHROME:
+        return _CHROME_UA.format(
+            nt=rng.choice(["6.1", "6.3", "10.0"]),
+            v=rng.randrange(41, 45),
+            b=rng.randrange(2000, 2500),
+        )
+    if family == BrowserFamily.IE:
+        template = _IE_UA if rng.random() < 0.7 else _IE_OLD_UA
+        return template.format(nt=rng.choice(["6.1", "6.3"]))
+    if family == BrowserFamily.SAFARI:
+        return _SAFARI_UA.format(minor=rng.randrange(8, 11), b=rng.randrange(1, 8))
+    if family == BrowserFamily.MOBILE:
+        if rng.random() < 0.5:
+            return _IPHONE_UA.format(minor=rng.randrange(1, 4))
+        return _ANDROID_UA.format(
+            minor=rng.randrange(0, 2), v=rng.randrange(40, 44), b=rng.randrange(2000, 2400)
+        )
+    return _NONBROWSER_UAS[rng.randrange(len(_NONBROWSER_UAS))]
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Device:
+    """One end device behind a household NAT."""
+
+    device_id: str
+    household_id: int
+    user_agent: str
+    family: BrowserFamily
+    is_browser: bool
+    profile: BrowserProfile
+    activity: float  # relative page-view rate (heavy-tailed)
+    night_owl: bool = False  # flatter diurnal curve (§7.1 discussion)
+    bootstrap_offset_s: float = 0.0  # when the device first comes up
+    low_ad_diet: bool = False  # browsing skews to low-ad categories
+
+
+@dataclass(slots=True)
+class Household:
+    """One DSL line: a NAT IP shared by several devices."""
+
+    household_id: int
+    ip: str
+    devices: list[Device] = field(default_factory=list)
+    # An ad-blocking proxy/middlebox filters ALL of this household's
+    # traffic (no per-device extension, no ABP server contacts).
+    proxy_blocker: bool = False
+
+    @property
+    def has_abp_device(self) -> bool:
+        return any(device.profile.has_abp for device in self.devices)
+
+
+@dataclass(slots=True)
+class PopulationConfig:
+    """Knobs of :func:`generate_population`.
+
+    Ad-blocker penetration defaults follow §6.2's findings: ~30% of
+    Firefox/Chrome, markedly less for Safari/IE (cumbersome install),
+    little on mobile.  ABP configuration shares follow §6.3:
+    EasyPrivacy adoption ~13%, acceptable-ads opt-out ~20%.
+    """
+
+    n_households: int = 200
+    seed: int = 11
+    mean_devices: float = 4.2
+    # Ad-block adoption is household-correlated: the same person
+    # installs the extension on every browser they use.  A household
+    # "adopts" with `household_abp_rate`; within adopting households
+    # each browser gets ABP with the per-family rate (install friction
+    # orders Firefox/Chrome > Safari > IE > mobile, §6.2).
+    household_abp_rate: float = 0.30
+    abp_rate_by_family: dict[str, float] = field(
+        default_factory=lambda: {
+            BrowserFamily.FIREFOX.value: 0.35,
+            BrowserFamily.CHROME.value: 0.33,
+            BrowserFamily.SAFARI.value: 0.18,
+            BrowserFamily.IE.value: 0.09,
+            BrowserFamily.MOBILE.value: 0.03,
+        }
+    )
+    # Ad-block users skew tech-savvy and more active: among *active*
+    # browsers they are overrepresented relative to the population.
+    abp_activity_multiplier: float = 2.2
+    ghostery_rate: float = 0.03
+    easyprivacy_share: float = 0.13
+    acceptable_ads_optout_share: float = 0.15
+    activity_pareto_alpha: float = 1.3
+    night_owl_share_abp: float = 0.45
+    night_owl_share_plain: float = 0.20
+    # Devices whose browsing skews to low-ad categories (streaming,
+    # search, reference): ad-blocker lookalikes, the paper's type-D
+    # explanation ("requested content from sites with few ads", §6.2).
+    low_ad_diet_share: float = 0.30
+    # Chance that a sibling browser reuses an earlier device's exact
+    # User-Agent string (same OS + browser build in one home): the two
+    # devices collapse into ONE (IP, UA) pair at the vantage point —
+    # the paper's other type-B mechanism ("many users in the same
+    # household, some using ABP and others not").
+    ua_collision_share: float = 0.08
+    # Households behind an ad-blocking middlebox/proxy: every device's
+    # traffic is filtered regardless of installed extensions — §10's
+    # overestimation confound ("confusing Adblock Plus instances with
+    # ad blocking proxies will lead to overestimation").
+    adblock_proxy_share: float = 0.01
+
+
+_FAMILY_WEIGHTS: tuple[tuple[BrowserFamily, float], ...] = (
+    (BrowserFamily.FIREFOX, 0.30),
+    (BrowserFamily.CHROME, 0.22),
+    (BrowserFamily.IE, 0.07),
+    (BrowserFamily.SAFARI, 0.12),
+    (BrowserFamily.MOBILE, 0.29),
+)
+
+
+def _abp_profile(config: PopulationConfig, rng: random.Random) -> BrowserProfile:
+    """Draw an ABP configuration per §6.3's adoption shares.
+
+    Privacy-conscious users who add EasyPrivacy overwhelmingly also
+    opt out of the acceptable-ads whitelist — which is what keeps
+    EasyPrivacy subscribers "quiet" in the paper's estimator even
+    though whitelisted beacons can match EasyPrivacy rules (§7.3).
+    """
+    lists = [EASYLIST]
+    has_easyprivacy = rng.random() < config.easyprivacy_share
+    if has_easyprivacy:
+        lists.append(EASYPRIVACY)
+    optout = config.acceptable_ads_optout_share if not has_easyprivacy else 0.75
+    if rng.random() >= optout:
+        lists.append(ACCEPTABLE_ADS)
+    return BrowserProfile("AdBP-user", abp_lists=tuple(lists))
+
+
+def generate_population(config: PopulationConfig | None = None) -> list[Household]:
+    """Generate the household/device population deterministically."""
+    config = config or PopulationConfig()
+    rng = random.Random(config.seed)
+    vanilla = BrowserProfile("Vanilla")
+    nonbrowser = BrowserProfile("NonBrowser")
+    from repro.browser.ghostery import GhosteryCategory
+
+    ghostery_profile = BrowserProfile(
+        "Ghostery-user",
+        ghostery_categories=(GhosteryCategory.ADVERTISING, GhosteryCategory.ANALYTICS),
+    )
+
+    families = [family for family, _ in _FAMILY_WEIGHTS]
+    family_weights = [weight for _, weight in _FAMILY_WEIGHTS]
+
+    households: list[Household] = []
+    for household_id in range(config.n_households):
+        ip = f"10.{(household_id >> 16) & 255}.{(household_id >> 8) & 255}.{household_id & 255}"
+        household = Household(
+            household_id=household_id,
+            ip=ip,
+            proxy_blocker=rng.random() < config.adblock_proxy_share,
+        )
+
+        n_browsers = max(1, round(rng.gauss(config.mean_devices * 0.6, 1.0)))
+        n_other = max(0, round(rng.gauss(config.mean_devices * 0.4, 1.2)))
+        household_adopts = rng.random() < config.household_abp_rate
+        browser_families = rng.choices(families, weights=family_weights, k=n_browsers)
+        # The adopter's primary browser definitely runs ABP; sibling
+        # browsers only per family rate — mixed households are the
+        # norm (the paper's type-B explanation, §6.2).  The primary
+        # browser skews to the low-friction families (Firefox/Chrome).
+        primary_index = -1
+        if household_adopts:
+            friction = [
+                config.abp_rate_by_family.get(family.value, 0.0) + 0.01
+                for family in browser_families
+            ]
+            primary_index = rng.choices(range(n_browsers), weights=friction)[0]
+
+        for index in range(n_browsers):
+            family = browser_families[index]
+            abp_rate = (
+                config.abp_rate_by_family.get(family.value, 0.0) if household_adopts else 0.0
+            )
+            roll = rng.random()
+            if household_adopts and index == primary_index:
+                profile = _abp_profile(config, rng)
+            elif roll < abp_rate:
+                profile = _abp_profile(config, rng)
+            elif roll < abp_rate + config.ghostery_rate:
+                profile = ghostery_profile
+            else:
+                profile = vanilla
+            night_owl_share = (
+                config.night_owl_share_abp
+                if profile.has_adblocker
+                else config.night_owl_share_plain
+            )
+            activity = rng.paretovariate(config.activity_pareto_alpha) * 0.3
+            if profile.has_abp:
+                activity *= config.abp_activity_multiplier
+            # Sibling devices may run the identical browser build: at
+            # the vantage point the two devices merge into one pair.
+            user_agent = _browser_ua(family, rng)
+            same_family = [
+                d for d in household.devices if d.is_browser and d.family == family
+            ]
+            if same_family and rng.random() < config.ua_collision_share:
+                user_agent = same_family[0].user_agent
+            household.devices.append(
+                Device(
+                    device_id=f"h{household_id}b{index}",
+                    household_id=household_id,
+                    user_agent=user_agent,
+                    family=family,
+                    is_browser=True,
+                    profile=profile,
+                    activity=activity,
+                    night_owl=rng.random() < night_owl_share,
+                    # Browser last (re)started up to a day before the
+                    # capture window — drives which ABP list downloads
+                    # fall inside the trace (§3.2).
+                    bootstrap_offset_s=rng.uniform(-86400.0, 3600.0),
+                    low_ad_diet=rng.random() < config.low_ad_diet_share,
+                )
+            )
+        for index in range(n_other):
+            household.devices.append(
+                Device(
+                    device_id=f"h{household_id}x{index}",
+                    household_id=household_id,
+                    user_agent=_NONBROWSER_UAS[rng.randrange(len(_NONBROWSER_UAS))],
+                    family=BrowserFamily.OTHER,
+                    is_browser=False,
+                    profile=nonbrowser,
+                    activity=rng.paretovariate(config.activity_pareto_alpha) * 0.25,
+                    bootstrap_offset_s=rng.uniform(-86400.0, 3600.0),
+                )
+            )
+        households.append(household)
+    return households

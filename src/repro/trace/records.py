@@ -1,0 +1,207 @@
+"""Trace record formats and visit-to-trace rendering.
+
+A captured trace, as the paper's monitoring sees it, consists of
+
+* HTTP transactions on port 80 — flattened to
+  :class:`~repro.http.log.HttpLogRecord`;
+* HTTPS visible only as TLS connection records (client, server IP,
+  port 443, timestamp) — :class:`TlsConnectionRecord`;
+
+plus — only in the simulator, never in a real capture — a
+:class:`GroundTruth` sidecar aligned with the HTTP records, carrying
+the generative truth (intent, list ground truth, device identity) that
+validation tests compare the passive methodology against.
+
+:func:`render_visit` turns a :class:`~repro.browser.emulator.BrowserVisit`
+into these records, modelling per-server RTT, persistent connections
+and the HTTP-vs-TCP handshake timing that §8.2 exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.browser.emulator import BrowserVisit, EmulatedRequest
+from repro.http.log import HttpLogRecord
+from repro.http.url import split_url
+from repro.web.ecosystem import Ecosystem
+
+__all__ = [
+    "TlsConnectionRecord",
+    "GroundTruth",
+    "TraceRecords",
+    "RttModel",
+    "render_visit",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TlsConnectionRecord:
+    """One HTTPS connection (no payload visibility, §5)."""
+
+    ts: float
+    client: str
+    server: str
+    server_port: int = 443
+
+
+@dataclass(slots=True)
+class GroundTruth:
+    """Simulator-side truth for one HTTP record (validation only)."""
+
+    intent: str  # "content" | "ad" | "tracker" | "app"
+    acceptable: bool
+    network_name: str
+    page_url: str
+    device_id: str
+    profile_name: str
+    has_adblocker: bool
+
+
+@dataclass(slots=True)
+class TraceRecords:
+    """A captured (simulated) trace plus its ground-truth sidecar."""
+
+    http: list[HttpLogRecord] = field(default_factory=list)
+    truth: list[GroundTruth] = field(default_factory=list)
+    tls: list[TlsConnectionRecord] = field(default_factory=list)
+
+    def extend(self, other: "TraceRecords") -> None:
+        self.http.extend(other.http)
+        self.truth.extend(other.truth)
+        self.tls.extend(other.tls)
+
+    def sort_by_time(self) -> None:
+        order = sorted(range(len(self.http)), key=lambda i: self.http[i].ts)
+        self.http = [self.http[i] for i in order]
+        self.truth = [self.truth[i] for i in order]
+        self.tls.sort(key=lambda record: record.ts)
+
+    @property
+    def total_http_bytes(self) -> int:
+        """Body bytes plus a flat per-message header estimate."""
+        total = 0
+        for record in self.http:
+            total += (record.content_length or 0) + 600
+        return total
+
+    def __len__(self) -> int:
+        return len(self.http)
+
+
+class RttModel:
+    """Stable per-server network RTT (the TCP-handshake time, §8.2).
+
+    Each server IP gets a base RTT drawn once from a EU/US/Asia
+    mixture — the monitor sits in a European aggregation network, so
+    most CDN traffic is near and cloud/exchange traffic may be far.
+    Per-connection jitter is added on top.
+    """
+
+    def __init__(self, seed: int = 7):
+        self._seed = seed
+        self._base: dict[str, float] = {}
+
+    def base_rtt_ms(self, server_ip: str) -> float:
+        base = self._base.get(server_ip)
+        if base is None:
+            rng = random.Random(f"{self._seed}:{server_ip}")
+            roll = rng.random()
+            if roll < 0.55:
+                base = rng.uniform(6.0, 35.0)  # European edge
+            elif roll < 0.90:
+                base = rng.uniform(85.0, 140.0)  # transatlantic
+            else:
+                base = rng.uniform(160.0, 280.0)  # far east
+            self._base[server_ip] = base
+        return base
+
+    def handshake_ms(self, server_ip: str, rng: random.Random) -> float:
+        return self.base_rtt_ms(server_ip) * rng.uniform(0.95, 1.15)
+
+
+def render_visit(
+    visit: BrowserVisit,
+    *,
+    client_ip: str,
+    user_agent: str,
+    base_ts: float,
+    ecosystem: Ecosystem,
+    rtt: RttModel,
+    rng: random.Random,
+    device_id: str = "",
+    flow_id_start: int = 1,
+) -> TraceRecords:
+    """Render a browser visit into capture-level trace records.
+
+    Persistent connections: all requests of a visit to the same host
+    reuse one flow (and hence one TCP-handshake measurement) — exactly
+    the assumption the paper makes when using the flow's handshake for
+    later transactions on it.
+    """
+    records = TraceRecords()
+    flows: dict[str, tuple[int, float]] = {}
+    next_flow = flow_id_start
+
+    for request in visit.requests:
+        host = split_url(request.url).host
+        server_ip = ecosystem.ip_for_host(host)
+        flow = flows.get(host)
+        if flow is None:
+            handshake = rtt.handshake_ms(server_ip, rng)
+            flow = (next_flow, handshake)
+            flows[host] = flow
+            next_flow += 1
+        flow_id, tcp_handshake_ms = flow
+
+        ts_request = base_ts + request.ts_offset
+        server_ms = request.obj.server_delay_ms
+        http_handshake_ms = tcp_handshake_ms * rng.uniform(0.98, 1.1) + server_ms
+
+        records.http.append(
+            HttpLogRecord(
+                ts=ts_request,
+                client=client_ip,
+                server=server_ip,
+                method="GET",
+                host=host,
+                uri=_request_uri(request),
+                referrer=request.referer,
+                user_agent=user_agent,
+                status=request.status,
+                content_type=request.declared_mime,
+                content_length=request.size,
+                location=request.location,
+                tcp_handshake_ms=tcp_handshake_ms,
+                http_handshake_ms=http_handshake_ms,
+                flow_id=flow_id,
+            )
+        )
+        records.truth.append(
+            GroundTruth(
+                intent=request.obj.intent,
+                acceptable=request.obj.acceptable,
+                network_name=request.obj.network_name,
+                page_url=visit.page_url,
+                device_id=device_id,
+                profile_name=visit.profile.name,
+                has_adblocker=visit.profile.has_adblocker,
+            )
+        )
+
+    for tls in visit.tls_connections:
+        server_ip = ecosystem.ip_for_host(tls.host)
+        records.tls.append(
+            TlsConnectionRecord(
+                ts=base_ts + tls.ts_offset,
+                client=client_ip,
+                server=server_ip,
+            )
+        )
+    return records
+
+
+def _request_uri(request: EmulatedRequest) -> str:
+    parts = split_url(request.url)
+    return parts.path_and_query or "/"

@@ -1,0 +1,166 @@
+"""Wire-level rendering: browser visits -> TCP segments.
+
+The alternative, packet-faithful path of the pipeline: instead of
+emitting log records directly (:func:`repro.trace.records.render_visit`),
+materialize every HTTP transaction as actual TCP segments carrying
+HTTP/1.1 bytes, which :class:`repro.http.analyzer.HttpAnalyzer`
+reassembles like Bro would.  Tests assert both paths agree; the active
+measurement study uses this path end-to-end (its "tcpdump" capture).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.browser.emulator import BrowserVisit
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.parser import serialize_request, serialize_response
+from repro.http.tcp import TcpSegment
+from repro.http.url import split_url
+from repro.trace.records import RttModel
+from repro.web.ecosystem import Ecosystem
+
+__all__ = ["render_visit_segments"]
+
+_MAX_SEGMENT = 1460  # standard Ethernet MSS
+
+
+def _segmentize(
+    ts: float,
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    seq_start: int,
+    payload: bytes,
+    per_segment_delay: float,
+) -> list[TcpSegment]:
+    segments = []
+    offset = 0
+    ts_cursor = ts
+    while offset < len(payload):
+        chunk = payload[offset : offset + _MAX_SEGMENT]
+        segments.append(
+            TcpSegment(
+                ts=ts_cursor,
+                src=src,
+                dst=dst,
+                sport=sport,
+                dport=dport,
+                seq=seq_start + offset,
+                payload=chunk,
+            )
+        )
+        offset += len(chunk)
+        ts_cursor += per_segment_delay
+    return segments
+
+
+def render_visit_segments(
+    visit: BrowserVisit,
+    *,
+    client_ip: str,
+    user_agent: str,
+    base_ts: float,
+    ecosystem: Ecosystem,
+    rtt: RttModel,
+    rng: random.Random,
+    max_body_bytes: int = 16 * 1024,
+    reorder_probability: float = 0.02,
+) -> list[TcpSegment]:
+    """Render one visit as a time-ordered TCP segment capture.
+
+    Bodies larger than ``max_body_bytes`` are truncated on the wire
+    but keep a truthful ``Content-Length`` header — mirroring header
+    traces, where stored payload is capped but lengths are logged.
+    A small fraction of data segments is emitted out of order to
+    exercise the analyzer's reassembly.
+    """
+    segments: list[TcpSegment] = []
+    # Per-host connection state: (sport, client_seq, server_seq).
+    connections: dict[str, list] = {}
+    next_port = 40000 + (rng.randrange(1000))
+
+    for request in visit.requests:
+        parts = split_url(request.url)
+        host = parts.host
+        server_ip = ecosystem.ip_for_host(host)
+        rtt_ms = rtt.handshake_ms(server_ip, rng)
+        rtt_s = rtt_ms / 1000.0
+        ts = base_ts + request.ts_offset
+
+        state = connections.get(host)
+        if state is None:
+            sport = next_port
+            next_port += 1
+            # TCP handshake: SYN at ts, SYN-ACK rtt later, ACK after.
+            segments.append(
+                TcpSegment(ts=ts, src=client_ip, dst=server_ip, sport=sport, dport=80, syn=True)
+            )
+            segments.append(
+                TcpSegment(
+                    ts=ts + rtt_s,
+                    src=server_ip,
+                    dst=client_ip,
+                    sport=80,
+                    dport=sport,
+                    syn=True,
+                    ack=True,
+                )
+            )
+            ts = ts + rtt_s  # request goes out after the handshake
+            state = [sport, 0, 0]
+            connections[host] = state
+        sport, client_seq, server_seq = state
+
+        headers = Headers()
+        headers.set("Host", host)
+        headers.set("User-Agent", user_agent)
+        if request.referer:
+            headers.set("Referer", request.referer)
+        headers.set("Accept", "*/*")
+        http_request = HttpRequest(method="GET", uri=parts.path_and_query or "/", headers=headers)
+        request_bytes = serialize_request(http_request)
+
+        response_headers = Headers()
+        if request.declared_mime is not None:
+            response_headers.set("Content-Type", request.declared_mime)
+        response_headers.set("Content-Length", str(request.size))
+        if request.location is not None:
+            response_headers.set("Location", request.location)
+        status = request.status
+        truncated = request.size > max_body_bytes
+        body = b"x" * min(request.size, max_body_bytes)
+        response = HttpResponse(status=status, reason="OK" if status == 200 else "Found",
+                                headers=response_headers)
+        # The Content-Length header stays truthful (the analyzer logs
+        # it); when the shipped body is truncated — like a capture with
+        # a snap length — the connection is closed after this response
+        # so the shortened stream stays parseable.
+        response_bytes = serialize_response(response, body)
+
+        segments.extend(
+            _segmentize(ts, client_ip, server_ip, sport, 80, client_seq, request_bytes, 1e-5)
+        )
+        client_seq += len(request_bytes)
+
+        server_ts = ts + rtt_s * rng.uniform(0.98, 1.1) + request.obj.server_delay_ms / 1000.0
+        response_segments = _segmentize(
+            server_ts, server_ip, client_ip, 80, sport, server_seq, response_bytes, 2e-5
+        )
+        server_seq += len(response_bytes)
+
+        # Occasionally swap two adjacent data segments (reordering).
+        if len(response_segments) > 2 and rng.random() < reorder_probability:
+            index = rng.randrange(1, len(response_segments) - 1)
+            response_segments[index], response_segments[index + 1] = (
+                response_segments[index + 1],
+                response_segments[index],
+            )
+        segments.extend(response_segments)
+        state[1], state[2] = client_seq, server_seq
+        if truncated:
+            del connections[host]
+
+    segments.sort(key=lambda s: s.ts)
+    return segments

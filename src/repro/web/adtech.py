@@ -1,0 +1,134 @@
+"""Ad delivery chains and the server-side latency model.
+
+§8.2 infers real-time bidding from the gap between the HTTP handshake
+(first response packet minus first request packet) and the TCP
+handshake (SYN-ACK minus SYN): exchanges hold the request open for the
+~100 ms auction window, so ad requests show a third latency mode near
+120 ms that plain content lacks (Fig 7's modes at 1 ms, 10 ms, 120 ms).
+
+This module models (a) the sequence of requests fetching one ad slot —
+exchange script, auction, creative, tracking pixels — and (b) the
+server-side processing delay of every request class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.web.ecosystem import AdNetwork, Publisher, Tracker
+
+__all__ = ["ServerDelayModel", "AdChainStep", "AdChainKind", "build_ad_chain"]
+
+
+class AdChainKind(str, Enum):
+    """Role of one request in an ad-delivery chain."""
+
+    AD_SCRIPT = "ad_script"  # publisher-embedded ad tag
+    RTB_CALL = "rtb_call"  # exchange auction endpoint
+    CREATIVE = "creative"  # winning ad's asset
+    TRACKING_PIXEL = "tracking_pixel"  # impression beacon
+    CLICK_REDIRECT = "click_redirect"  # redirector hop
+
+
+@dataclass(frozen=True, slots=True)
+class AdChainStep:
+    """One request in an ad chain, before URL materialization."""
+
+    kind: AdChainKind
+    network: AdNetwork
+    acceptable: bool  # served under an acceptable-ads programme slot
+    is_video: bool = False
+
+
+class ServerDelayModel:
+    """Samples server-side processing delay in milliseconds.
+
+    Three regimes reproduce Fig 7's modes:
+
+    * front-end hits: ~1 ms (log-normal around 1);
+    * back-office / origin fetches (CDN miss, dynamic rendering):
+      ~10 ms;
+    * RTB auctions: the exchange's configured window, ~100-140 ms.
+    """
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def frontend_ms(self) -> float:
+        return self._rng.lognormvariate(0.0, 0.6)
+
+    def backoffice_ms(self) -> float:
+        return self._rng.lognormvariate(2.3, 0.5)  # median ~10 ms
+
+    def rtb_ms(self, network: AdNetwork) -> float:
+        low, high = network.rtb_delay_ms
+        return self._rng.uniform(low, high) + self._rng.lognormvariate(0.0, 0.5)
+
+    def content_ms(self) -> float:
+        """Delay of a regular content request: mostly front-end, a
+        minority hitting origin servers."""
+        if self._rng.random() < 0.15:
+            return self.backoffice_ms()
+        return self.frontend_ms()
+
+    def ad_request_ms(self, kind: AdChainKind, network: AdNetwork) -> float:
+        """Delay for one ad-chain request.
+
+        Creatives and pixels are cached at the edge (~1 ms), ad scripts
+        often render dynamically (~10 ms), auction calls pay the full
+        bidding window.
+        """
+        if kind is AdChainKind.RTB_CALL:
+            return self.rtb_ms(network)
+        if kind is AdChainKind.AD_SCRIPT:
+            if self._rng.random() < 0.6:
+                return self.backoffice_ms()
+            return self.frontend_ms()
+        if kind is AdChainKind.CLICK_REDIRECT:
+            return self.backoffice_ms()
+        if self._rng.random() < 0.2:
+            return self.backoffice_ms()
+        return self.frontend_ms()
+
+
+def build_ad_chain(
+    publisher: Publisher,
+    rng: random.Random,
+    *,
+    video_slot: bool = False,
+) -> list[AdChainStep]:
+    """Materialize the request chain of one ad slot on ``publisher``.
+
+    Fetching one advert involves several requests (§6 footnote 3): the
+    ad tag script, optionally an exchange auction (when the slot's
+    network runs RTB), the creative itself, and 1-2 impression pixels.
+    Whether the slot is an *acceptable ads* slot depends on the
+    network's programme participation and the category's affinity.
+    """
+    if not publisher.ad_networks:
+        return []
+    weights = [network.market_share for network in publisher.ad_networks]
+    network = rng.choices(publisher.ad_networks, weights=weights)[0]
+    acceptable = network.acceptable_ads and rng.random() < publisher.profile.acceptable_ads_affinity
+
+    steps = [AdChainStep(AdChainKind.AD_SCRIPT, network, acceptable)]
+    if network.is_exchange and rng.random() < 0.7:
+        steps.append(AdChainStep(AdChainKind.RTB_CALL, network, acceptable))
+    if rng.random() < 0.05:
+        # Redirector hop in front of the creative: the follow-up
+        # request has no referer, only the Location header links them.
+        steps.append(AdChainStep(AdChainKind.CLICK_REDIRECT, network, acceptable))
+    steps.append(AdChainStep(AdChainKind.CREATIVE, network, acceptable, is_video=video_slot))
+    for _ in range(1 + int(rng.random() < 0.2)):
+        steps.append(AdChainStep(AdChainKind.TRACKING_PIXEL, network, acceptable))
+    return steps
+
+
+def pick_tracker(publisher: Publisher, rng: random.Random) -> Tracker | None:
+    """Choose one of the publisher's trackers by market share."""
+    if not publisher.trackers:
+        return None
+    weights = [tracker.market_share for tracker in publisher.trackers]
+    return rng.choices(publisher.trackers, weights=weights)[0]

@@ -1,0 +1,24 @@
+"""Synthetic "Alexa" popularity ranking over the ecosystem.
+
+The active-measurement study (§4) crawls the Alexa top-1000 sites; the
+reproduction's equivalent is the ecosystem's publishers ordered by
+their Zipf popularity, which :func:`alexa_top` exposes in the familiar
+rank-ordered form.
+"""
+
+from __future__ import annotations
+
+from repro.web.ecosystem import Ecosystem, Publisher
+
+__all__ = ["alexa_top", "alexa_urls"]
+
+
+def alexa_top(ecosystem: Ecosystem, n: int = 1000) -> list[Publisher]:
+    """The ``n`` most popular publishers, rank order (1 = top)."""
+    ordered = sorted(ecosystem.publishers, key=lambda p: p.rank)
+    return ordered[:n]
+
+
+def alexa_urls(ecosystem: Ecosystem, n: int = 1000) -> list[str]:
+    """Landing-page URLs of the top-``n`` list, as a crawler consumes."""
+    return [f"http://{publisher.domain}/" for publisher in alexa_top(ecosystem, n)]

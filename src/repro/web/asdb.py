@@ -1,0 +1,128 @@
+"""Autonomous-system registry and IP-prefix lookup.
+
+§8.1 maps ad-serving IPs to ASes via global routing information; the
+synthetic equivalent is a registry that allocates /16 IPv4 prefixes to
+synthetic ASes and answers longest-prefix (here: exact /16) lookups.
+The default registry mirrors the player mix of Table 5: a dominant
+search/ad company, two cloud arms of one retailer, CDNs, European
+hosters, dedicated ad-tech ASes and generic hosting for the long tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["AsKind", "AutonomousSystem", "AsDatabase", "default_as_database"]
+
+
+class AsKind(str, Enum):
+    SEARCH = "search"
+    CLOUD = "cloud"
+    CDN = "cdn"
+    ADTECH = "adtech"
+    HOSTING = "hosting"
+    ISP = "isp"
+
+
+@dataclass(slots=True)
+class AutonomousSystem:
+    """One synthetic AS with its allocated /16 prefixes."""
+
+    asn: int
+    name: str
+    kind: AsKind
+    prefixes: list[int] = field(default_factory=list)  # first-two-octet keys
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+
+def _prefix_key(ip: str) -> int:
+    first_dot = ip.find(".")
+    second_dot = ip.find(".", first_dot + 1)
+    return int(ip[:first_dot]) * 256 + int(ip[first_dot + 1 : second_dot])
+
+
+class AsDatabase:
+    """Allocates prefixes to ASes and resolves IPs back to them."""
+
+    def __init__(self) -> None:
+        self._by_asn: dict[int, AutonomousSystem] = {}
+        self._by_prefix: dict[int, AutonomousSystem] = {}
+        self._next_octet1 = 101  # synthetic "public" space starts here
+        self._next_octet2 = 0
+
+    def register(self, name: str, kind: AsKind, *, asn: int | None = None, n_prefixes: int = 1) -> AutonomousSystem:
+        """Create an AS and allocate ``n_prefixes`` /16 blocks to it."""
+        if asn is None:
+            asn = 64500 + len(self._by_asn)
+        if asn in self._by_asn:
+            raise ValueError(f"ASN {asn} already registered")
+        as_ = AutonomousSystem(asn=asn, name=name, kind=kind)
+        for _ in range(n_prefixes):
+            key = self._next_octet1 * 256 + self._next_octet2
+            self._next_octet2 += 1
+            if self._next_octet2 == 256:
+                self._next_octet2 = 0
+                self._next_octet1 += 1
+            as_.prefixes.append(key)
+            self._by_prefix[key] = as_
+        self._by_asn[asn] = as_
+        return as_
+
+    def lookup(self, ip: str) -> AutonomousSystem | None:
+        """Resolve an IPv4 address to its AS (None for client space)."""
+        try:
+            return self._by_prefix.get(_prefix_key(ip))
+        except (ValueError, IndexError):
+            return None
+
+    def get(self, asn: int) -> AutonomousSystem | None:
+        return self._by_asn.get(asn)
+
+    def by_name(self, name: str) -> AutonomousSystem | None:
+        for as_ in self._by_asn.values():
+            if as_.name == name:
+                return as_
+        return None
+
+    def all(self) -> list[AutonomousSystem]:
+        return list(self._by_asn.values())
+
+    def address_in(self, as_: AutonomousSystem, index: int) -> str:
+        """The ``index``-th address of an AS, spread over its prefixes."""
+        if not as_.prefixes:
+            raise ValueError(f"AS {as_.name} has no prefixes")
+        prefix = as_.prefixes[index % len(as_.prefixes)]
+        host_part = (index // len(as_.prefixes)) % 65024 + 256  # skip .0.x
+        return f"{prefix // 256}.{prefix % 256}.{host_part // 256}.{host_part % 256}"
+
+
+# Synthetic stand-ins for the organisations of Table 5.  Names are
+# lightly fictionalized; ``paper_name`` comments map them back.
+_DEFAULT_ASES: tuple[tuple[str, AsKind, int], ...] = (
+    ("Googol", AsKind.SEARCH, 4),  # Google
+    ("Amazonia-EC2", AsKind.CLOUD, 3),  # Amazon-EC2
+    ("Akamight", AsKind.CDN, 3),  # Akamai
+    ("Amazonia-AWS", AsKind.CLOUD, 2),  # Am.-AWS
+    ("Hetzfeld", AsKind.HOSTING, 2),  # Hetzner
+    ("AppNexus-like", AsKind.ADTECH, 1),  # AppNexus
+    ("MyLocal", AsKind.HOSTING, 1),  # MyLoc
+    ("SoftStratum", AsKind.CDN, 2),  # SoftLayer
+    ("AOLike", AsKind.ADTECH, 1),  # AOL
+    ("Criterion", AsKind.ADTECH, 1),  # Criteo
+    ("EuroHost-1", AsKind.HOSTING, 2),
+    ("EuroHost-2", AsKind.HOSTING, 2),
+    ("GenericCloud", AsKind.CLOUD, 2),
+    ("TierOne-Transit", AsKind.HOSTING, 3),
+    ("MediaCDN", AsKind.CDN, 2),
+)
+
+
+def default_as_database() -> AsDatabase:
+    """Registry used by the default ecosystem (Table 5 player mix)."""
+    db = AsDatabase()
+    for name, kind, n_prefixes in _DEFAULT_ASES:
+        db.register(name, kind, n_prefixes=n_prefixes)
+    return db

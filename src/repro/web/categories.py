@@ -1,0 +1,232 @@
+"""Site categories and per-category page profiles.
+
+The paper groups publishers into content categories (news, adult,
+streaming, shopping, ... — §7.3 uses a commercial categorization
+service) and observes category-dependent ad behaviour: news pages are
+object-heavy and ad-heavy, adult and file-sharing sites carry ads that
+are never whitelisted, streaming produces few ad requests per byte.
+The profiles below encode those structural differences; absolute
+numbers are calibrated so the aggregate trace statistics land near the
+paper's (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["SiteCategory", "CategoryProfile", "PROFILES", "profile_for"]
+
+
+class SiteCategory(str, Enum):
+    NEWS = "news"
+    TECHNOLOGY = "technology"
+    SHOPPING = "shopping"
+    SOCIAL = "social"
+    VIDEO_STREAMING = "video_streaming"
+    AUDIO_STREAMING = "audio_streaming"
+    FILE_SHARING = "file_sharing"
+    ADULT = "adult"
+    SEARCH = "search"
+    DATING = "dating"
+    TRANSLATION = "translation"
+    GAMES = "games"
+    REFERENCE = "reference"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True, slots=True)
+class CategoryProfile:
+    """Structural parameters of pages in one category.
+
+    Attributes:
+        objects_mean: mean number of non-ad embedded objects per page.
+        ad_slots_mean: mean number of display-ad slots per page.
+        tracker_mean: mean number of third-party trackers per page.
+        text_ad_probability: chance a page embeds in-HTML text ads
+            (element-hiding territory — invisible to the passive
+            methodology, §3.1).
+        video_probability: chance the page's main content is video
+            (chunked media objects).
+        video_ad_probability: chance a video page plays a pre-roll
+            video ad (unchunked, 15-45 s).
+        acceptable_ads_affinity: propensity of the category's ad slots
+            to come from acceptable-ads participants (drives §7.3's
+            per-category whitelisting differences).
+        xhr_mean: mean number of XHR/API calls (interactive sites).
+        popularity_weight: relative share of user page views going to
+            this category.
+    """
+
+    objects_mean: float
+    ad_slots_mean: float
+    tracker_mean: float
+    text_ad_probability: float
+    video_probability: float
+    video_ad_probability: float
+    acceptable_ads_affinity: float
+    xhr_mean: float
+    popularity_weight: float
+
+
+PROFILES: dict[SiteCategory, CategoryProfile] = {
+    SiteCategory.NEWS: CategoryProfile(
+        objects_mean=55.0,
+        ad_slots_mean=3.06,
+        tracker_mean=7.14,
+        text_ad_probability=0.35,
+        video_probability=0.10,
+        video_ad_probability=0.2,
+        acceptable_ads_affinity=0.175,
+        xhr_mean=3.0,
+        popularity_weight=0.18,
+    ),
+    SiteCategory.TECHNOLOGY: CategoryProfile(
+        objects_mean=40.0,
+        ad_slots_mean=2.04,
+        tracker_mean=5.1,
+        text_ad_probability=0.30,
+        video_probability=0.05,
+        video_ad_probability=0.16,
+        acceptable_ads_affinity=0.385,
+        xhr_mean=3.0,
+        popularity_weight=0.10,
+    ),
+    SiteCategory.SHOPPING: CategoryProfile(
+        objects_mean=45.0,
+        ad_slots_mean=1.53,
+        tracker_mean=6.12,
+        text_ad_probability=0.20,
+        video_probability=0.01,
+        video_ad_probability=0.04,
+        acceptable_ads_affinity=0.42,
+        xhr_mean=4.0,
+        popularity_weight=0.12,
+    ),
+    SiteCategory.SOCIAL: CategoryProfile(
+        objects_mean=35.0,
+        ad_slots_mean=1.27,
+        tracker_mean=3.06,
+        text_ad_probability=0.40,
+        video_probability=0.15,
+        video_ad_probability=0.08,
+        acceptable_ads_affinity=0.21,
+        xhr_mean=8.0,
+        popularity_weight=0.16,
+    ),
+    SiteCategory.VIDEO_STREAMING: CategoryProfile(
+        objects_mean=18.0,
+        ad_slots_mean=0.77,
+        tracker_mean=2.55,
+        text_ad_probability=0.05,
+        video_probability=0.95,
+        video_ad_probability=0.22,
+        acceptable_ads_affinity=0.35,
+        xhr_mean=2.0,
+        popularity_weight=0.14,
+    ),
+    SiteCategory.AUDIO_STREAMING: CategoryProfile(
+        objects_mean=15.0,
+        ad_slots_mean=0.77,
+        tracker_mean=2.04,
+        text_ad_probability=0.05,
+        video_probability=0.05,
+        video_ad_probability=0.08,
+        acceptable_ads_affinity=0.42,
+        xhr_mean=3.0,
+        popularity_weight=0.04,
+    ),
+    SiteCategory.FILE_SHARING: CategoryProfile(
+        objects_mean=20.0,
+        ad_slots_mean=2.29,
+        tracker_mean=2.04,
+        text_ad_probability=0.10,
+        video_probability=0.30,
+        video_ad_probability=0.12,
+        acceptable_ads_affinity=0.014,
+        xhr_mean=1.0,
+        popularity_weight=0.05,
+    ),
+    SiteCategory.ADULT: CategoryProfile(
+        objects_mean=30.0,
+        ad_slots_mean=2.55,
+        tracker_mean=2.04,
+        text_ad_probability=0.10,
+        video_probability=0.60,
+        video_ad_probability=0.16,
+        acceptable_ads_affinity=0.0,
+        xhr_mean=1.0,
+        popularity_weight=0.06,
+    ),
+    SiteCategory.SEARCH: CategoryProfile(
+        objects_mean=10.0,
+        ad_slots_mean=0.51,
+        tracker_mean=1.02,
+        text_ad_probability=0.80,
+        video_probability=0.0,
+        video_ad_probability=0.0,
+        acceptable_ads_affinity=0.595,
+        xhr_mean=6.0,
+        popularity_weight=0.07,
+    ),
+    SiteCategory.DATING: CategoryProfile(
+        objects_mean=25.0,
+        ad_slots_mean=1.53,
+        tracker_mean=4.08,
+        text_ad_probability=0.20,
+        video_probability=0.02,
+        video_ad_probability=0.04,
+        acceptable_ads_affinity=0.49,
+        xhr_mean=4.0,
+        popularity_weight=0.02,
+    ),
+    SiteCategory.TRANSLATION: CategoryProfile(
+        objects_mean=12.0,
+        ad_slots_mean=1.02,
+        tracker_mean=1.53,
+        text_ad_probability=0.60,
+        video_probability=0.0,
+        video_ad_probability=0.0,
+        acceptable_ads_affinity=0.525,
+        xhr_mean=6.0,
+        popularity_weight=0.02,
+    ),
+    SiteCategory.GAMES: CategoryProfile(
+        objects_mean=30.0,
+        ad_slots_mean=1.78,
+        tracker_mean=3.06,
+        text_ad_probability=0.15,
+        video_probability=0.05,
+        video_ad_probability=0.12,
+        acceptable_ads_affinity=0.14,
+        xhr_mean=3.0,
+        popularity_weight=0.05,
+    ),
+    SiteCategory.REFERENCE: CategoryProfile(
+        objects_mean=20.0,
+        ad_slots_mean=1.02,
+        tracker_mean=2.04,
+        text_ad_probability=0.25,
+        video_probability=0.01,
+        video_ad_probability=0.04,
+        acceptable_ads_affinity=0.35,
+        xhr_mean=2.0,
+        popularity_weight=0.04,
+    ),
+    SiteCategory.MIXED: CategoryProfile(
+        objects_mean=30.0,
+        ad_slots_mean=1.53,
+        tracker_mean=3.57,
+        text_ad_probability=0.25,
+        video_probability=0.10,
+        video_ad_probability=0.12,
+        acceptable_ads_affinity=0.245,
+        xhr_mean=3.0,
+        popularity_weight=0.05,
+    ),
+}
+
+
+def profile_for(category: SiteCategory) -> CategoryProfile:
+    """Profile lookup with a safe fallback to MIXED."""
+    return PROFILES.get(category, PROFILES[SiteCategory.MIXED])

@@ -1,0 +1,100 @@
+"""DNS resolution substrate.
+
+§3.2: "To identify Adblock Plus servers in the traces we rely on
+multiple DNS resolvers to obtain an up-to-date list of Adblock Plus
+server IPs"; §5 adds that the list was resolved before and after the
+capture and "did not exhibit differences".
+
+This module models exactly that workflow against the synthetic
+ecosystem: authoritative records with TTLs (possibly multiple A
+records per name for DNS round-robin), caching resolvers with
+independent cache states, and the before/after stability check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.ecosystem import Ecosystem
+
+__all__ = ["DnsRecord", "AuthoritativeZone", "Resolver", "resolve_with_quorum"]
+
+
+@dataclass(frozen=True, slots=True)
+class DnsRecord:
+    """One A record."""
+
+    name: str
+    address: str
+    ttl: float = 3600.0
+
+
+class AuthoritativeZone:
+    """Authoritative source of truth, backed by the ecosystem.
+
+    Every ecosystem host resolves to its stable serving address; names
+    can additionally be given extra round-robin addresses (ad servers
+    and CDNs commonly return several).
+    """
+
+    def __init__(self, ecosystem: Ecosystem):
+        self._ecosystem = ecosystem
+        self._extra: dict[str, list[DnsRecord]] = {}
+
+    def add_round_robin(self, name: str, addresses: list[str], *, ttl: float = 300.0) -> None:
+        self._extra[name] = [DnsRecord(name, address, ttl) for address in addresses]
+
+    def query(self, name: str) -> list[DnsRecord]:
+        records = [DnsRecord(name, self._ecosystem.ip_for_host(name))]
+        records.extend(self._extra.get(name, []))
+        return records
+
+
+@dataclass(slots=True)
+class _CacheEntry:
+    records: list[DnsRecord]
+    expires_at: float
+
+
+class Resolver:
+    """A caching recursive resolver with its own cache state."""
+
+    def __init__(self, zone: AuthoritativeZone, *, name: str = "resolver"):
+        self.name = name
+        self._zone = zone
+        self._cache: dict[str, _CacheEntry] = {}
+        self.upstream_queries = 0
+
+    def resolve(self, name: str, *, now: float = 0.0) -> list[DnsRecord]:
+        """Resolve ``name``, honouring cached entries until TTL expiry."""
+        entry = self._cache.get(name)
+        if entry is not None and entry.expires_at > now:
+            return entry.records
+        records = self._zone.query(name)
+        self.upstream_queries += 1
+        if records:
+            ttl = min(record.ttl for record in records)
+            self._cache[name] = _CacheEntry(records=records, expires_at=now + ttl)
+        return records
+
+    def addresses(self, name: str, *, now: float = 0.0) -> frozenset[str]:
+        return frozenset(record.address for record in self.resolve(name, now=now))
+
+
+def resolve_with_quorum(
+    resolvers: list[Resolver],
+    names: list[str],
+    *,
+    now: float = 0.0,
+) -> frozenset[str]:
+    """The paper's multi-resolver address harvest.
+
+    Returns the union of the addresses every resolver reports for the
+    given names — the IP list the capture infrastructure then matches
+    TLS connections against.
+    """
+    addresses: set[str] = set()
+    for name in names:
+        for resolver in resolvers:
+            addresses |= resolver.addresses(name, now=now)
+    return frozenset(addresses)

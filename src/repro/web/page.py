@@ -1,0 +1,496 @@
+"""Page models: the object tree a browser fetches for one page view.
+
+:func:`build_page` materializes a page visit on a publisher into an
+ordered list of :class:`WebObject` — main document, content assets,
+ad-delivery chains (via :mod:`repro.web.adtech`), tracker beacons and
+in-HTML text ads.  Every object carries
+
+* the URL (shaped so the synthetic filter lists classify it the way
+  the real lists classify real ad URLs),
+* the *true* ABP content type (what a DOM-aware blocker sees),
+* the *declared* Content-Type header — possibly missing or mismatched,
+  reproducing the header pitfalls of Schneider et al. that the passive
+  pipeline must survive (§4.2),
+* the response size, drawn from per-(intent, class) distributions that
+  reproduce Fig 6's characteristic modes (43-byte ad pixels,
+  megabyte unchunked ad videos, chunked regular video),
+* parent links that become ``Referer`` headers, including the broken
+  chains (redirects, stripped referrers) §3.1's referrer map repairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.filterlist.options import ContentType
+from repro.web.adtech import AdChainKind, ServerDelayModel, build_ad_chain, pick_tracker
+from repro.web.ecosystem import Ecosystem, Publisher
+
+__all__ = ["ObjectKind", "WebObject", "PageFetch", "build_page"]
+
+
+class ObjectKind(str, Enum):
+    MAIN_DOC = "main_doc"
+    IMAGE = "image"
+    SCRIPT = "script"
+    STYLESHEET = "stylesheet"
+    XHR = "xhr"
+    MEDIA_CHUNK = "media_chunk"
+    FONT = "font"
+    SUBDOC = "subdoc"
+    AD_SCRIPT = "ad_script"
+    RTB_CALL = "rtb_call"
+    AD_CREATIVE = "ad_creative"
+    AD_VIDEO = "ad_video"
+    AD_PIXEL = "ad_pixel"
+    AD_REDIRECT = "ad_redirect"
+    TRACKER_PIXEL = "tracker_pixel"
+    TRACKER_SCRIPT = "tracker_script"
+    TEXT_AD = "text_ad"  # embedded in HTML; no request of its own
+
+
+@dataclass(slots=True)
+class WebObject:
+    """One would-be HTTP request of a page view (ground truth view)."""
+
+    object_id: int
+    url: str
+    kind: ObjectKind
+    intent: str  # "content" | "ad" | "tracker"
+    abp_type: ContentType
+    declared_mime: str | None
+    size: int
+    parent_id: int | None
+    server_delay_ms: float
+    acceptable: bool = False
+    redirect_to: int | None = None  # object id this one redirects to
+    referer_stripped: bool = False
+    https: bool = False
+    network_name: str = ""
+
+    @property
+    def is_ad_intent(self) -> bool:
+        return self.intent in ("ad", "tracker")
+
+
+@dataclass(slots=True)
+class PageFetch:
+    """A page visit: the URL plus its ordered object tree."""
+
+    page_url: str
+    publisher: Publisher
+    objects: list[WebObject] = field(default_factory=list)
+    text_ads: int = 0  # in-HTML ads; element-hiding territory
+
+    def by_id(self, object_id: int) -> WebObject:
+        return self.objects[object_id]
+
+    def children_of(self, object_id: int) -> list[WebObject]:
+        return [obj for obj in self.objects if obj.parent_id == object_id]
+
+
+# ---------------------------------------------------------------------------
+# Size model (Fig 6): log-normal components per (intent, MIME class).
+
+
+def _ad_pixel_size(rng: random.Random) -> int:
+    # The canonical 43-byte 1x1 GIF dominates; a small jittered tail.
+    if rng.random() < 0.75:
+        return 43
+    return int(rng.lognormvariate(4.5, 0.8)) + 35
+
+
+def _size_for(kind: ObjectKind, rng: random.Random) -> int:
+    if kind in (ObjectKind.AD_PIXEL, ObjectKind.TRACKER_PIXEL):
+        return _ad_pixel_size(rng)
+    if kind is ObjectKind.AD_CREATIVE:
+        return max(200, int(rng.lognormvariate(9.2, 1.0)))  # ~10 KB banners
+    if kind is ObjectKind.AD_VIDEO:
+        # 15-45 s spots, unchunked: > 1 MB, narrow spread.
+        return int(rng.lognormvariate(14.8, 0.5))
+    if kind is ObjectKind.AD_SCRIPT:
+        return max(500, int(rng.lognormvariate(8.8, 0.9)))
+    if kind is ObjectKind.TRACKER_SCRIPT:
+        return max(2000, int(rng.lognormvariate(9.6, 0.7)))  # analytics.js ~15 KB
+    if kind is ObjectKind.RTB_CALL:
+        return max(300, int(rng.lognormvariate(7.6, 0.8)))  # bid JSON/text
+    if kind is ObjectKind.AD_REDIRECT:
+        return 0
+    if kind is ObjectKind.IMAGE:
+        return max(400, int(rng.lognormvariate(9.8, 1.3)))  # ~20 KB photos
+    if kind is ObjectKind.SCRIPT:
+        return max(300, int(rng.lognormvariate(9.5, 1.1)))
+    if kind is ObjectKind.STYLESHEET:
+        return max(300, int(rng.lognormvariate(9.0, 0.9)))
+    if kind is ObjectKind.XHR:
+        return max(60, int(rng.lognormvariate(5.8, 1.0)))  # small API blobs
+    if kind is ObjectKind.MEDIA_CHUNK:
+        return int(rng.lognormvariate(13.3, 0.5))  # ~0.6 MB chunks
+    if kind is ObjectKind.FONT:
+        return max(5000, int(rng.lognormvariate(10.2, 0.5)))
+    if kind is ObjectKind.SUBDOC:
+        return max(800, int(rng.lognormvariate(8.9, 0.8)))
+    if kind is ObjectKind.MAIN_DOC:
+        return max(2000, int(rng.lognormvariate(10.4, 0.7)))  # ~30 KB HTML
+    return 1000
+
+
+# ---------------------------------------------------------------------------
+# Declared Content-Type model (Table 4 + §4.2 mismatches).
+
+_TRUE_MIME: dict[ObjectKind, tuple[str | None, ContentType]] = {
+    ObjectKind.MAIN_DOC: ("text/html", ContentType.DOCUMENT),
+    ObjectKind.IMAGE: ("image/jpeg", ContentType.IMAGE),
+    ObjectKind.SCRIPT: ("application/javascript", ContentType.SCRIPT),
+    ObjectKind.STYLESHEET: ("text/css", ContentType.STYLESHEET),
+    ObjectKind.XHR: ("text/plain", ContentType.XMLHTTPREQUEST),
+    ObjectKind.MEDIA_CHUNK: (None, ContentType.MEDIA),
+    ObjectKind.FONT: (None, ContentType.FONT),
+    ObjectKind.SUBDOC: ("text/html", ContentType.SUBDOCUMENT),
+    ObjectKind.AD_SCRIPT: ("application/javascript", ContentType.SCRIPT),
+    ObjectKind.RTB_CALL: ("text/plain", ContentType.SCRIPT),
+    ObjectKind.AD_CREATIVE: ("image/gif", ContentType.IMAGE),
+    ObjectKind.AD_VIDEO: ("video/mp4", ContentType.MEDIA),
+    ObjectKind.AD_PIXEL: ("image/gif", ContentType.IMAGE),
+    ObjectKind.AD_REDIRECT: ("text/html", ContentType.OTHER),
+    ObjectKind.TRACKER_PIXEL: ("image/gif", ContentType.IMAGE),
+    ObjectKind.TRACKER_SCRIPT: ("application/javascript", ContentType.SCRIPT),
+}
+
+
+def _pick(rng: random.Random, table: list[tuple[str | None, float]],
+          default: str | None) -> str | None:
+    roll = rng.random()
+    acc = 0.0
+    for mime, weight in table:
+        acc += weight
+        if roll < acc:
+            return mime
+    return default
+
+
+def _declared_mime(kind: ObjectKind, rng: random.Random) -> str | None:
+    """Declared Content-Type, with realistic noise.
+
+    Mismatch channels (§4.2): scripts served as ``text/html`` or
+    ``text/plain`` (the paper's main false-positive source), odd types
+    like ``text/x-c``, and missing Content-Type (frequent for
+    media/fonts — Table 4's ``-`` rows).  The per-kind mixes are
+    calibrated so the aggregate Table 4 distribution lands near the
+    paper's (ad requests: gif 35%, plain 29%, html 14%, missing 12%).
+    """
+    true_mime, _ = _TRUE_MIME[kind]
+    if kind is ObjectKind.AD_SCRIPT:
+        # Ad tags are served by dynamic ad servers that rarely bother
+        # with a proper JavaScript Content-Type.
+        return _pick(rng, [("text/plain", 0.40), ("text/html", 0.30), (None, 0.12),
+                           ("application/javascript", 0.12), ("text/x-c", 0.02)], true_mime)
+    if kind is ObjectKind.RTB_CALL:
+        return _pick(rng, [("text/plain", 0.55), ("application/xml", 0.20),
+                           ("text/html", 0.15), (None, 0.10)], true_mime)
+    if kind is ObjectKind.TRACKER_SCRIPT:
+        return _pick(rng, [("text/plain", 0.35), ("text/html", 0.10), (None, 0.10)], true_mime)
+    if kind is ObjectKind.SCRIPT:
+        return _pick(rng, [("text/html", 0.12), ("text/x-c", 0.02), (None, 0.04)], true_mime)
+    if kind is ObjectKind.IMAGE:
+        # Format-level variety; passive side maps all to "image".
+        return _pick(rng, [("image/png", 0.25), ("image/gif", 0.10), (None, 0.07)], true_mime)
+    if kind is ObjectKind.AD_CREATIVE:
+        return _pick(rng, [("image/png", 0.08), ("image/jpeg", 0.10),
+                           ("application/x-shockwave-flash", 0.08), ("text/html", 0.13),
+                           (None, 0.10)], true_mime)
+    if kind in (ObjectKind.AD_PIXEL, ObjectKind.TRACKER_PIXEL):
+        # Beacon endpoints answer with 1x1 GIFs, bare text/plain or no
+        # Content-Type at all.
+        return _pick(rng, [("text/plain", 0.08), (None, 0.20), ("image/png", 0.06)], true_mime)
+    if kind is ObjectKind.AD_VIDEO:
+        return _pick(rng, [("video/x-flv", 0.33)], true_mime)
+    if kind is ObjectKind.MEDIA_CHUNK:
+        # Chunked streams mostly ship without Content-Type (the bulk of
+        # the paper's non-ad "-" bytes) but some declare video/*.
+        return _pick(rng, [("video/mp4", 0.22), ("video/x-flv", 0.08)], None)
+    if kind is ObjectKind.XHR:
+        return _pick(rng, [("application/json", 0.30), ("text/html", 0.10)], true_mime)
+    if rng.random() < 0.06:
+        return None
+    return true_mime
+
+
+# ---------------------------------------------------------------------------
+# URL shaping: must interlock with repro.filterlist.easylist patterns.
+
+_AD_SIZES = ("300x250", "728x90", "160x600", "320x50")
+
+
+def _creative_url(network_domain: str, acceptable: bool, video: bool, rng: random.Random) -> str:
+    ident = rng.randrange(10**8)
+    if acceptable:
+        # Acceptable slots live under the paths the AA list whitelists.
+        if rng.random() < 0.5:
+            return f"http://{network_domain}/textad/{ident}.html"
+        return f"http://{network_domain}/static/{ident}.gif"
+    if video:
+        return f"http://{network_domain}/video-ads/{ident}.mp4"
+    size = rng.choice(_AD_SIZES)
+    return f"http://{network_domain}/creative/{ident}-ad-{size}.gif"
+
+
+def _content_url(host: str, kind: ObjectKind, index: int, rng: random.Random) -> str:
+    ident = rng.randrange(10**6)
+    if kind is ObjectKind.IMAGE:
+        ext = rng.choice(["jpg", "jpg", "png", "gif"])
+        return f"http://{host}/media/img/{ident}.{ext}"
+    if kind is ObjectKind.SCRIPT:
+        return f"http://{host}/js/app-{ident}.js"
+    if kind is ObjectKind.STYLESHEET:
+        return f"http://{host}/css/site-{ident}.css"
+    if kind is ObjectKind.XHR:
+        return f"http://{host}/api/v2/suggest?q=q{ident}&n={index}"
+    if kind is ObjectKind.MEDIA_CHUNK:
+        return f"http://{host}/stream/seg/{ident}/chunk_{index:05d}.ts"
+    if kind is ObjectKind.FONT:
+        return f"http://{host}/fonts/main-{ident}.woff"
+    if kind is ObjectKind.SUBDOC:
+        return f"http://{host}/embed/widget{ident}.html"
+    return f"http://{host}/page/{ident}"
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_page(
+    publisher: Publisher,
+    ecosystem: Ecosystem,
+    rng: random.Random,
+    delay_model: ServerDelayModel | None = None,
+    *,
+    page_path: str | None = None,
+) -> PageFetch:
+    """Materialize one page view on ``publisher`` into an object tree."""
+    delays = delay_model or ServerDelayModel(rng)
+    profile = publisher.profile
+    page_path = page_path or f"/articles/{rng.randrange(10**6)}.html"
+    page_url = f"http://{publisher.domain}{page_path}"
+    page = PageFetch(page_url=page_url, publisher=publisher)
+
+    def add(
+        url: str,
+        kind: ObjectKind,
+        intent: str,
+        parent: int | None,
+        *,
+        acceptable: bool = False,
+        network_name: str = "",
+        size: int | None = None,
+    ) -> WebObject:
+        mime, abp_type = _TRUE_MIME[kind]
+        del mime  # declared separately, with noise
+        obj = WebObject(
+            object_id=len(page.objects),
+            url=url,
+            kind=kind,
+            intent=intent,
+            abp_type=abp_type,
+            declared_mime=_declared_mime(kind, rng),
+            size=_size_for(kind, rng) if size is None else size,
+            parent_id=parent,
+            server_delay_ms=(
+                delays.content_ms() if intent == "content" else 0.0  # ads set below
+            ),
+            acceptable=acceptable,
+            referer_stripped=rng.random() < 0.04,
+            network_name=network_name,
+        )
+        page.objects.append(obj)
+        return obj
+
+    main = add(page_url, ObjectKind.MAIN_DOC, "content", None)
+    main.referer_stripped = True  # page loads carry no referer here
+    main.https = publisher.https_landing
+
+    static_host = f"static.{publisher.domain}"
+    is_video_page = rng.random() < profile.video_probability
+
+    # Regular content objects.
+    n_objects = max(2, round(rng.gauss(profile.objects_mean, profile.objects_mean / 4)))
+    content_kind_weights = [
+        (ObjectKind.IMAGE, 0.45),
+        (ObjectKind.SCRIPT, 0.22),
+        (ObjectKind.STYLESHEET, 0.10),
+        (ObjectKind.FONT, 0.04),
+        (ObjectKind.SUBDOC, 0.04),
+        (ObjectKind.XHR, 0.15),
+    ]
+    kinds = [k for k, _ in content_kind_weights]
+    weights = [w for _, w in content_kind_weights]
+    for index in range(n_objects):
+        kind = rng.choices(kinds, weights=weights)[0]
+        host = static_host if rng.random() < 0.6 else publisher.domain
+        if kind is ObjectKind.FONT and rng.random() < 0.5:
+            # Web fonts frequently come from the dominant player's
+            # shared static infrastructure (the gstatic analogue).
+            host = "fonts.gstatic-like.com"
+        elif kind is ObjectKind.SCRIPT and rng.random() < 0.18:
+            # JS libraries from the dominant player's public CDN —
+            # regular content served from an ad-heavy AS (§8.1).
+            host = "ajax.googol-apis.com"
+        obj = add(_content_url(host, kind, index, rng), kind, "content", main.object_id)
+        if kind is ObjectKind.SUBDOC:
+            # Widgets load a couple of their own assets.
+            for child_index in range(rng.randrange(1, 3)):
+                child_kind = rng.choices(kinds[:3], weights=weights[:3])[0]
+                add(
+                    _content_url(host, child_kind, child_index, rng),
+                    child_kind,
+                    "content",
+                    obj.object_id,
+                )
+
+    # XHR burst for interactive sites (autocomplete etc. — §7.2).
+    n_xhr = max(0, round(rng.gauss(profile.xhr_mean, 1.0)))
+    for index in range(n_xhr):
+        add(
+            _content_url(publisher.domain, ObjectKind.XHR, index, rng),
+            ObjectKind.XHR,
+            "content",
+            main.object_id,
+        )
+
+    # Video content: chunked segments (many requests, no CT header).
+    if is_video_page:
+        n_chunks = rng.randrange(6, 20)
+        for index in range(n_chunks):
+            add(
+                _content_url(static_host, ObjectKind.MEDIA_CHUNK, index, rng),
+                ObjectKind.MEDIA_CHUNK,
+                "content",
+                main.object_id,
+            )
+
+    # Ad slots (none on ad-free publishers).
+    if publisher.ad_free:
+        n_slots = 0
+        video_ad = False
+    else:
+        n_slots = max(0, round(rng.gauss(profile.ad_slots_mean, 1.0)))
+        video_ad = is_video_page and rng.random() < profile.video_ad_probability
+    for slot in range(n_slots):
+        slot_is_video = video_ad and slot == 0
+        _add_ad_chain(page, publisher, ecosystem, rng, delays, add, main.object_id, slot_is_video)
+
+    # First-party ("self-hosted") ad paths, matched by $domain= rules.
+    if publisher.self_hosted_ads and not publisher.ad_free:
+        for index in range(rng.randrange(1, 3)):
+            obj = add(
+                f"http://{publisher.domain}/ads/serve/unit{index}.js",
+                ObjectKind.AD_SCRIPT,
+                "ad",
+                main.object_id,
+                network_name="self",
+            )
+            obj.server_delay_ms = delays.backoffice_ms()
+
+    # Trackers (ad-free sites still run a little analytics).
+    tracker_mean = profile.tracker_mean * (0.3 if publisher.ad_free else 1.0)
+    n_trackers = max(0, round(rng.gauss(tracker_mean, 1.2)))
+    for index in range(n_trackers):
+        tracker = pick_tracker(publisher, rng)
+        if tracker is None:
+            break
+        domain = rng.choice(tracker.serving_domains)
+        if rng.random() < 0.3:
+            url = f"http://{domain}/analytics.js"
+            kind = ObjectKind.TRACKER_SCRIPT
+        else:
+            url = f"http://{domain}/pixel.gif?uid=u{rng.randrange(10**9)}&ev=pv{index}"
+            kind = ObjectKind.TRACKER_PIXEL
+        obj = add(url, kind, "tracker", main.object_id, network_name=tracker.name)
+        obj.server_delay_ms = delays.frontend_ms()
+
+    # In-HTML text ads: no requests, element-hiding only (§3.1).
+    if publisher.text_ads and rng.random() < 0.8:
+        page.text_ads = rng.randrange(1, 4)
+
+    return page
+
+
+def _add_ad_chain(
+    page: PageFetch,
+    publisher: Publisher,
+    ecosystem: Ecosystem,
+    rng: random.Random,
+    delays: ServerDelayModel,
+    add,
+    main_id: int,
+    video_slot: bool,
+) -> None:
+    """Append one ad slot's delivery chain to the page."""
+    chain = build_ad_chain(publisher, rng, video_slot=video_slot)
+    if not chain:
+        return
+    kind_map = {
+        AdChainKind.AD_SCRIPT: ObjectKind.AD_SCRIPT,
+        AdChainKind.RTB_CALL: ObjectKind.RTB_CALL,
+        AdChainKind.CREATIVE: ObjectKind.AD_CREATIVE,
+        AdChainKind.TRACKING_PIXEL: ObjectKind.AD_PIXEL,
+        AdChainKind.CLICK_REDIRECT: ObjectKind.AD_REDIRECT,
+    }
+    parent = main_id
+    previous: WebObject | None = None
+    for step in chain:
+        network_domain = rng.choice(step.network.serving_domains)
+        slot_id = rng.randrange(10**7)
+        if step.acceptable:
+            # Acceptable-ads slots are served under the /textad/ (and
+            # /static/) namespaces the whitelist covers — the *entire*
+            # chain, or a subscribed ABP install would block the tag
+            # and the whitelisted creative would never be fetched.
+            if step.kind is AdChainKind.AD_SCRIPT:
+                url = f"http://{network_domain}/textad/tag.js?ad_slot={slot_id}"
+            elif step.kind is AdChainKind.RTB_CALL:
+                url = f"http://{network_domain}/textad/bid?ad_slot={slot_id}"
+            elif step.kind is AdChainKind.CREATIVE:
+                url = _creative_url(network_domain, True, step.is_video, rng)
+            elif step.kind is AdChainKind.CLICK_REDIRECT:
+                target = f"http://{network_domain}/textad/{slot_id}.html"
+                url = f"http://{network_domain}/textad/click?redirect={target}"
+            elif rng.random() < 0.25:
+                # A minority of acceptable-slot beacons look like
+                # tracking pixels to EasyPrivacy's generic rules — the
+                # paper's whitelisted-yet-EP-blacklisted bucket (§7.3:
+                # 23.2% of blacklist-matching whitelisted requests).
+                url = f"http://{network_domain}/textad/pixel.gif?imp={slot_id}&uid=u{slot_id}"
+            else:
+                url = f"http://{network_domain}/textad/imp.gif?imp={slot_id}"
+        elif step.kind is AdChainKind.AD_SCRIPT:
+            url = f"http://{network_domain}/adtag/show.js?ad_slot={slot_id}"
+        elif step.kind is AdChainKind.RTB_CALL:
+            url = f"http://{network_domain}/rtb/bid?ad_slot={slot_id}&cb={rng.randrange(10**6)}"
+        elif step.kind is AdChainKind.CREATIVE:
+            url = _creative_url(network_domain, step.acceptable, step.is_video, rng)
+        elif step.kind is AdChainKind.CLICK_REDIRECT:
+            target = f"http://{network_domain}/creative/{slot_id}-ad-300x250.gif"
+            url = f"http://{network_domain}/adserver/click?redirect={target}"
+        else:
+            url = f"http://{network_domain}/pixel.gif?imp={slot_id}&banner_id={slot_id}"
+
+        object_kind = kind_map[step.kind]
+        if object_kind is ObjectKind.AD_CREATIVE and step.is_video:
+            object_kind = ObjectKind.AD_VIDEO
+        obj = add(
+            url,
+            object_kind,
+            "ad",
+            parent,
+            acceptable=step.acceptable,
+            network_name=step.network.name,
+        )
+        obj.server_delay_ms = delays.ad_request_ms(step.kind, step.network)
+        if previous is not None and previous.kind is ObjectKind.AD_REDIRECT:
+            previous.redirect_to = obj.object_id
+        # Chain children hang off the ad script / previous hop.
+        if step.kind is AdChainKind.AD_SCRIPT:
+            parent = obj.object_id
+        previous = obj

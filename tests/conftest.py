@@ -1,0 +1,63 @@
+"""Shared fixtures: one small ecosystem/trace reused across the suite.
+
+Generation is deterministic, so session-scoped fixtures are safe; the
+trace fixtures are deliberately small to keep the suite fast while
+still exercising every code path (ads, trackers, acceptable ads,
+redirects, HTTPS, list updates, non-browser devices).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.browser.crawler import Crawler
+from repro.core import AdClassificationPipeline
+from repro.filterlist import build_lists
+from repro.trace import RBNTraceGenerator, rbn2_config
+from repro.web import Ecosystem, EcosystemConfig
+
+
+@pytest.fixture(scope="session")
+def ecosystem() -> Ecosystem:
+    return Ecosystem.generate(EcosystemConfig(n_publishers=120, seed=99))
+
+
+@pytest.fixture(scope="session")
+def lists(ecosystem):
+    return build_lists(ecosystem.list_spec())
+
+
+@pytest.fixture(scope="session")
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture(scope="session")
+def rbn_generator(ecosystem, lists) -> RBNTraceGenerator:
+    config = rbn2_config(scale=0.0)
+    config.population.n_households = 30
+    config.duration_s = 6 * 3600.0
+    return RBNTraceGenerator(config, ecosystem=ecosystem, lists=lists)
+
+
+@pytest.fixture(scope="session")
+def rbn_trace(rbn_generator):
+    return rbn_generator.generate()
+
+
+@pytest.fixture(scope="session")
+def pipeline(lists) -> AdClassificationPipeline:
+    return AdClassificationPipeline(lists)
+
+
+@pytest.fixture(scope="session")
+def classified(pipeline, rbn_trace):
+    return pipeline.process(rbn_trace.http)
+
+
+@pytest.fixture(scope="session")
+def crawl_results(ecosystem, lists):
+    crawler = Crawler(ecosystem, lists, seed=5)
+    return crawler.crawl(n_sites=40)

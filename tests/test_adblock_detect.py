@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.adblock_detect (the two indicators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adblock_detect import (
+    UsageType,
+    UserUsage,
+    acceptable_ads_optout_shares,
+    classify_usage,
+    easyprivacy_subscription_shares,
+    usage_breakdown,
+)
+from repro.core.users import UserStats
+
+
+def _stats(client="10.0.0.1", requests=2000, easylist_blocked=0, **overrides) -> UserStats:
+    stats = UserStats(user=(client, "Mozilla/5.0 Firefox/38.0"))
+    stats.requests = requests
+    stats.easylist_blocked_hits = easylist_blocked
+    stats.easylist_hits = easylist_blocked
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestFourClasses:
+    def test_type_a(self):
+        usage = classify_usage([_stats(easylist_blocked=300)], set())[0]
+        assert usage.usage_type == UsageType.A
+        assert not usage.likely_adblock
+
+    def test_type_b(self):
+        usage = classify_usage([_stats(easylist_blocked=300)], {"10.0.0.1"})[0]
+        assert usage.usage_type == UsageType.B
+
+    def test_type_c(self):
+        usage = classify_usage([_stats(easylist_blocked=10)], {"10.0.0.1"})[0]
+        assert usage.usage_type == UsageType.C
+        assert usage.likely_adblock
+
+    def test_type_d(self):
+        usage = classify_usage([_stats(easylist_blocked=10)], set())[0]
+        assert usage.usage_type == UsageType.D
+
+    def test_threshold_boundary(self):
+        # Exactly 5% counts as low (<=).
+        at_threshold = _stats(requests=1000, easylist_blocked=50)
+        usage = classify_usage([at_threshold], set(), threshold=0.05)[0]
+        assert usage.low_ad_ratio
+        above = _stats(requests=1000, easylist_blocked=51)
+        assert not classify_usage([above], set(), threshold=0.05)[0].low_ad_ratio
+
+    def test_custom_threshold(self):
+        stats = _stats(requests=1000, easylist_blocked=80)
+        assert classify_usage([stats], set(), threshold=0.10)[0].low_ad_ratio
+        assert not classify_usage([stats], set(), threshold=0.05)[0].low_ad_ratio
+
+
+class TestBreakdown:
+    def _usages(self):
+        population = [
+            _stats(client="10.0.0.1", easylist_blocked=300, ad_requests=320),
+            _stats(client="10.0.0.2", easylist_blocked=310, ad_requests=330),
+            _stats(client="10.0.0.3", easylist_blocked=5, ad_requests=8),
+            _stats(client="10.0.0.4", easylist_blocked=400, ad_requests=420),
+        ]
+        return classify_usage(population, {"10.0.0.3", "10.0.0.4"})
+
+    def test_rows_sum_to_one(self):
+        rows = usage_breakdown(self._usages())
+        assert sum(row.instance_share for row in rows) == pytest.approx(1.0)
+        assert {row.usage_type for row in rows} == {"A", "B", "C", "D"}
+
+    def test_counts(self):
+        rows = {row.usage_type: row for row in usage_breakdown(self._usages())}
+        assert rows["A"].instances == 2
+        assert rows["B"].instances == 1
+        assert rows["C"].instances == 1
+        assert rows["D"].instances == 0
+
+    def test_explicit_denominators(self):
+        rows = usage_breakdown(self._usages(), total_requests=80_000, total_ads=10_000)
+        a_row = next(row for row in rows if row.usage_type == "A")
+        assert a_row.request_share == pytest.approx(4000 / 80_000)
+
+
+class TestConfigEstimators:
+    def _usages(self):
+        abp_with_ep = _stats(client="10.0.0.1", easylist_blocked=0, easyprivacy_hits=0)
+        abp_without_ep = _stats(client="10.0.0.2", easylist_blocked=0, easyprivacy_hits=120)
+        plain = _stats(client="10.0.0.3", easylist_blocked=300, easyprivacy_hits=150)
+        return classify_usage(
+            [abp_with_ep, abp_without_ep, plain], {"10.0.0.1", "10.0.0.2"}
+        )
+
+    def test_easyprivacy_shares(self):
+        abp_share, plain_share = easyprivacy_subscription_shares(self._usages(), max_hits=10)
+        assert abp_share == pytest.approx(0.5)  # 1 of 2 ABP users quiet
+        assert plain_share == 0.0
+
+    def test_acceptable_ads_shares(self):
+        quiet = _stats(client="10.0.0.1", easylist_blocked=0, whitelisted_and_blacklisted=0)
+        loud = _stats(client="10.0.0.2", easylist_blocked=0, whitelisted_and_blacklisted=30)
+        plain = _stats(client="10.0.0.3", easylist_blocked=300, whitelisted_and_blacklisted=25)
+        usages = classify_usage([quiet, loud, plain], {"10.0.0.1", "10.0.0.2"})
+        abp_share, plain_share = acceptable_ads_optout_shares(usages, max_hits=0)
+        assert abp_share == pytest.approx(0.5)
+        assert plain_share == 0.0
+
+    def test_empty_groups(self):
+        assert easyprivacy_subscription_shares([]) == (0.0, 0.0)
+        assert acceptable_ads_optout_shares([]) == (0.0, 0.0)

@@ -1,0 +1,247 @@
+"""Tests for repro.analysis (every table/figure computation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.infrastructure import as_table, server_statistics
+from repro.analysis.report import format_pct, render_boxplot_row, render_histogram, render_table
+from repro.analysis.rtb import handshake_gaps, rtb_host_contributions
+from repro.analysis.traffic import (
+    ad_timeseries,
+    content_type_table,
+    object_size_distributions,
+    traffic_summary,
+)
+from repro.analysis.usage import ad_ratio_ecdf, request_heatmap, usage_table
+from repro.analysis.whitelist import (
+    adtech_whitelist_table,
+    publisher_whitelist_table,
+    whitelist_summary,
+)
+from repro.core import aggregate_users, annotate_browsers, classify_usage, heavy_hitters
+from repro.trace.capture import abp_server_ips, easylist_download_clients
+
+
+class TestTrafficSummary:
+    def test_shares_in_paper_band(self, classified):
+        summary = traffic_summary(classified)
+        assert 0.10 < summary.ad_request_share < 0.30  # paper: 17-19%
+        assert summary.ad_byte_share < summary.ad_request_share  # ads are small
+        shares = (
+            summary.easylist_share_of_ads
+            + summary.easyprivacy_share_of_ads
+            + summary.non_intrusive_share_of_ads
+        )
+        assert shares == pytest.approx(1.0, abs=0.01)
+        # All three buckets present (exact ordering is asserted at
+        # paper scale in test_integration_rbn.py).
+        assert summary.easylist_share_of_ads > 0
+        assert summary.easyprivacy_share_of_ads > 0
+        assert summary.non_intrusive_share_of_ads > 0
+
+
+class TestTimeSeries:
+    def test_bins_cover_trace(self, classified):
+        series = ad_timeseries(classified, bin_seconds=3600.0)
+        assert series.n_bins >= 5  # 6-hour fixture trace
+        total = sum(sum(counts) for counts in series.requests.values())
+        assert total == len(classified)
+
+    def test_share_bounded(self, classified):
+        series = ad_timeseries(classified)
+        for share in series.share("easylist"):
+            assert 0.0 <= share <= 1.0
+
+    def test_empty(self):
+        series = ad_timeseries([])
+        assert series.n_bins == 0
+
+
+class TestContentTypeTable:
+    def test_rows_and_shares(self, classified):
+        rows = content_type_table(classified)
+        assert rows
+        assert sum(row.ad_request_share for row in rows) <= 1.0 + 1e-9
+        # gif pixels dominate ad requests (Table 4: 35.1%).
+        top = rows[0]
+        assert top.content_type in ("image/gif", "text/plain")
+
+    def test_ad_video_bytes_heavy(self, classified):
+        rows = {row.content_type: row for row in content_type_table(classified, top=20)}
+        for mime in ("video/mp4", "video/x-flv"):
+            if mime in rows:
+                row = rows[mime]
+                assert row.ad_byte_share > row.ad_request_share
+
+
+class TestSizeDistributions:
+    def test_ad_image_mode_is_pixel(self, classified):
+        distribution = object_size_distributions(classified)
+        mode = distribution.mode_bytes(True, "image")
+        assert mode is not None
+        assert 20 < mode < 200  # the 43-byte beacon spike
+
+    def test_ad_video_large(self, classified):
+        distribution = object_size_distributions(classified)
+        ad_video = distribution.median_bytes(True, "video")
+        nonad_video = distribution.median_bytes(False, "video")
+        if ad_video is not None and nonad_video is not None:
+            assert ad_video > 1_000_000  # unchunked spots > 1 MB
+            assert ad_video > nonad_video  # chunked regular video smaller
+
+    def test_nonad_images_larger(self, classified):
+        distribution = object_size_distributions(classified)
+        ad_image = distribution.median_bytes(True, "image")
+        nonad_image = distribution.median_bytes(False, "image")
+        assert ad_image is not None and nonad_image is not None
+        assert nonad_image > ad_image
+
+
+class TestHeatmapAndEcdf:
+    def test_heatmap(self, classified):
+        stats = aggregate_users(classified)
+        data = request_heatmap(stats)
+        assert len(data.total_requests) == len(stats)
+        histogram, _, _ = data.log_bins()
+        assert histogram.sum() == len(stats)
+        assert 0.05 < data.overall_ad_share < 0.35
+
+    def test_ecdf_series(self, classified):
+        stats = aggregate_users(classified)
+        annotation = annotate_browsers(heavy_hitters(stats, min_requests=200))
+        series = ad_ratio_ecdf(annotation.by_family())
+        labels = {s.label for s in series}
+        assert "Firefox (PC)" in labels and "Any (Mobile)" in labels
+        for s in series:
+            if s.values:
+                xs, ys = s.ecdf()
+                assert np.all(np.diff(xs) >= 0)
+                assert ys[-1] == pytest.approx(1.0)
+                assert 0.0 <= s.share_below(5.0) <= 1.0
+
+
+class TestUsageTable:
+    def test_render(self, classified, rbn_trace, rbn_generator):
+        stats = aggregate_users(classified)
+        annotation = annotate_browsers(heavy_hitters(stats, min_requests=200))
+        downloads = easylist_download_clients(
+            rbn_trace.tls, abp_server_ips(rbn_generator.ecosystem)
+        )
+        usages = classify_usage(list(annotation.browsers.values()), downloads)
+        rows = usage_table(usages, total_requests=len(classified),
+                           total_ads=sum(1 for e in classified if e.is_ad))
+        assert [row["Type"] for row in rows] == ["A", "B", "C", "D"]
+        text = render_table(rows, title="Table 3")
+        assert "Table 3" in text and "Instances" in text
+
+
+class TestWhitelistAnalysis:
+    def test_summary_shape(self, classified):
+        summary = whitelist_summary(classified)
+        assert 0.0 < summary.whitelisted_share_of_ads < 0.5
+        assert summary.whitelisted_share_of_easylist_aa >= summary.whitelisted_share_of_ads
+        assert 0.0 < summary.blacklisted_share_of_whitelisted < 1.0
+
+    def test_publisher_table(self, classified, ecosystem):
+        rows = publisher_whitelist_table(classified, min_blacklisted=50, ecosystem=ecosystem)
+        assert rows
+        assert rows[0].blacklisted >= rows[-1].blacklisted
+        assert any(row.category for row in rows)
+        for row in rows:
+            assert 0.0 <= row.whitelist_share <= 1.0
+
+    def test_adtech_table(self, classified):
+        rows = adtech_whitelist_table(classified, min_blacklisted=100)
+        assert rows
+        assert all(row.category == "ad-tech" for row in rows)
+
+
+class TestInfrastructure:
+    def test_server_statistics(self, classified):
+        stats = server_statistics(classified)
+        assert stats.n_servers > 10
+        assert 0 < stats.easylist_servers <= stats.servers_with_any_ad
+        count, share = stats.exclusive_ad_servers()
+        assert count > 0
+        assert 0.0 < share <= 1.0
+        busiest, requests = stats.busiest_ad_server()
+        assert requests > 0
+        percentiles = stats.easylist_percentiles()
+        assert percentiles[50] <= percentiles[95] <= percentiles[99]
+
+    def test_tracking_servers(self, classified):
+        stats = server_statistics(classified)
+        count, share = stats.tracking_servers()
+        assert count >= 0
+        assert 0.0 <= share <= 1.0
+
+    def test_as_table(self, classified, ecosystem):
+        rows = as_table(classified, ecosystem.asdb)
+        assert rows
+        assert rows[0].ad_requests >= rows[-1].ad_requests
+        # The dominant player tops the ranking (Table 5: Google).
+        assert rows[0].name == "Googol"
+        total_share = sum(row.share_of_trace_ad_requests for row in rows)
+        assert 0.3 < total_share <= 1.0
+        # Dedicated ad-tech ASes have high internal ad ratios.
+        by_name = {row.name: row for row in rows}
+        if "Criterion" in by_name:
+            assert by_name["Criterion"].ad_request_ratio_within_as > 0.5
+
+
+class TestRtb:
+    def test_gap_densities(self, classified):
+        analysis = handshake_gaps(classified)
+        assert analysis.ad_gaps_ms and analysis.nonad_gaps_ms
+        # Ads show more >100 ms back-ends than non-ads (Fig 7).
+        assert analysis.share_above(100.0, ads=True) > 2 * analysis.share_above(
+            100.0, ads=False
+        )
+
+    def test_rtb_mode_exists(self, classified):
+        analysis = handshake_gaps(classified)
+        modes = analysis.modes_ms(ads=True)
+        assert any(80.0 < mode < 250.0 for mode in modes), modes
+
+    def test_host_contributions(self, classified):
+        ranked = rtb_host_contributions(classified)
+        assert ranked
+        shares = [share for _, share in ranked]
+        assert sum(shares) == pytest.approx(1.0)
+        # Exchange hosts dominate the large-gap region.
+        top_hosts = " ".join(host for host, _ in ranked[:5])
+        assert any(
+            token in top_hosts
+            for token in ("googol", "doubleklick", "appnexus", "criterion", "aolike",
+                          "liverail", "adnet")
+        )
+
+
+class TestReportHelpers:
+    def test_render_table_alignment(self):
+        rows = [{"a": "1", "b": "long-value"}, {"a": "22", "b": "x"}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_table_empty(self):
+        assert "(empty)" in render_table([], title="t")
+
+    def test_render_histogram(self):
+        values = np.array([1.0, 3.0, 2.0])
+        edges = np.array([0.0, 1.0, 2.0, 3.0])
+        text = render_histogram(values, edges, title="h")
+        assert text.startswith("h")
+        assert "#" in text
+
+    def test_boxplot_row(self):
+        row = render_boxplot_row("cfg", [1.0, 2.0, 3.0, 4.0])
+        assert row["config"] == "cfg"
+        assert float(row["median"]) == pytest.approx(2.5)
+        assert render_boxplot_row("empty", [])["median"] == "-"
+
+    def test_format_pct(self):
+        assert format_pct(0.1234) == "12.3%"

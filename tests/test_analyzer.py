@@ -1,0 +1,103 @@
+"""Unit tests for repro.http.analyzer (Bro-style reconstruction)."""
+
+from __future__ import annotations
+
+from repro.http.analyzer import HttpAnalyzer, analyze_segments
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.parser import serialize_request, serialize_response
+from repro.http.tcp import TcpSegment
+
+
+def _conversation(
+    *, client="10.0.0.1", server="101.0.0.5", sport=4000, ts=100.0, rtt=0.020,
+    transactions=(("/x", 200, b"hello")),
+):
+    """Build the segments of one persistent HTTP connection."""
+    segments = [
+        TcpSegment(ts=ts, src=client, dst=server, sport=sport, dport=80, syn=True),
+        TcpSegment(ts=ts + rtt, src=server, dst=client, sport=80, dport=sport,
+                   syn=True, ack=True),
+    ]
+    client_seq = server_seq = 0
+    cursor = ts + rtt
+    for uri, status, body in transactions:
+        request = HttpRequest("GET", uri, Headers({"Host": "site.example", "User-Agent": "UA"}))
+        request_bytes = serialize_request(request)
+        segments.append(
+            TcpSegment(ts=cursor + 0.001, src=client, dst=server, sport=sport, dport=80,
+                       seq=client_seq, payload=request_bytes)
+        )
+        client_seq += len(request_bytes)
+        response = HttpResponse(status, "OK", Headers({"Content-Type": "text/html"}))
+        response_bytes = serialize_response(response, body)
+        segments.append(
+            TcpSegment(ts=cursor + 0.001 + rtt, src=server, dst=client, sport=80, dport=sport,
+                       seq=server_seq, payload=response_bytes)
+        )
+        server_seq += len(response_bytes)
+        cursor += 0.5
+    return segments
+
+
+class TestAnalyzer:
+    def test_single_transaction(self):
+        segments = _conversation(transactions=[("/a", 200, b"body")])
+        transactions = analyze_segments(segments)
+        assert len(transactions) == 1
+        txn = transactions[0]
+        assert txn.request.uri == "/a"
+        assert txn.response.status == 200
+        assert txn.client == "10.0.0.1"
+        assert txn.server == "101.0.0.5"
+        assert abs(txn.tcp_handshake_ms - 20.0) < 1e-6
+
+    def test_persistent_connection_multiple_transactions(self):
+        segments = _conversation(
+            transactions=[("/1", 200, b"a"), ("/2", 404, b"bb"), ("/3", 200, b"ccc")]
+        )
+        transactions = analyze_segments(segments)
+        assert [t.request.uri for t in transactions] == ["/1", "/2", "/3"]
+        assert [t.response.status for t in transactions] == [200, 404, 200]
+        # Each transaction gets its own timestamps, strictly increasing.
+        stamps = [t.ts_request for t in transactions]
+        assert stamps == sorted(stamps)
+        assert stamps[0] != stamps[-1]
+
+    def test_http_handshake_reflects_server_delay(self):
+        segments = _conversation(transactions=[("/a", 200, b"x")], rtt=0.010)
+        txn = analyze_segments(segments)[0]
+        assert txn.http_handshake_ms is not None
+        assert txn.http_handshake_ms >= 9.0  # at least ~RTT
+
+    def test_non_http_ports_ignored(self):
+        segments = [
+            TcpSegment(ts=1, src="a", dst="b", sport=1234, dport=443, syn=True),
+            TcpSegment(ts=1, src="a", dst="b", sport=1234, dport=443, seq=0, payload=b"x"),
+        ]
+        assert analyze_segments(segments) == []
+
+    def test_broken_flow_counted_not_raised(self):
+        analyzer = HttpAnalyzer()
+        analyzer.add_segment(
+            TcpSegment(ts=1, src="a", dst="b", sport=1000, dport=80, seq=0,
+                       payload=b"GARBAGE NOT HTTP\r\n\r\n")
+        )
+        assert analyzer.transactions() == []
+        assert analyzer.parse_errors == 1
+
+    def test_transactions_sorted_across_flows(self):
+        early = _conversation(sport=4001, ts=100.0, transactions=[("/late", 200, b"x")])
+        late = _conversation(sport=4002, ts=50.0, transactions=[("/early", 200, b"x")])
+        transactions = analyze_segments(late + early)
+        assert [t.request.uri for t in transactions] == ["/early", "/late"]
+
+    def test_reordered_segments_still_parse(self):
+        segments = _conversation(transactions=[("/a", 200, b"z" * 4000)])
+        # Swap two adjacent server data segments.
+        data_indices = [i for i, s in enumerate(segments) if s.payload and s.sport == 80]
+        if len(data_indices) >= 2:
+            i, j = data_indices[0], data_indices[1]
+            segments[i], segments[j] = segments[j], segments[i]
+        transactions = analyze_segments(segments)
+        assert len(transactions) == 1
+        assert transactions[0].response.status == 200

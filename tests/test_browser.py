@@ -1,0 +1,213 @@
+"""Unit tests for repro.browser (profiles, Ghostery, emulator)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.browser.emulator import ABP_UPDATE_HOSTS, BrowserEmulator
+from repro.browser.ghostery import GhosteryCategory, GhosteryDatabase
+from repro.browser.profiles import STANDARD_PROFILES, BrowserProfile, profile_by_name
+from repro.filterlist.lists import ACCEPTABLE_ADS, EASYLIST, EASYPRIVACY
+from repro.web.page import ObjectKind, build_page
+
+
+class TestProfiles:
+    def test_seven_standard_profiles(self):
+        assert len(STANDARD_PROFILES) == 7
+        names = {profile.name for profile in STANDARD_PROFILES}
+        assert names == {
+            "Vanilla", "AdBP-Ad", "AdBP-Pr", "AdBP-Pa",
+            "Ghostery-Ad", "Ghostery-Pr", "Ghostery-Pa",
+        }
+
+    def test_vanilla_has_no_blocker(self):
+        vanilla = profile_by_name("Vanilla")
+        assert not vanilla.has_adblocker
+        assert not vanilla.has_abp
+
+    def test_adbp_ad_is_default_install(self):
+        profile = profile_by_name("AdBP-Ad")
+        assert set(profile.abp_lists) == {EASYLIST, ACCEPTABLE_ADS}
+
+    def test_adbp_paranoia_drops_acceptable_ads(self):
+        profile = profile_by_name("AdBP-Pa")
+        assert set(profile.abp_lists) == {EASYLIST, EASYPRIVACY}
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            profile_by_name("Nope")
+
+
+class TestGhosteryDatabase:
+    def test_partial_coverage(self, ecosystem):
+        db = GhosteryDatabase.from_ecosystem(ecosystem, ad_coverage=0.8)
+        all_domains = [d for n in ecosystem.ad_networks for d in n.serving_domains]
+        covered = sum(
+            1 for d in all_domains
+            if db.category_of(f"http://{d}/x") == GhosteryCategory.ADVERTISING
+        )
+        assert 0 < covered < len(all_domains)
+
+    def test_full_and_zero_coverage(self, ecosystem):
+        full = GhosteryDatabase.from_ecosystem(ecosystem, ad_coverage=1.0, tracker_coverage=1.0)
+        zero = GhosteryDatabase.from_ecosystem(ecosystem, ad_coverage=0.0, tracker_coverage=0.0)
+        domain = ecosystem.ad_networks[0].serving_domains[0]
+        assert full.category_of(f"http://{domain}/x") is not None
+        assert len(zero) == 0
+
+    def test_should_block_respects_categories(self, ecosystem):
+        db = GhosteryDatabase.from_ecosystem(ecosystem, ad_coverage=1.0)
+        domain = ecosystem.ad_networks[0].serving_domains[0]
+        url = f"http://{domain}/x"
+        assert db.should_block(url, (GhosteryCategory.ADVERTISING,))
+        assert not db.should_block(url, (GhosteryCategory.ANALYTICS,))
+
+    def test_deterministic(self, ecosystem):
+        a = GhosteryDatabase.from_ecosystem(ecosystem)
+        b = GhosteryDatabase.from_ecosystem(ecosystem)
+        assert len(a) == len(b)
+
+
+def _page_with_ads(ecosystem, seed=0):
+    rng = random.Random(seed)
+    publishers = [
+        p for p in ecosystem.publishers
+        if p.ad_networks and not p.ad_free and not p.https_landing
+    ]
+    for _ in range(50):
+        page = build_page(rng.choice(publishers), ecosystem, rng)
+        if any(obj.intent == "ad" for obj in page.objects):
+            return page
+    raise AssertionError("could not build a page with ads")
+
+
+class TestEmulator:
+    def test_vanilla_fetches_everything(self, ecosystem, lists):
+        page = _page_with_ads(ecosystem)
+        emulator = BrowserEmulator(profile_by_name("Vanilla"), lists)
+        visit = emulator.visit(page)
+        https_count = sum(1 for c in visit.tls_connections if c.purpose == "page")
+        assert len(visit.requests) + https_count == len(page.objects)
+        assert visit.blocked == []
+        assert not any(c.purpose == "abp_update" for c in visit.tls_connections)
+
+    def test_abp_blocks_ads(self, ecosystem, lists):
+        page = _page_with_ads(ecosystem)
+        emulator = BrowserEmulator(profile_by_name("AdBP-Pa"), lists)
+        visit = emulator.visit(page)
+        assert visit.blocked, "AdBP-Pa blocked nothing on an ad-bearing page"
+        fetched_ads = [r for r in visit.requests if r.obj.intent == "ad" and not r.obj.acceptable]
+        assert fetched_ads == []
+
+    def test_blocking_cascades_to_children(self, ecosystem, lists):
+        page = _page_with_ads(ecosystem)
+        emulator = BrowserEmulator(profile_by_name("AdBP-Pa"), lists)
+        visit = emulator.visit(page)
+        blocked_ids = {obj.object_id for obj in visit.blocked}
+        issued_ids = {r.obj.object_id for r in visit.requests}
+        for obj in page.objects:
+            if obj.parent_id in blocked_ids:
+                assert obj.object_id not in issued_ids
+
+    def test_default_install_fetches_acceptable_ads(self, ecosystem, lists):
+        rng = random.Random(8)
+        emulator = BrowserEmulator(profile_by_name("AdBP-Ad"), lists, rng=rng)
+        fetched_acceptable = 0
+        publishers = [
+            p for p in ecosystem.publishers
+            if p.ad_networks and not p.ad_free and not p.https_landing
+        ]
+        for _ in range(120):
+            page = build_page(rng.choice(publishers), ecosystem, rng)
+            visit = emulator.visit(page, list_update=False)
+            fetched_acceptable += sum(1 for r in visit.requests if r.obj.acceptable)
+        assert fetched_acceptable > 0
+
+    def test_paranoia_blocks_acceptable_ads(self, ecosystem, lists):
+        rng = random.Random(8)
+        emulator = BrowserEmulator(profile_by_name("AdBP-Pa"), lists, rng=rng)
+        publishers = [
+            p for p in ecosystem.publishers
+            if p.ad_networks and not p.ad_free and not p.https_landing
+        ]
+        for _ in range(60):
+            page = build_page(rng.choice(publishers), ecosystem, rng)
+            visit = emulator.visit(page, list_update=False)
+            assert all(not r.obj.acceptable for r in visit.requests)
+
+    def test_abp_update_connections(self, ecosystem, lists):
+        page = _page_with_ads(ecosystem)
+        emulator = BrowserEmulator(profile_by_name("AdBP-Pa"), lists)
+        visit = emulator.visit(page, list_update=True)
+        updates = [c for c in visit.tls_connections if c.purpose == "abp_update"]
+        assert len(updates) == len(profile_by_name("AdBP-Pa").abp_lists)
+        assert all(c.host in ABP_UPDATE_HOSTS for c in updates)
+        no_update = emulator.visit(page, list_update=False)
+        assert not any(c.purpose == "abp_update" for c in no_update.tls_connections)
+
+    def test_ghostery_blocks_known_domains_only(self, ecosystem, lists):
+        page = _page_with_ads(ecosystem)
+        db = GhosteryDatabase.from_ecosystem(ecosystem, ad_coverage=1.0, tracker_coverage=1.0)
+        emulator = BrowserEmulator(profile_by_name("Ghostery-Pa"), lists, ghostery_db=db)
+        visit = emulator.visit(page)
+        # Full coverage: no third-party ad/tracker request issued.
+        for request in visit.requests:
+            assert request.obj.intent == "content" or request.obj.network_name == "self"
+
+    def test_ghostery_requires_database(self, lists):
+        with pytest.raises(ValueError):
+            BrowserEmulator(profile_by_name("Ghostery-Pa"), lists)
+
+    def test_hidden_text_ads_counted_for_abp_only(self, ecosystem, lists):
+        rng = random.Random(3)
+        publisher = next(p for p in ecosystem.publishers if p.text_ads)
+        page = None
+        for _ in range(30):
+            candidate = build_page(publisher, ecosystem, rng)
+            if candidate.text_ads:
+                page = candidate
+                break
+        assert page is not None
+        abp = BrowserEmulator(profile_by_name("AdBP-Pa"), lists)
+        vanilla = BrowserEmulator(profile_by_name("Vanilla"), lists)
+        assert abp.visit(page).hidden_text_ads == page.text_ads
+        assert vanilla.visit(page).hidden_text_ads == 0
+
+    def test_referer_logic(self, ecosystem, lists):
+        page = _page_with_ads(ecosystem)
+        emulator = BrowserEmulator(profile_by_name("Vanilla"), lists)
+        visit = emulator.visit(page)
+        by_id = {r.obj.object_id: r for r in visit.requests}
+        main = by_id.get(0)
+        assert main is not None and main.referer is None
+        for request in visit.requests:
+            obj = request.obj
+            if obj.parent_id == 0 and not obj.referer_stripped:
+                assert request.referer == page.page_url
+
+    def test_redirect_location_header(self, ecosystem, lists):
+        rng = random.Random(12)
+        emulator = BrowserEmulator(profile_by_name("Vanilla"), lists, rng=rng)
+        publishers = [p for p in ecosystem.publishers if p.ad_networks and not p.ad_free]
+        for _ in range(200):
+            page = build_page(rng.choice(publishers), ecosystem, rng)
+            visit = emulator.visit(page, list_update=False)
+            for request in visit.requests:
+                if request.obj.redirect_to is not None:
+                    assert request.status == 302
+                    assert request.location == page.by_id(request.obj.redirect_to).url
+                    return
+        raise AssertionError("no redirect request emitted in 200 pages")
+
+    def test_https_page_produces_tls_records(self, ecosystem, lists):
+        rng = random.Random(4)
+        publisher = next(p for p in ecosystem.publishers if p.https_landing)
+        page = build_page(publisher, ecosystem, rng)
+        emulator = BrowserEmulator(profile_by_name("Vanilla"), lists, rng=rng)
+        visit = emulator.visit(page)
+        page_tls = [c for c in visit.tls_connections if c.purpose == "page"]
+        assert page_tls, "HTTPS landing page produced no TLS records"
+        issued_urls = {r.obj.object_id for r in visit.requests}
+        assert 0 not in issued_urls  # main doc went over HTTPS

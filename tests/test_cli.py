@@ -1,0 +1,97 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+_ECO = ["--publishers", "80", "--eco-seed", "99"]
+
+
+@pytest.fixture(scope="module")
+def trace_files(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    http_path = tmp / "trace.tsv"
+    tls_path = tmp / "tls.tsv"
+    code = main(
+        ["trace", *_ECO, "--preset", "rbn2", "--scale", "0.0005",
+         "--out", str(http_path), "--tls-out", str(tls_path)]
+    )
+    assert code == 0
+    return http_path, tls_path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("ecosystem", "trace", "classify", "usage", "crawl", "report"):
+            args = parser.parse_args(
+                [command] + (
+                    ["--trace", "x"] if command in ("classify", "report") else []
+                ) + (
+                    ["--tls", "y"] if command == "usage" else []
+                ) + (
+                    ["--trace", "x"] if command == "usage" else []
+                ) + (
+                    ["--out", "z"] if command == "trace" else []
+                )
+            )
+            assert callable(args.func)
+
+
+class TestEcosystemCommand:
+    def test_runs(self, capsys):
+        assert main(["ecosystem", *_ECO]) == 0
+        out = capsys.readouterr().out
+        assert "publishers:  80" in out
+        assert "easylist" in out
+
+
+class TestTraceAndClassify:
+    def test_trace_writes_files(self, trace_files):
+        http_path, tls_path = trace_files
+        head = http_path.read_text().splitlines()
+        assert head[0].startswith("#ts")
+        assert len(head) > 100
+        assert tls_path.read_text().startswith("#ts")
+
+    def test_classify(self, trace_files, capsys, tmp_path):
+        http_path, _ = trace_files
+        out_path = tmp_path / "classified.tsv"
+        code = main(["classify", *_ECO, "--trace", str(http_path), "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ad-related:" in out
+        lines = out_path.read_text().splitlines()
+        assert lines[0].startswith("#ts")
+        assert any(line.split("\t")[4] == "1" for line in lines[1:])
+
+    def test_usage(self, trace_files, capsys):
+        http_path, tls_path = trace_files
+        code = main(
+            ["usage", *_ECO, "--trace", str(http_path), "--tls", str(tls_path),
+             "--min-requests", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "usage classes" in out
+        assert "likely Adblock Plus users" in out
+
+    def test_report(self, trace_files, capsys):
+        http_path, _ = trace_files
+        assert main(["report", *_ECO, "--trace", str(http_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Content-Type" in out
+        assert "ad share" in out
+
+
+class TestCrawlCommand:
+    def test_crawl(self, capsys):
+        assert main(["crawl", *_ECO, "--sites", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Vanilla" in out and "AdBP-Pa" in out

@@ -1,0 +1,119 @@
+"""Equivalence tests: CombinedRegexEngine vs the keyword-index engine."""
+
+from __future__ import annotations
+
+import random
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filterlist.combined import CombinedRegexEngine
+from repro.filterlist.engine import FilterEngine, RequestContext
+from repro.filterlist.filter import Filter
+from repro.filterlist.options import ContentType
+
+
+def _both(lines: dict[str, list[str]]):
+    indexed = FilterEngine()
+    combined = CombinedRegexEngine()
+    for name, filters in lines.items():
+        indexed.add_filters([Filter.parse(f) for f in filters], list_name=name)
+        combined.add_filters([Filter.parse(f) for f in filters], list_name=name)
+    return indexed, combined
+
+
+_FILTERS = {
+    "easylist": [
+        "||ads.example^$third-party",
+        "/adserver/*",
+        "&ad_slot=",
+        "-ad-300x250.",
+        "/banners/*$image",
+        "@@||ads.example/player/",
+        "@@||gstatic-like.com^$document",
+    ],
+    "easyprivacy": ["/pixel.gif?", "/track.js$script"],
+}
+
+_URLS = [
+    "http://ads.example/creative/1.gif",
+    "http://ads.example/player/core.js",
+    "http://pub.example/adserver/x",
+    "http://pub.example/banners/b.png",
+    "http://net.example/tag?ad_slot=12",
+    "http://net.example/img-ad-300x250.gif",
+    "http://t.example/pixel.gif?uid=1",
+    "http://t.example/track.js",
+    "http://clean.example/index.html",
+    "http://fonts.gstatic-like.com/f.woff",
+]
+
+
+class TestEquivalence:
+    def test_match_equivalence_on_fixture_urls(self):
+        indexed, combined = _both(_FILTERS)
+        for url in _URLS:
+            for content_type in (ContentType.IMAGE, ContentType.SCRIPT, ContentType.OTHER):
+                for page in ("http://news.example/", "http://ads.example/"):
+                    context = RequestContext(content_type, page)
+                    a = indexed.match(url, context)
+                    b = combined.match(url, context)
+                    assert a.decision == b.decision, (url, content_type, page)
+
+    def test_classify_equivalence(self):
+        indexed, combined = _both(_FILTERS)
+        for url in _URLS:
+            context = RequestContext(ContentType.IMAGE, "http://news.example/")
+            a = indexed.classify(url, context)
+            b = combined.classify(url, context)
+            assert a.is_ad == b.is_ad, url
+            assert a.is_blacklisted == b.is_blacklisted, url
+            assert a.is_whitelisted == b.is_whitelisted, url
+
+    def test_equivalence_on_ecosystem_traffic(self, ecosystem, lists):
+        indexed = FilterEngine()
+        combined = CombinedRegexEngine()
+        for name, lst in lists.items():
+            indexed.add_filters(lst.filters, list_name=name)
+            combined.add_filters(lst.filters, list_name=name)
+
+        from repro.web.page import build_page
+
+        rng = random.Random(17)
+        publishers = [p for p in ecosystem.publishers if p.ad_networks]
+        checked = 0
+        for _ in range(25):
+            page = build_page(rng.choice(publishers), ecosystem, rng)
+            for obj in page.objects:
+                context = RequestContext(obj.abp_type, page.page_url)
+                a = indexed.match(obj.url, context)
+                b = combined.match(obj.url, context)
+                assert a.decision == b.decision, obj.url
+                checked += 1
+        assert checked > 500
+
+    def test_filter_count_and_should_block(self):
+        indexed, combined = _both(_FILTERS)
+        assert combined.filter_count == indexed.filter_count
+        context = RequestContext(ContentType.IMAGE, "http://news.example/")
+        assert combined.should_block("http://ads.example/creative/1.gif", context)
+        assert not combined.should_block("http://clean.example/", context)
+
+
+_URL_CHARS = string.ascii_lowercase + string.digits + "/.-_?=&"
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    path=st.text(alphabet=_URL_CHARS, max_size=40),
+    content_type=st.sampled_from([ContentType.IMAGE, ContentType.SCRIPT, ContentType.OTHER]),
+)
+def test_equivalence_property(path, content_type):
+    indexed, combined = _both(_FILTERS)
+    url = f"http://host.example/{path}"
+    context = RequestContext(content_type, "http://news.example/")
+    assert indexed.match(url, context).decision == combined.match(url, context).decision
+    a = indexed.classify(url, context)
+    b = combined.classify(url, context)
+    assert (a.is_blacklisted, a.is_whitelisted) == (b.is_blacklisted, b.is_whitelisted)

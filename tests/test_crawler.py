@@ -1,0 +1,99 @@
+"""Tests for the active measurement study (§4, Table 1, Fig 2 shape)."""
+
+from __future__ import annotations
+
+from repro.core import AdClassificationPipeline
+from repro.filterlist.lists import EASYLIST, EASYPRIVACY
+
+
+def _list_hits(pipeline, records):
+    entries = pipeline.process(records.http)
+    easylist = sum(
+        1 for e in entries
+        if (e.blacklist_name or "").startswith(EASYLIST) or
+        (e.is_whitelisted and not e.classification.is_blacklisted)
+    )
+    easyprivacy = sum(1 for e in entries if e.blacklist_name == EASYPRIVACY)
+    return easylist, easyprivacy
+
+
+class TestCrawlShape:
+    """The qualitative structure of Table 1 must hold."""
+
+    def test_all_profiles_present(self, crawl_results):
+        assert set(crawl_results) == {
+            "Vanilla", "AdBP-Ad", "AdBP-Pr", "AdBP-Pa",
+            "Ghostery-Ad", "Ghostery-Pr", "Ghostery-Pa",
+        }
+        for result in crawl_results.values():
+            assert len(result.visits) == 40
+
+    def test_adblockers_reduce_http_requests(self, crawl_results):
+        vanilla = crawl_results["Vanilla"].http_requests
+        for name in ("AdBP-Pa", "AdBP-Ad", "Ghostery-Pa"):
+            assert crawl_results[name].http_requests < vanilla, name
+        # AdBP-Pa removes a sizeable chunk (paper: ~20%).
+        assert crawl_results["AdBP-Pa"].http_requests < 0.95 * vanilla
+
+    def test_vanilla_has_most_ad_hits(self, crawl_results, pipeline):
+        vanilla_el, vanilla_ep = _list_hits(pipeline, crawl_results["Vanilla"].records)
+        assert vanilla_el > 0 and vanilla_ep > 0
+        pa_el, pa_ep = _list_hits(pipeline, crawl_results["AdBP-Pa"].records)
+        # Paranoia mode: both lists' hits nearly vanish (Table 1 bold).
+        assert pa_el < 0.25 * vanilla_el
+        assert pa_ep < 0.1 * vanilla_ep
+
+    def test_adbp_ad_keeps_tracker_hits(self, crawl_results, pipeline):
+        """AdBP-Ad (EasyList only): EasyPrivacy hits stay high."""
+        vanilla_el, vanilla_ep = _list_hits(pipeline, crawl_results["Vanilla"].records)
+        ad_el, ad_ep = _list_hits(pipeline, crawl_results["AdBP-Ad"].records)
+        assert ad_ep > 0.5 * vanilla_ep  # trackers not blocked
+        assert ad_el < 0.6 * vanilla_el  # ads mostly blocked (AA remains)
+
+    def test_adbp_pr_keeps_ad_hits(self, crawl_results, pipeline):
+        """AdBP-Pr (EasyPrivacy only): EasyList hits stay high."""
+        vanilla_el, _ = _list_hits(pipeline, crawl_results["Vanilla"].records)
+        pr_el, pr_ep = _list_hits(pipeline, crawl_results["AdBP-Pr"].records)
+        assert pr_el > 0.5 * vanilla_el
+        assert pr_ep < 50
+
+    def test_ghostery_paranoia_leaves_residual_hits(self, crawl_results, pipeline):
+        """Ghostery's DB is incomplete: EasyList still matches leftovers."""
+        ghostery_el, _ = _list_hits(pipeline, crawl_results["Ghostery-Pa"].records)
+        pa_el, _ = _list_hits(pipeline, crawl_results["AdBP-Pa"].records)
+        assert ghostery_el > pa_el
+
+    def test_abp_profiles_contact_update_servers(self, crawl_results):
+        for name in ("AdBP-Ad", "AdBP-Pr", "AdBP-Pa"):
+            result = crawl_results[name]
+            assert result.https_connections >= len(result.visits)
+        # Vanilla only has page HTTPS (none here since top sites chosen
+        # may include https landings) but never update connections.
+
+
+class TestAdRatioSeparation:
+    """Fig 2: the ad-ratio gap grows with the number of page loads."""
+
+    def test_ratio_separation(self, crawl_results, pipeline):
+        import random
+
+        def ratios(profile_name, loads):
+            result = crawl_results[profile_name]
+            rng = random.Random(7)
+            samples = []
+            for _ in range(30):
+                picked = rng.sample(result.visits, loads)
+                requests = ads = 0
+                for visit in picked:
+                    for request in visit.requests:
+                        requests += 1
+                        if request.obj.intent in ("ad", "tracker"):
+                            ads += 1
+                samples.append(ads / max(1, requests))
+            return samples
+
+        vanilla_10 = ratios("Vanilla", 10)
+        adbp_10 = ratios("AdBP-Pa", 10)
+        # With 10 page loads the distributions separate cleanly at 5%.
+        assert min(vanilla_10) > 0.05
+        assert max(adbp_10) < 0.05

@@ -1,0 +1,67 @@
+"""Unit tests for repro.web.dns (the §3.2 resolver workflow)."""
+
+from __future__ import annotations
+
+from repro.browser.emulator import ABP_UPDATE_HOSTS
+from repro.trace.capture import abp_server_ips
+from repro.web.dns import AuthoritativeZone, DnsRecord, Resolver, resolve_with_quorum
+
+
+class TestAuthoritativeZone:
+    def test_ecosystem_backed(self, ecosystem):
+        zone = AuthoritativeZone(ecosystem)
+        publisher = ecosystem.publishers[0]
+        records = zone.query(publisher.domain)
+        assert records[0].address == ecosystem.ip_for_host(publisher.domain)
+
+    def test_round_robin(self, ecosystem):
+        zone = AuthoritativeZone(ecosystem)
+        zone.add_round_robin("cdn.example", ["101.0.5.1", "101.0.5.2"])
+        addresses = {record.address for record in zone.query("cdn.example")}
+        assert {"101.0.5.1", "101.0.5.2"} <= addresses
+
+
+class TestResolver:
+    def test_caches_until_ttl(self, ecosystem):
+        zone = AuthoritativeZone(ecosystem)
+        zone.add_round_robin("rr.example", ["101.0.6.1"], ttl=100.0)
+        resolver = Resolver(zone)
+        resolver.resolve("rr.example", now=0.0)
+        resolver.resolve("rr.example", now=50.0)
+        assert resolver.upstream_queries == 1
+        resolver.resolve("rr.example", now=150.0)  # TTL expired
+        assert resolver.upstream_queries == 2
+
+    def test_addresses_frozenset(self, ecosystem):
+        resolver = Resolver(AuthoritativeZone(ecosystem))
+        addresses = resolver.addresses(ABP_UPDATE_HOSTS[0])
+        assert isinstance(addresses, frozenset)
+        assert len(addresses) == 1
+
+
+class TestQuorum:
+    def test_union_across_resolvers(self, ecosystem):
+        zone = AuthoritativeZone(ecosystem)
+        resolvers = [Resolver(zone, name=f"r{i}") for i in range(3)]
+        harvest = resolve_with_quorum(resolvers, list(ABP_UPDATE_HOSTS))
+        # Matches the capture module's static harvest.
+        assert harvest == abp_server_ips(ecosystem)
+
+    def test_before_after_stability(self, ecosystem):
+        """§5: the ABP IP list resolved before and after the capture
+        'did not exhibit differences'."""
+        zone = AuthoritativeZone(ecosystem)
+        resolvers = [Resolver(zone) for _ in range(2)]
+        before = resolve_with_quorum(resolvers, list(ABP_UPDATE_HOSTS), now=0.0)
+        after = resolve_with_quorum(
+            resolvers, list(ABP_UPDATE_HOSTS), now=15.5 * 3600.0
+        )
+        assert before == after
+
+    def test_round_robin_widens_harvest(self, ecosystem):
+        zone = AuthoritativeZone(ecosystem)
+        extra_ip = "101.0.7.9"
+        zone.add_round_robin(ABP_UPDATE_HOSTS[0], [extra_ip])
+        harvest = resolve_with_quorum([Resolver(zone)], list(ABP_UPDATE_HOSTS))
+        assert extra_ip in harvest
+        assert abp_server_ips(ecosystem) <= harvest

@@ -1,0 +1,153 @@
+"""Unit tests for repro.filterlist.easylist (synthetic list generators)."""
+
+from __future__ import annotations
+
+from repro.filterlist.easylist import (
+    GENERIC_AD_PATTERNS,
+    GENERIC_TRACKER_PATTERNS,
+    ListSynthesisSpec,
+    build_lists,
+    synthesize_acceptable_ads,
+    synthesize_easylist,
+    synthesize_easyprivacy,
+    synthesize_language_derivative,
+)
+from repro.filterlist.engine import FilterEngine, RequestContext
+from repro.filterlist.lists import ACCEPTABLE_ADS, EASYLIST, EASYPRIVACY
+from repro.filterlist.options import ContentType
+
+
+def _spec() -> ListSynthesisSpec:
+    return ListSynthesisSpec(
+        ad_network_domains=["ads.net-a.com", "serve.net-b.com"],
+        tracker_domains=["pixel.track-a.io"],
+        acceptable_ad_domains=["ads.net-a.com"],
+        overly_general_whitelist_domains=["gstatic-like.com"],
+        self_hosting_publisher_domains=["news.example"],
+        text_ad_publisher_domains=["blog.example"],
+        foreign_publisher_domains=["zeitung.de"],
+    )
+
+
+class TestSynthesizeEasylist:
+    def test_structure(self):
+        lst = synthesize_easylist(_spec())
+        assert lst.name == EASYLIST
+        assert lst.expires_seconds == 4 * 86400.0
+        texts = [f.text for f in lst.filters]
+        assert "||ads.net-a.com^$third-party" in texts
+        assert any(t.startswith("@@") for t in texts)  # player exceptions
+        assert any("domain=news.example" in t for t in texts)
+        assert lst.hiding_rules  # element hiding present
+        for pattern in GENERIC_AD_PATTERNS:
+            assert pattern in texts
+
+    def test_all_lines_valid(self):
+        # The generator must never emit syntax the parser rejects.
+        from repro.filterlist.parser import parse_list_text
+
+        lst = synthesize_easylist(_spec())
+        parsed = parse_list_text(lst.to_text(), EASYLIST)
+        assert parsed.invalid_lines == []
+
+
+class TestSynthesizeEasyprivacy:
+    def test_structure(self):
+        lst = synthesize_easyprivacy(_spec())
+        assert lst.name == EASYPRIVACY
+        assert lst.expires_seconds == 1 * 86400.0
+        texts = [f.text for f in lst.filters]
+        assert "||pixel.track-a.io^$third-party" in texts
+        for pattern in GENERIC_TRACKER_PATTERNS:
+            assert pattern in texts
+
+
+class TestSynthesizeAcceptableAds:
+    def test_exception_only(self):
+        lst = synthesize_acceptable_ads(_spec())
+        assert lst.name == ACCEPTABLE_ADS
+        assert all(f.is_exception for f in lst.filters)
+
+    def test_overly_general_document_rule(self):
+        lst = synthesize_acceptable_ads(_spec())
+        document_rules = [f for f in lst.filters if f.options.is_document_exception]
+        assert len(document_rules) == 1
+        assert "gstatic-like.com" in document_rules[0].text
+
+
+class TestLanguageDerivative:
+    def test_structure(self):
+        lst = synthesize_language_derivative(_spec(), language="de")
+        assert lst.name == "easylist_de"
+        assert any("werbung" in f.text for f in lst.filters)
+
+
+class TestBuildLists:
+    def test_bundle(self):
+        lists = build_lists(_spec())
+        assert set(lists) == {EASYLIST, EASYPRIVACY, ACCEPTABLE_ADS}
+
+    def test_bundle_with_derivative(self):
+        lists = build_lists(_spec(), language_derivative=True)
+        assert "easylist_de" in lists
+
+    def test_deterministic(self):
+        a = build_lists(_spec())
+        b = build_lists(_spec())
+        for name in a:
+            assert [f.text for f in a[name].filters] == [f.text for f in b[name].filters]
+
+
+class TestSemanticInterlock:
+    """The generated lists must classify the ecosystem's URL shapes."""
+
+    def _engine(self) -> FilterEngine:
+        engine = FilterEngine()
+        for name, lst in build_lists(_spec()).items():
+            engine.add_filters(lst.filters, list_name=name)
+        return engine
+
+    def test_ad_network_blocked(self):
+        engine = self._engine()
+        context = RequestContext(ContentType.SCRIPT, "http://news.example/")
+        result = engine.match("http://ads.net-a.com/adtag/show.js?ad_slot=1", context)
+        assert result.is_blocked
+
+    def test_acceptable_chain_whitelisted(self):
+        engine = self._engine()
+        context = RequestContext(ContentType.SCRIPT, "http://news.example/")
+        result = engine.match("http://ads.net-a.com/textad/tag.js?ad_slot=1", context)
+        assert result.is_whitelisted
+
+    def test_tracker_pixel_blocked_by_easyprivacy(self):
+        engine = self._engine()
+        context = RequestContext(ContentType.IMAGE, "http://news.example/")
+        result = engine.match("http://pixel.track-a.io/pixel.gif?uid=9", context)
+        assert result.is_blocked
+        assert result.list_name == EASYPRIVACY
+
+    def test_self_hosted_ads_blocked_only_on_publisher(self):
+        engine = self._engine()
+        on_pub = engine.match(
+            "http://news.example/ads/serve/unit0.js",
+            RequestContext(ContentType.SCRIPT, "http://news.example/"),
+        )
+        elsewhere = engine.match(
+            "http://other.example/ads/serve/unit0.js",
+            RequestContext(ContentType.SCRIPT, "http://other.example/"),
+        )
+        assert on_pub.is_blocked
+        assert not elsewhere.is_ad
+
+    def test_regular_content_clean(self):
+        engine = self._engine()
+        context = RequestContext(ContentType.IMAGE, "http://news.example/")
+        result = engine.match("http://static.news.example/media/img/1.jpg", context)
+        assert not result.is_ad
+
+    def test_gstatic_font_whitelist_only(self):
+        engine = self._engine()
+        context = RequestContext(ContentType.FONT, "http://news.example/")
+        classification = engine.classify("http://fonts.gstatic-like.com/f.woff", context)
+        assert classification.is_whitelisted
+        assert not classification.is_blacklisted

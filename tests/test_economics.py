@@ -1,0 +1,103 @@
+"""Unit tests for repro.analysis.economics (revenue-proxy model)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.economics import CpmModel, revenue_of_visit, revenue_report
+from repro.browser.emulator import BrowserEmulator
+from repro.browser.profiles import profile_by_name
+from repro.web.page import ObjectKind, build_page
+
+
+def _visits(ecosystem, lists, profile_name, n=40, seed=5):
+    rng = random.Random(seed)
+    publishers = [
+        p for p in ecosystem.publishers
+        if p.ad_networks and not p.ad_free and not p.https_landing
+    ]
+    from repro.browser.ghostery import GhosteryDatabase
+
+    emulator = BrowserEmulator(
+        profile_by_name(profile_name),
+        lists,
+        ghostery_db=GhosteryDatabase.from_ecosystem(ecosystem)
+        if "Ghostery" in profile_name
+        else None,
+        rng=random.Random(seed),
+    )
+    page_rng = random.Random(seed + 1)
+    return [
+        emulator.visit(build_page(page_rng.choice(publishers), ecosystem, page_rng),
+                       list_update=False)
+        for _ in range(n)
+    ]
+
+
+class TestCpmModel:
+    def test_video_premium(self):
+        from repro.web.categories import SiteCategory
+
+        model = CpmModel()
+        video = model.impression_value(ObjectKind.AD_VIDEO, SiteCategory.NEWS)
+        display = model.impression_value(ObjectKind.AD_CREATIVE, SiteCategory.NEWS)
+        assert video > display > 0
+
+    def test_category_multiplier(self):
+        from repro.web.categories import SiteCategory
+
+        model = CpmModel()
+        shopping = model.impression_value(ObjectKind.AD_CREATIVE, SiteCategory.SHOPPING)
+        adult = model.impression_value(ObjectKind.AD_CREATIVE, SiteCategory.ADULT)
+        assert shopping > adult
+
+    def test_non_impression_kind_is_free(self):
+        from repro.web.categories import SiteCategory
+
+        model = CpmModel()
+        assert model.impression_value(ObjectKind.TRACKER_PIXEL, SiteCategory.NEWS) == 0.0
+
+
+class TestRevenue:
+    def test_vanilla_loses_nothing_to_blocking(self, ecosystem, lists):
+        report = revenue_report(_visits(ecosystem, lists, "Vanilla"))
+        assert report.blocked == 0.0
+        assert report.earned > 0.0
+        assert report.loss_share < 0.35  # only element hiding is zero here
+
+    def test_abp_paranoia_destroys_revenue(self, ecosystem, lists):
+        vanilla = revenue_report(_visits(ecosystem, lists, "Vanilla"))
+        paranoia = revenue_report(_visits(ecosystem, lists, "AdBP-Pa"))
+        assert paranoia.blocked > 0.0
+        assert paranoia.earned < vanilla.earned
+        assert paranoia.loss_share > 0.8  # nearly everything blocked
+
+    def test_acceptable_ads_recover_revenue(self, ecosystem, lists):
+        default_install = revenue_report(_visits(ecosystem, lists, "AdBP-Ad"))
+        paranoia = revenue_report(_visits(ecosystem, lists, "AdBP-Pa"))
+        assert default_install.acceptable_earned > 0.0
+        assert default_install.acceptable_fees > 0.0
+        assert default_install.earned > paranoia.earned
+        assert default_install.acceptable_recovery_share > paranoia.acceptable_recovery_share
+
+    def test_potential_invariant(self, ecosystem, lists):
+        """potential = earned + blocked + hidden, per profile."""
+        for profile_name in ("Vanilla", "AdBP-Pa", "AdBP-Ad"):
+            report = revenue_report(_visits(ecosystem, lists, profile_name))
+            assert report.potential == pytest.approx(
+                report.earned + report.blocked + report.hidden_text_ads
+            )
+            assert 0.0 <= report.loss_share <= 1.0
+
+    def test_per_visit_accounting(self, ecosystem, lists):
+        visits = _visits(ecosystem, lists, "AdBP-Pa", n=10)
+        total = revenue_report(visits)
+        summed = sum(revenue_of_visit(v).blocked for v in visits)
+        assert total.blocked == pytest.approx(summed)
+
+    def test_category_breakdown(self, ecosystem, lists):
+        report = revenue_report(_visits(ecosystem, lists, "Vanilla"))
+        assert report.by_category
+        assert all(value >= 0 for value in report.by_category.values())

@@ -1,0 +1,191 @@
+"""Unit tests for repro.filterlist.engine (matching + classification)."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filterlist.engine import Decision, FilterEngine, RequestContext, tokenize_url
+from repro.filterlist.filter import Filter
+from repro.filterlist.options import ContentType
+
+
+def _engine(lines: dict[str, list[str]], **kwargs) -> FilterEngine:
+    engine = FilterEngine(**kwargs)
+    for list_name, filters in lines.items():
+        engine.add_filters([Filter.parse(line) for line in filters], list_name=list_name)
+    return engine
+
+
+_PAGE = RequestContext(content_type=ContentType.IMAGE, page_url="http://news.example/story")
+
+
+class TestMatch:
+    def test_block(self):
+        engine = _engine({"easylist": ["||ads.example^"]})
+        result = engine.match("http://ads.example/b.gif", _PAGE)
+        assert result.decision == Decision.BLOCK
+        assert result.is_ad and result.is_blocked
+        assert result.list_name == "easylist"
+
+    def test_no_match(self):
+        engine = _engine({"easylist": ["||ads.example^"]})
+        result = engine.match("http://cdn.example/b.gif", _PAGE)
+        assert result.decision == Decision.NONE
+        assert not result.is_ad
+
+    def test_exception_rescues(self):
+        engine = _engine(
+            {
+                "easylist": ["||ads.example^"],
+                "acceptable_ads": ["@@||ads.example/textad/"],
+            }
+        )
+        result = engine.match("http://ads.example/textad/1.gif", _PAGE)
+        assert result.decision == Decision.WHITELIST
+        assert result.is_ad and result.is_whitelisted
+        assert result.list_name == "easylist"
+        assert result.whitelist_name == "acceptable_ads"
+
+    def test_document_exception_whitelists_page(self):
+        engine = _engine(
+            {
+                "easylist": ["||tracker.example^"],
+                "acceptable_ads": ["@@||friendly.example^$document"],
+            }
+        )
+        context = RequestContext(ContentType.IMAGE, "http://friendly.example/page")
+        result = engine.match("http://tracker.example/pixel.gif", context)
+        assert result.decision == Decision.WHITELIST
+        assert result.blocking_filter is None
+
+    def test_third_party_semantics(self):
+        engine = _engine({"easylist": ["||widgets.example^$third-party"]})
+        third = engine.match("http://widgets.example/w.js",
+                             RequestContext(ContentType.SCRIPT, "http://news.example/"))
+        first = engine.match("http://widgets.example/w.js",
+                             RequestContext(ContentType.SCRIPT, "http://widgets.example/"))
+        assert third.is_blocked
+        assert not first.is_ad
+
+    def test_type_mismatch_no_match(self):
+        engine = _engine({"easylist": ["/ads/*$script"]})
+        result = engine.match("http://x.example/ads/a.gif", _PAGE)
+        assert not result.is_ad
+
+    def test_should_block(self):
+        engine = _engine({"easylist": ["||ads.example^"]})
+        assert engine.should_block("http://ads.example/x", _PAGE)
+        assert not engine.should_block("http://ok.example/x", _PAGE)
+
+
+class TestClassify:
+    def test_whitelist_only_hit(self):
+        # The paper's gstatic case: whitelisted but never blacklisted.
+        engine = _engine({"acceptable_ads": ["@@||gstatic-like.com^$document"]})
+        context = RequestContext(ContentType.FONT, "http://news.example/")
+        classification = engine.classify("http://fonts.gstatic-like.com/f.woff", context)
+        assert classification.is_ad
+        assert classification.is_whitelisted
+        assert not classification.is_blacklisted
+        assert not classification.would_block
+
+    def test_blacklist_and_whitelist_independent(self):
+        engine = _engine(
+            {
+                "easylist": ["||ads.example^"],
+                "acceptable_ads": ["@@||ads.example/textad/"],
+            }
+        )
+        context = _PAGE
+        both = engine.classify("http://ads.example/textad/1.gif", context)
+        assert both.is_blacklisted and both.is_whitelisted and not both.would_block
+        only_black = engine.classify("http://ads.example/banner.gif", context)
+        assert only_black.is_blacklisted and not only_black.is_whitelisted
+        assert only_black.would_block
+
+    def test_list_attribution(self):
+        engine = _engine(
+            {"easylist": ["/banner/*"], "easyprivacy": ["/pixel.gif?"]}
+        )
+        easylist = engine.classify("http://x.example/banner/1.gif", _PAGE)
+        easyprivacy = engine.classify("http://t.example/pixel.gif?uid=1", _PAGE)
+        assert easylist.blacklist_name == "easylist"
+        assert easyprivacy.blacklist_name == "easyprivacy"
+
+
+class TestKeywordIndex:
+    _FILTERS = {
+        "easylist": [
+            "||ads.example^",
+            "/adserver/*",
+            "/banners/*$image",
+            "&ad_slot=",
+            "-ad-300x250.",
+            "@@||ads.example/player/",
+            "|http://exact.example/path|",
+            "/^no-keyword-here/",
+        ]
+    }
+    _URLS = [
+        "http://ads.example/creative/1.gif",
+        "http://ads.example/player/core.js",
+        "http://pub.example/adserver/x",
+        "http://pub.example/banners/b.png",
+        "http://net.example/tag?ad_slot=12",
+        "http://net.example/img-ad-300x250.gif",
+        "http://exact.example/path",
+        "http://clean.example/index.html",
+    ]
+
+    def test_index_equals_linear_scan(self):
+        indexed = _engine(self._FILTERS, use_keyword_index=True)
+        linear = _engine(self._FILTERS, use_keyword_index=False)
+        for url in self._URLS:
+            for content_type in (ContentType.IMAGE, ContentType.SCRIPT):
+                context = RequestContext(content_type, "http://news.example/")
+                a = indexed.match(url, context)
+                b = linear.match(url, context)
+                assert a.decision == b.decision, url
+                ca = indexed.classify(url, context)
+                cb = linear.classify(url, context)
+                assert ca.is_blacklisted == cb.is_blacklisted, url
+                assert ca.is_whitelisted == cb.is_whitelisted, url
+
+    def test_filter_count(self):
+        engine = _engine(self._FILTERS)
+        assert engine.filter_count == len(self._FILTERS["easylist"])
+        assert engine.list_names == ["easylist"]
+
+
+class TestTokenize:
+    def test_tokens(self):
+        tokens = tokenize_url("http://Ads.Example/path/IMG-1.gif?x=12abc")
+        assert "ads" in tokens
+        assert "example" in tokens
+        assert "path" in tokens
+        assert "gif" in tokens
+        assert all(token == token.lower() for token in tokens)
+
+
+_URL_CHARS = string.ascii_lowercase + string.digits + "/.-_?=&"
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    url_path=st.text(alphabet=_URL_CHARS, max_size=30),
+    content_type=st.sampled_from([ContentType.IMAGE, ContentType.SCRIPT, ContentType.OTHER]),
+)
+def test_index_equivalence_property(url_path, content_type):
+    filters = {
+        "easylist": ["||ads.example^", "/adserver/*", "&uid=", "@@/adserver/ok/"],
+        "easyprivacy": ["/pixel.", "track"],
+    }
+    indexed = _engine(filters, use_keyword_index=True)
+    linear = _engine(filters, use_keyword_index=False)
+    url = f"http://host.example/{url_path}"
+    context = RequestContext(content_type, "http://news.example/")
+    assert indexed.match(url, context).decision == linear.match(url, context).decision

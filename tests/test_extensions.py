@@ -1,0 +1,149 @@
+"""Tests for the extension modules: list evolution, page views,
+longitudinal comparison, hidden-ad accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.hidden_ads import hidden_ad_report
+from repro.analysis.longitudinal import compare_traces
+from repro.core.pageviews import attribution_accuracy, page_view_stats
+from repro.filterlist.evolution import ChurnRates, evolve, staleness_series
+
+
+class TestEvolution:
+    def test_deterministic(self, lists):
+        a = evolve(lists["easylist"], steps=3)
+        b = evolve(lists["easylist"], steps=3)
+        assert [f.text for f in a.filters] == [f.text for f in b.filters]
+
+    def test_version_bumped(self, lists):
+        evolved = evolve(lists["easylist"], steps=2)
+        assert evolved.version.endswith("+2")
+        assert evolved.name == "easylist"
+
+    def test_churn_removes_and_adds(self, lists):
+        original = lists["easylist"]
+        evolved = evolve(original, steps=5, rates=ChurnRates(removed=0.1, added=0.1))
+        original_texts = {f.text for f in original.filters if not f.is_exception}
+        evolved_texts = {f.text for f in evolved.filters if not f.is_exception}
+        assert original_texts - evolved_texts, "nothing was removed"
+        assert evolved_texts - original_texts, "nothing was added"
+
+    def test_exceptions_preserved(self, lists):
+        original = lists["easylist"]
+        evolved = evolve(original, steps=10, rates=ChurnRates(removed=0.2))
+        original_exceptions = {f.text for f in original.filters if f.is_exception}
+        evolved_exceptions = {f.text for f in evolved.filters if f.is_exception}
+        assert original_exceptions <= evolved_exceptions
+
+    def test_all_rules_still_parse(self, lists):
+        evolved = evolve(lists["easylist"], steps=8)
+        # Every filter object exists and compiled (regex attribute).
+        for filter_ in evolved.filters:
+            assert filter_.regex is not None
+
+    def test_staleness_series(self, lists):
+        series = staleness_series(lists["easylist"], max_steps=3)
+        assert [steps for steps, _ in series] == [0, 1, 2, 3]
+        assert series[0][1] is lists["easylist"]
+
+    def test_staleness_degrades_recall(self, ecosystem, lists, rbn_trace):
+        """Classifying with a heavily diverged list misses ads."""
+        from repro.core import AdClassificationPipeline, grade_classification
+
+        sample = rbn_trace.http[:20_000]
+        truths = rbn_trace.truth[:20_000]
+
+        fresh = AdClassificationPipeline(lists).process(sample)
+        stale_lists = dict(lists)
+        stale_lists["easylist"] = evolve(
+            lists["easylist"], steps=12, rates=ChurnRates(removed=0.15, added=0.05)
+        )
+        stale = AdClassificationPipeline(stale_lists).process(sample)
+
+        fresh_matrix = grade_classification(fresh, truths)
+        stale_matrix = grade_classification(stale, truths)
+        assert stale_matrix.recall < fresh_matrix.recall
+
+
+class TestPageViews:
+    def test_stats_shape(self, classified):
+        stats = page_view_stats(classified)
+        assert stats.n_requests == len(classified)
+        assert 0 < stats.n_pages <= stats.n_requests
+        assert stats.n_users > 0
+        assert stats.mean_requests_per_page > 1.0
+
+    def test_attribution_accuracy(self, classified, rbn_trace):
+        accuracy = attribution_accuracy(classified, rbn_trace.truth)
+        assert accuracy.graded > 0
+        # The referrer map must recover page context for matching
+        # semantics: same-site attribution well above 90%.
+        assert accuracy.same_site > 0.9
+        assert accuracy.exact > 0.7
+        assert accuracy.exact <= accuracy.same_site
+        assert "exact" in accuracy.summary
+
+    def test_no_referrer_map_destroys_attribution(self, lists, rbn_trace):
+        from repro.core import AdClassificationPipeline, PipelineConfig
+
+        sample = rbn_trace.http[:10_000]
+        truths = rbn_trace.truth[:10_000]
+        entries = AdClassificationPipeline(
+            lists, PipelineConfig(use_referrer_map=False)
+        ).process(sample)
+        accuracy = attribution_accuracy(entries, truths)
+        baseline = attribution_accuracy(
+            AdClassificationPipeline(lists).process(sample), truths
+        )
+        assert accuracy.exact < baseline.exact
+
+
+class TestLongitudinal:
+    def test_same_generator_consistent(self, classified):
+        half = len(classified) // 2
+        comparison = compare_traces(classified[:half], classified[half:])
+        assert comparison.consistent
+        assert comparison.max_relative_delta() < 0.5
+
+    def test_metrics_paired(self, classified):
+        comparison = compare_traces(classified, classified)
+        assert comparison.ad_request_share[0] == comparison.ad_request_share[1]
+        assert comparison.max_relative_delta() == 0.0
+
+
+class TestHiddenAds:
+    @pytest.fixture()
+    def visits(self, ecosystem, lists):
+        from repro.browser.emulator import BrowserEmulator
+        from repro.browser.profiles import profile_by_name
+        from repro.web.page import build_page
+
+        rng = random.Random(6)
+        publishers = [p for p in ecosystem.publishers if p.text_ads and not p.https_landing]
+        assert publishers
+        pages = [build_page(rng.choice(publishers), ecosystem, rng) for _ in range(40)]
+        vanilla = BrowserEmulator(profile_by_name("Vanilla"), lists, rng=rng)
+        abp = BrowserEmulator(profile_by_name("AdBP-Pa"), lists, rng=rng)
+        return (
+            [vanilla.visit(page, list_update=False) for page in pages],
+            [abp.visit(page, list_update=False) for page in pages],
+        )
+
+    def test_vanilla_shows_text_ads(self, visits):
+        vanilla_visits, _ = visits
+        report = hidden_ad_report(vanilla_visits)
+        assert report.text_ad_impressions > 0
+        assert report.text_ads_hidden == 0
+        assert 0.0 < report.invisible_share < 1.0
+
+    def test_abp_hides_text_ads(self, visits):
+        _, abp_visits = visits
+        report = hidden_ad_report(abp_visits)
+        assert report.text_ads_hidden > 0
+        assert report.hiding_rate > 0.5
+        # ABP also blocks request-borne impressions.
+        assert report.request_borne_impressions < hidden_ad_report(visits[0]).request_borne_impressions

@@ -1,0 +1,103 @@
+"""Unit tests for repro.filterlist.options ($option parsing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filterlist.options import ContentType, OptionParseError, parse_options
+
+
+class TestContentTypeMask:
+    def test_default_excludes_document_and_popup(self):
+        mask = ContentType.default_mask()
+        assert ContentType.IMAGE in mask
+        assert ContentType.SCRIPT in mask
+        assert ContentType.DOCUMENT not in mask
+        assert ContentType.POPUP not in mask
+
+    def test_single_type(self):
+        options = parse_options("script", is_exception=False)
+        assert options.type_mask == ContentType.SCRIPT
+
+    def test_multiple_types(self):
+        options = parse_options("image,media", is_exception=False)
+        assert ContentType.IMAGE in options.type_mask
+        assert ContentType.MEDIA in options.type_mask
+        assert ContentType.SCRIPT not in options.type_mask
+
+    def test_inverted_type(self):
+        options = parse_options("~image", is_exception=False)
+        assert ContentType.IMAGE not in options.type_mask
+        assert ContentType.SCRIPT in options.type_mask
+
+    def test_legacy_background_alias(self):
+        options = parse_options("background", is_exception=False)
+        assert options.type_mask == ContentType.IMAGE
+
+
+class TestDocumentAndElemhide:
+    def test_document_only_in_exceptions(self):
+        with pytest.raises(OptionParseError):
+            parse_options("document", is_exception=False)
+        options = parse_options("document", is_exception=True)
+        assert options.is_document_exception
+
+    def test_elemhide_only_in_exceptions(self):
+        with pytest.raises(OptionParseError):
+            parse_options("elemhide", is_exception=False)
+        options = parse_options("elemhide", is_exception=True)
+        assert options.elemhide_exception
+        # A pure $elemhide exception matches no resource requests.
+        assert options.type_mask == ContentType(0)
+
+
+class TestDomainOption:
+    def test_include_only(self):
+        options = parse_options("domain=a.com|b.com", is_exception=False)
+        assert options.applies_to_domain("a.com")
+        assert options.applies_to_domain("sub.a.com")
+        assert not options.applies_to_domain("c.com")
+
+    def test_exclude_only(self):
+        options = parse_options("domain=~a.com", is_exception=False)
+        assert not options.applies_to_domain("a.com")
+        assert not options.applies_to_domain("x.a.com")
+        assert options.applies_to_domain("b.com")
+
+    def test_most_specific_wins(self):
+        options = parse_options("domain=a.com|~sub.a.com", is_exception=False)
+        assert options.applies_to_domain("a.com")
+        assert options.applies_to_domain("other.a.com")
+        assert not options.applies_to_domain("sub.a.com")
+        assert not options.applies_to_domain("deep.sub.a.com")
+
+    def test_no_domains_applies_everywhere(self):
+        options = parse_options("script", is_exception=False)
+        assert options.applies_to_domain("anything.example")
+
+
+class TestOtherOptions:
+    def test_third_party(self):
+        assert parse_options("third-party", is_exception=False).third_party is True
+        assert parse_options("~third-party", is_exception=False).third_party is False
+        assert parse_options("script", is_exception=False).third_party is None
+
+    def test_match_case(self):
+        assert parse_options("match-case", is_exception=False).match_case
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(OptionParseError):
+            parse_options("frobnicate", is_exception=False)
+
+    def test_combined(self):
+        options = parse_options(
+            "script,third-party,domain=news.example", is_exception=False
+        )
+        assert options.type_mask == ContentType.SCRIPT
+        assert options.third_party is True
+        assert options.applies_to_domain("news.example")
+
+    def test_empty_components_skipped(self):
+        options = parse_options("script,,image", is_exception=False)
+        assert ContentType.SCRIPT in options.type_mask
+        assert ContentType.IMAGE in options.type_mask

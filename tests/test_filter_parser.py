@@ -1,0 +1,65 @@
+"""Unit tests for repro.filterlist.parser (list file parsing)."""
+
+from __future__ import annotations
+
+from repro.filterlist.parser import parse_expires, parse_list_text
+
+_SAMPLE = """[Adblock Plus 2.0]
+! Title: Test List
+! Version: 201508110000
+! Expires: 4 days
+! Homepage: https://example.org
+||ads.example.com^$third-party
+/adserver/*
+@@||good.example.com/player/core.js$script
+news.example##.textad
+site.example#@#.ok-ad
+! a trailing comment
+/bad-option/$frobnicate
+"""
+
+
+class TestParseListText:
+    def test_filters_and_rules_split(self):
+        parsed = parse_list_text(_SAMPLE, name="test")
+        assert len(parsed.filters) == 3
+        assert len(parsed.hiding_rules) == 2
+        assert parsed.name == "test"
+
+    def test_metadata(self):
+        parsed = parse_list_text(_SAMPLE, name="test")
+        assert parsed.title == "Test List"
+        assert parsed.metadata["version"] == "201508110000"
+        assert parsed.metadata["header"] == "Adblock Plus 2.0"
+        assert parsed.expires_seconds == 4 * 86400.0
+
+    def test_invalid_lines_collected(self):
+        parsed = parse_list_text(_SAMPLE, name="test")
+        assert parsed.invalid_lines == ["/bad-option/$frobnicate"]
+
+    def test_filters_carry_list_name(self):
+        parsed = parse_list_text(_SAMPLE, name="test")
+        assert all(f.list_name == "test" for f in parsed.filters)
+
+    def test_empty_input(self):
+        parsed = parse_list_text("", name="empty")
+        assert parsed.filters == []
+        assert parsed.hiding_rules == []
+        assert parsed.expires_seconds is None
+
+    def test_exception_filters_recognized(self):
+        parsed = parse_list_text(_SAMPLE, name="test")
+        exceptions = [f for f in parsed.filters if f.is_exception]
+        assert len(exceptions) == 1
+
+
+class TestParseExpires:
+    def test_days(self):
+        assert parse_expires("4 days") == 4 * 86400.0
+        assert parse_expires("1 day") == 86400.0
+
+    def test_hours(self):
+        assert parse_expires("12 hours") == 12 * 3600.0
+
+    def test_garbage(self):
+        assert parse_expires("whenever") is None

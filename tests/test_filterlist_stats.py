@@ -1,0 +1,62 @@
+"""Unit tests for repro.filterlist.stats."""
+
+from __future__ import annotations
+
+from repro.filterlist.lists import FilterList
+from repro.filterlist.stats import compare_lists, list_stats
+
+_TEXT = """[Adblock Plus 2.0]
+! Title: Composition Test
+||anchored.example^$third-party
+|http://start.example/
+/plain-pattern/
+/typed/$script,image
+/scoped/$domain=a.example|~b.example
+@@||white.example/ok/
+@@||doc.example^$document
+site.example##.ad
+##.generic-ad
+"""
+
+
+class TestListStats:
+    def _stats(self):
+        return list_stats(FilterList.from_text(_TEXT, "test"))
+
+    def test_counts(self):
+        stats = self._stats()
+        assert stats.total_rules == 9
+        assert stats.blocking == 5
+        assert stats.exceptions == 2
+        assert stats.hiding_rules == 2
+
+    def test_anchors(self):
+        stats = self._stats()
+        assert stats.domain_anchored == 3  # ||anchored, @@||white, @@||doc
+        assert stats.start_anchored == 1
+
+    def test_option_scoping(self):
+        stats = self._stats()
+        assert stats.third_party_scoped == 1
+        assert stats.domain_scoped == 1
+        assert stats.type_scoped >= 1
+        assert stats.document_exceptions == 1
+        assert stats.option_counts["third-party"] == 1
+        assert stats.option_counts["domain="] == 1
+        assert stats.option_counts["document"] == 1
+
+    def test_shares(self):
+        stats = self._stats()
+        assert stats.exception_share == 2 / 7
+        assert 0.0 < stats.anchored_share <= 1.0
+
+
+class TestCompareLists:
+    def test_bundle_rows(self, lists):
+        rows = compare_lists(lists)
+        assert {row["list"] for row in rows} == set(lists)
+        acceptable = next(row for row in rows if row["list"] == "acceptable_ads")
+        assert acceptable["exception share"] == "100.0%"
+        assert acceptable["blocking"] == 0
+        easylist = next(row for row in rows if row["list"] == "easylist")
+        assert easylist["blocking"] > easylist["exceptions"]

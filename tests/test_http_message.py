@@ -1,0 +1,109 @@
+"""Unit tests for repro.http.message."""
+
+from __future__ import annotations
+
+from repro.http.message import Headers, HttpRequest, HttpResponse, HttpTransaction
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers([("Content-Type", "text/html")])
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+        assert headers.get("missing") is None
+        assert headers.get("missing", "d") == "d"
+
+    def test_set_replaces_all(self):
+        headers = Headers([("X", "1"), ("x", "2")])
+        headers.set("X", "3")
+        assert headers.get("x") == "3"
+        assert len(headers) == 1
+
+    def test_add_keeps_duplicates(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2")
+        assert len(headers) == 2
+        assert headers.get("set-cookie") == "a=1"  # first value
+
+    def test_remove_and_contains(self):
+        headers = Headers({"A": "1", "B": "2"})
+        headers.remove("a")
+        assert "A" not in headers
+        assert "B" in headers
+
+    def test_copy_is_independent(self):
+        headers = Headers({"A": "1"})
+        copy = headers.copy()
+        copy.set("A", "2")
+        assert headers.get("A") == "1"
+
+    def test_equality(self):
+        assert Headers([("A", "1")]) == Headers([("A", "1")])
+        assert Headers([("A", "1")]) != Headers([("A", "2")])
+
+
+class TestHttpRequest:
+    def test_url_from_host_and_uri(self):
+        request = HttpRequest("GET", "/x?y=1", Headers({"Host": "E.com"}))
+        assert request.host == "e.com"
+        assert request.url == "http://e.com/x?y=1"
+
+    def test_absolute_uri(self):
+        request = HttpRequest("GET", "http://proxy.example/x", Headers({"Host": "other"}))
+        assert request.url == "http://proxy.example/x"
+
+    def test_accessors(self):
+        headers = Headers({"Host": "e.com", "Referer": "http://r.com/", "User-Agent": "UA"})
+        request = HttpRequest("GET", "/", headers)
+        assert request.referer == "http://r.com/"
+        assert request.user_agent == "UA"
+        assert request.split().host == "e.com"
+
+
+class TestHttpResponse:
+    def test_content_type_strips_parameters(self):
+        response = HttpResponse(200, headers=Headers({"Content-Type": "Text/HTML; charset=utf-8"}))
+        assert response.content_type == "text/html"
+
+    def test_content_type_missing(self):
+        assert HttpResponse(200).content_type is None
+        empty = HttpResponse(200, headers=Headers({"Content-Type": " ; x"}))
+        assert empty.content_type is None
+
+    def test_content_length(self):
+        response = HttpResponse(200, headers=Headers({"Content-Length": " 42 "}))
+        assert response.content_length == 42
+        bad = HttpResponse(200, headers=Headers({"Content-Length": "abc"}))
+        assert bad.content_length is None
+
+    def test_redirect_detection(self):
+        redirect = HttpResponse(302, headers=Headers({"Location": "http://t.com/"}))
+        assert redirect.is_redirect
+        assert redirect.location == "http://t.com/"
+        assert not HttpResponse(302).is_redirect  # no Location
+        assert not HttpResponse(200, headers=Headers({"Location": "x"})).is_redirect
+
+
+class TestHttpTransaction:
+    def test_http_handshake_ms(self):
+        txn = HttpTransaction(
+            client="c",
+            server="s",
+            request=HttpRequest("GET", "/", Headers({"Host": "e.com"})),
+            response=HttpResponse(200),
+            ts_request=10.0,
+            ts_response=10.120,
+        )
+        assert abs(txn.http_handshake_ms - 120.0) < 1e-6
+        assert txn.url == "http://e.com/"
+
+    def test_handshake_none_without_response_ts(self):
+        txn = HttpTransaction(
+            client="c",
+            server="s",
+            request=HttpRequest("GET", "/", Headers({"Host": "e.com"})),
+            response=None,
+            ts_request=10.0,
+        )
+        assert txn.http_handshake_ms is None

@@ -1,0 +1,152 @@
+"""Unit tests for repro.http.parser (HTTP/1.x wire format)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.parser import (
+    HttpParseError,
+    parse_request_stream,
+    parse_response_stream,
+    serialize_request,
+    serialize_response,
+)
+
+
+def _request(uri="/", host="e.com", **extra):
+    headers = Headers({"Host": host, **extra})
+    return HttpRequest("GET", uri, headers)
+
+
+class TestRequestStream:
+    def test_single_get(self):
+        data = b"GET /x HTTP/1.1\r\nHost: e.com\r\nUser-Agent: UA\r\n\r\n"
+        requests = parse_request_stream(data)
+        assert len(requests) == 1
+        assert requests[0].method == "GET"
+        assert requests[0].uri == "/x"
+        assert requests[0].host == "e.com"
+
+    def test_pipelined_requests(self):
+        data = (
+            b"GET /1 HTTP/1.1\r\nHost: a.com\r\n\r\n"
+            b"GET /2 HTTP/1.1\r\nHost: a.com\r\n\r\n"
+        )
+        requests = parse_request_stream(data)
+        assert [r.uri for r in requests] == ["/1", "/2"]
+
+    def test_post_with_body(self):
+        data = (
+            b"POST /f HTTP/1.1\r\nHost: a.com\r\nContent-Length: 5\r\n\r\nhello"
+            b"GET /after HTTP/1.1\r\nHost: a.com\r\n\r\n"
+        )
+        requests = parse_request_stream(data)
+        assert [r.method for r in requests] == ["POST", "GET"]
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpParseError):
+            parse_request_stream(b"NONSENSE\r\n\r\n")
+
+    def test_unterminated_headers(self):
+        with pytest.raises(HttpParseError):
+            parse_request_stream(b"GET / HTTP/1.1\r\nHost: e.com")
+
+    def test_malformed_header_line(self):
+        with pytest.raises(HttpParseError):
+            parse_request_stream(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+
+class TestResponseStream:
+    def test_single_response(self):
+        data = b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 2\r\n\r\nhi"
+        responses = parse_response_stream(data)
+        assert len(responses) == 1
+        assert responses[0].status == 200
+        assert responses[0].content_type == "text/html"
+        assert responses[0].body_length == 2
+
+    def test_chunked_body_consumed(self):
+        data = (
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n"
+            b"HTTP/1.1 204 No Content\r\n\r\n"
+        )
+        responses = parse_response_stream(data)
+        assert [r.status for r in responses] == [200, 204]
+        assert responses[0].body_length == 9
+
+    def test_head_response_has_no_body(self):
+        data = (
+            b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n"
+            b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"
+        )
+        responses = parse_response_stream(data, ["HEAD", "GET"])
+        assert len(responses) == 2
+        assert responses[0].content_length == 100  # header preserved
+        assert responses[0].body_length == 0  # but no body read
+
+    def test_304_has_no_body(self):
+        data = (
+            b"HTTP/1.1 304 Not Modified\r\nContent-Length: 10\r\n\r\n"
+            b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nx"
+        )
+        responses = parse_response_stream(data)
+        assert [r.status for r in responses] == [304, 200]
+
+    def test_bad_status_line(self):
+        with pytest.raises(HttpParseError):
+            parse_response_stream(b"HTTP/1.1 abc OK\r\n\r\n")
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(HttpParseError):
+            parse_response_stream(
+                b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n\r\n"
+            )
+
+
+class TestRoundTrip:
+    def test_request_roundtrip(self):
+        request = _request("/a?b=c", Referer="http://r.com/")
+        parsed = parse_request_stream(serialize_request(request))
+        assert parsed[0].uri == "/a?b=c"
+        assert parsed[0].headers.get("Referer") == "http://r.com/"
+
+    def test_response_roundtrip_with_body(self):
+        response = HttpResponse(302, "Found", Headers({"Location": "http://t.com/x"}))
+        data = serialize_response(response, b"abcde")
+        parsed = parse_response_stream(data)
+        assert parsed[0].status == 302
+        assert parsed[0].location == "http://t.com/x"
+        assert parsed[0].body_length == 5
+
+
+_TOKEN = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_./", min_size=1, max_size=20
+)
+
+
+@given(
+    uris=st.lists(_TOKEN.map(lambda t: "/" + t), min_size=1, max_size=5),
+    host=_TOKEN,
+)
+def test_pipelined_roundtrip_property(uris, host):
+    stream = b"".join(serialize_request(_request(uri, host=host)) for uri in uris)
+    parsed = parse_request_stream(stream)
+    assert [r.uri for r in parsed] == uris
+    assert all(r.host == host.lower() for r in parsed)
+
+
+@given(
+    statuses=st.lists(st.sampled_from([200, 204, 302, 404, 500]), min_size=1, max_size=5),
+    body=st.binary(max_size=64),
+)
+def test_response_stream_roundtrip_property(statuses, body):
+    stream = b""
+    for status in statuses:
+        response = HttpResponse(status, "R")
+        stream += serialize_response(response, body if status not in (204,) else b"")
+    parsed = parse_response_stream(stream)
+    assert [r.status for r in parsed] == statuses

@@ -1,0 +1,85 @@
+"""Unit tests for repro.filterlist.lists (subscriptions, expiry)."""
+
+from __future__ import annotations
+
+from repro.filterlist.lists import (
+    ACCEPTABLE_ADS,
+    EASYLIST,
+    EASYPRIVACY,
+    FilterList,
+    Subscription,
+    SubscriptionSet,
+)
+
+_TEXT = """[Adblock Plus 2.0]
+! Title: Mini
+! Version: 7
+! Expires: 1 days
+||ads.example^
+@@||ads.example/ok/
+site.example##.ad
+"""
+
+
+class TestFilterList:
+    def test_from_text(self):
+        lst = FilterList.from_text(_TEXT, name="mini")
+        assert lst.name == "mini"
+        assert lst.version == "7"
+        assert lst.expires_seconds == 86400.0
+        assert len(lst.filters) == 2
+        assert len(lst.hiding_rules) == 1
+        assert len(lst) == 3
+
+    def test_to_text_roundtrip(self):
+        lst = FilterList.from_text(_TEXT, name="mini")
+        again = FilterList.from_text(lst.to_text(), name="mini")
+        assert [f.text for f in again.filters] == [f.text for f in lst.filters]
+        assert [r.text for r in again.hiding_rules] == [r.text for r in lst.hiding_rules]
+
+    def test_default_expiry_by_name(self):
+        text = "[Adblock Plus 2.0]\n||x.example^\n"
+        assert FilterList.from_text(text, EASYLIST).expires_seconds == 4 * 86400.0
+        assert FilterList.from_text(text, EASYPRIVACY).expires_seconds == 1 * 86400.0
+
+
+class TestSubscription:
+    def test_due_until_fetched(self):
+        lst = FilterList.from_text(_TEXT, name="mini")
+        subscription = Subscription(lst)
+        assert subscription.due(now=0.0)
+        subscription.mark_fetched(0.0)
+        assert not subscription.due(now=3600.0)
+        assert subscription.due(now=86400.0)
+
+
+class TestSubscriptionSet:
+    def _bundle(self):
+        text = "[Adblock Plus 2.0]\n||x.example^\n"
+        return [
+            FilterList.from_text(text, EASYLIST),
+            FilterList.from_text("[Adblock Plus 2.0]\n@@||x.example/ok/\n", ACCEPTABLE_ADS),
+        ]
+
+    def test_membership(self):
+        subs = SubscriptionSet(self._bundle())
+        assert set(subs.names) == {EASYLIST, ACCEPTABLE_ADS}
+        assert subs.get(EASYLIST) is not None
+        subs.remove(ACCEPTABLE_ADS)
+        assert subs.get(ACCEPTABLE_ADS) is None
+
+    def test_due_updates(self):
+        subs = SubscriptionSet(self._bundle())
+        due = subs.due_updates(now=0.0)
+        assert len(due) == 2  # fresh install: everything due
+        for subscription in due:
+            subscription.mark_fetched(0.0)
+        assert subs.due_updates(now=3600.0) == []
+        # EasyList soft-expires after 4 days.
+        assert len(subs.due_updates(now=4 * 86400.0)) == 2
+
+    def test_build_engine(self):
+        subs = SubscriptionSet(self._bundle())
+        engine = subs.build_engine()
+        assert engine.filter_count == 2
+        assert set(engine.list_names) == {EASYLIST, ACCEPTABLE_ADS}

@@ -1,0 +1,113 @@
+"""Unit tests for repro.http.log (TSV log records)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.http.log import (
+    HttpLogRecord,
+    read_log,
+    records_from_text,
+    records_to_text,
+    transaction_to_record,
+    write_log,
+)
+from repro.http.message import Headers, HttpRequest, HttpResponse, HttpTransaction
+
+
+def _record(**overrides) -> HttpLogRecord:
+    values = dict(
+        ts=1000.5,
+        client="anon-1",
+        server="101.0.0.1",
+        method="GET",
+        host="site.example",
+        uri="/x?y=1",
+        referrer="http://site.example/",
+        user_agent="UA/1.0",
+        status=200,
+        content_type="image/gif",
+        content_length=43,
+        location=None,
+        tcp_handshake_ms=12.5,
+        http_handshake_ms=13.9,
+        flow_id=7,
+    )
+    values.update(overrides)
+    return HttpLogRecord(**values)
+
+
+class TestRoundTrip:
+    def test_basic_roundtrip(self):
+        records = [_record(), _record(ts=1001.0, status=302, location="http://t.example/")]
+        parsed = records_from_text(records_to_text(records))
+        assert parsed == records
+
+    def test_none_fields(self):
+        record = _record(referrer=None, user_agent=None, status=None,
+                         content_type=None, content_length=None, http_handshake_ms=None)
+        parsed = records_from_text(records_to_text([record]))[0]
+        assert parsed.referrer is None
+        assert parsed.status is None
+        assert parsed.http_handshake_ms is None
+
+    def test_tab_and_newline_escaped(self):
+        record = _record(user_agent="weird\tUA\nagent")
+        parsed = records_from_text(records_to_text([record]))[0]
+        assert parsed.user_agent == "weird\tUA\nagent"
+
+    def test_write_returns_count(self):
+        buffer = io.StringIO()
+        assert write_log([_record(), _record()], buffer) == 2
+
+    def test_read_skips_blank_lines(self):
+        text = records_to_text([_record()]) + "\n\n"
+        assert len(list(read_log(io.StringIO(text)))) == 1
+
+
+class TestUrlProperty:
+    def test_relative_uri(self):
+        assert _record().url == "http://site.example/x?y=1"
+
+    def test_absolute_uri(self):
+        record = _record(uri="http://other.example/z")
+        assert record.url == "http://other.example/z"
+
+
+class TestTransactionConversion:
+    def test_flattening(self):
+        request = HttpRequest(
+            "GET",
+            "/a",
+            Headers({"Host": "h.example", "Referer": "http://r.example/", "User-Agent": "UA"}),
+        )
+        response = HttpResponse(
+            302,
+            headers=Headers(
+                {"Content-Type": "text/html; charset=x", "Content-Length": "10",
+                 "Location": "http://t.example/"}
+            ),
+        )
+        txn = HttpTransaction(
+            client="c", server="s", request=request, response=response,
+            ts_request=5.0, ts_response=5.1, tcp_handshake_ms=20.0, flow_id=3,
+        )
+        record = transaction_to_record(txn)
+        assert record.host == "h.example"
+        assert record.referrer == "http://r.example/"
+        assert record.status == 302
+        assert record.content_type == "text/html"
+        assert record.content_length == 10
+        assert record.location == "http://t.example/"
+        assert abs(record.http_handshake_ms - 100.0) < 1e-6
+        assert record.flow_id == 3
+
+    def test_missing_response(self):
+        request = HttpRequest("GET", "/a", Headers({"Host": "h.example"}))
+        txn = HttpTransaction(
+            client="c", server="s", request=request, response=None, ts_request=5.0
+        )
+        record = transaction_to_record(txn)
+        assert record.status is None
+        assert record.content_type is None
+        assert record.http_handshake_ms is None

@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.normalize (§3.1 base-URL normalization)."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.normalize import ProtectedValues, collect_protected_values, normalize_url
+from repro.filterlist.filter import Filter
+
+
+class TestNormalizeUrl:
+    def test_values_replaced(self):
+        url = "http://x.example/a?session=98f3a&page=42"
+        assert normalize_url(url) == "http://x.example/a?session=X&page=X"
+
+    def test_keys_preserved(self):
+        url = "http://ads.example/t?ad_slot=123"
+        normalized = normalize_url(url)
+        assert "ad_slot=" in normalized  # &ad_slot= filters keep matching
+
+    def test_valueless_components_untouched(self):
+        url = "http://x.example/a?flag&k=v"
+        assert normalize_url(url) == "http://x.example/a?flag&k=X"
+
+    def test_no_query_is_identity(self):
+        url = "http://x.example/a/b.html"
+        assert normalize_url(url) == url
+
+    def test_protected_value_survives(self):
+        protected = ProtectedValues([("callback", "aslHandleAds")])
+        url = "http://x.example/p.jsp?callback=aslHandleAds&uid=9"
+        normalized = normalize_url(url, protected)
+        assert "callback=aslHandleAds" in normalized
+        assert "uid=X" in normalized
+
+    def test_embedded_url_removed(self):
+        # The mis-classification trigger: a previous request's URL in
+        # the query string.
+        url = "http://r.example/go?target=http://ads.example/banner.gif"
+        normalized = normalize_url(url)
+        assert "ads.example" not in normalized
+
+
+class TestCollectProtectedValues:
+    def test_from_exception_filter(self):
+        filters = [Filter.parse("@@*jsp?callback=aslHandleAds*")]
+        protected = collect_protected_values(filters)
+        assert protected.protects("callback", "aslHandleAds")
+        assert not protected.protects("callback", "other")
+
+    def test_from_blocking_filter(self):
+        filters = [Filter.parse("&ad_type=banner")]
+        protected = collect_protected_values(filters)
+        assert protected.protects("ad_type", "banner")
+
+    def test_wildcard_values_ignored(self):
+        filters = [Filter.parse("&cb=*")]
+        protected = collect_protected_values(filters)
+        assert len(protected) == 0
+
+    def test_keys_without_values_not_protected(self):
+        filters = [Filter.parse("&ad_slot=")]
+        protected = collect_protected_values(filters)
+        assert len(protected) == 0
+
+
+_QUERY_KEY = st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=8)
+_QUERY_VALUE = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+
+
+@given(pairs=st.lists(st.tuples(_QUERY_KEY, _QUERY_VALUE), min_size=1, max_size=6))
+def test_normalization_idempotent_property(pairs):
+    query = "&".join(f"{key}={value}" for key, value in pairs)
+    url = f"http://host.example/path?{query}"
+    once = normalize_url(url)
+    assert normalize_url(once) == once
+
+
+@given(pairs=st.lists(st.tuples(_QUERY_KEY, _QUERY_VALUE), min_size=1, max_size=6))
+def test_normalization_preserves_structure_property(pairs):
+    query = "&".join(f"{key}={value}" for key, value in pairs)
+    url = f"http://host.example/path?{query}"
+    normalized = normalize_url(url)
+    # Same host/path, same keys in order.
+    assert normalized.startswith("http://host.example/path?")
+    keys = [component.split("=")[0] for component in normalized.split("?", 1)[1].split("&")]
+    assert keys == [key for key, _ in pairs]

@@ -1,0 +1,118 @@
+"""Tests for visit rendering: records path vs wire path equivalence."""
+
+from __future__ import annotations
+
+import random
+
+from repro.browser.emulator import BrowserEmulator
+from repro.browser.profiles import profile_by_name
+from repro.http.analyzer import analyze_segments
+from repro.http.log import transaction_to_record
+from repro.trace.records import RttModel, render_visit
+from repro.trace.wire import render_visit_segments
+from repro.web.page import build_page
+
+
+def _visit(ecosystem, lists, seed=21):
+    rng = random.Random(seed)
+    publishers = [
+        p for p in ecosystem.publishers
+        if p.ad_networks and not p.https_landing and not p.ad_free
+    ]
+    page = build_page(rng.choice(publishers), ecosystem, rng)
+    emulator = BrowserEmulator(profile_by_name("Vanilla"), lists, rng=rng)
+    return emulator.visit(page, list_update=False)
+
+
+class TestRenderVisit:
+    def test_one_record_per_request(self, ecosystem, lists):
+        visit = _visit(ecosystem, lists)
+        records = render_visit(
+            visit, client_ip="10.9.9.9", user_agent="UA", base_ts=1000.0,
+            ecosystem=ecosystem, rtt=RttModel(1), rng=random.Random(2),
+        )
+        assert len(records.http) == len(visit.requests)
+        assert len(records.truth) == len(records.http)
+
+    def test_persistent_connections_share_flow(self, ecosystem, lists):
+        visit = _visit(ecosystem, lists)
+        records = render_visit(
+            visit, client_ip="10.9.9.9", user_agent="UA", base_ts=1000.0,
+            ecosystem=ecosystem, rtt=RttModel(1), rng=random.Random(2),
+        )
+        by_host_flow = {}
+        for record in records.http:
+            by_host_flow.setdefault(record.host, set()).add(record.flow_id)
+        for host, flows in by_host_flow.items():
+            assert len(flows) == 1, f"host {host} spread over flows {flows}"
+        # And same flow -> same TCP handshake measurement.
+        by_flow_handshake = {}
+        for record in records.http:
+            by_flow_handshake.setdefault(record.flow_id, set()).add(record.tcp_handshake_ms)
+        assert all(len(values) == 1 for values in by_flow_handshake.values())
+
+    def test_http_handshake_includes_server_delay(self, ecosystem, lists):
+        visit = _visit(ecosystem, lists)
+        records = render_visit(
+            visit, client_ip="10.9.9.9", user_agent="UA", base_ts=1000.0,
+            ecosystem=ecosystem, rtt=RttModel(1), rng=random.Random(2),
+        )
+        for record, request in zip(records.http, visit.requests):
+            gap = record.http_handshake_ms - record.tcp_handshake_ms
+            # The gap is server delay plus RTT jitter of up to ~±5%.
+            assert gap >= request.obj.server_delay_ms - 0.05 * record.tcp_handshake_ms - 1.0
+
+    def test_ground_truth_fields(self, ecosystem, lists):
+        visit = _visit(ecosystem, lists)
+        records = render_visit(
+            visit, client_ip="10.9.9.9", user_agent="UA", base_ts=1000.0,
+            ecosystem=ecosystem, rtt=RttModel(1), rng=random.Random(2),
+            device_id="dev-1",
+        )
+        assert all(truth.device_id == "dev-1" for truth in records.truth)
+        assert all(truth.page_url == visit.page_url for truth in records.truth)
+
+
+class TestWireEquivalence:
+    def test_wire_path_reconstructs_records(self, ecosystem, lists):
+        """segments -> analyzer -> records must agree with the direct
+        records path on every header field the pipeline consumes."""
+        visit = _visit(ecosystem, lists, seed=33)
+        direct = render_visit(
+            visit, client_ip="10.8.8.8", user_agent="UA/1.0", base_ts=500.0,
+            ecosystem=ecosystem, rtt=RttModel(4), rng=random.Random(6),
+        )
+        segments = render_visit_segments(
+            visit, client_ip="10.8.8.8", user_agent="UA/1.0", base_ts=500.0,
+            ecosystem=ecosystem, rtt=RttModel(4), rng=random.Random(6),
+        )
+        transactions = analyze_segments(segments)
+        reconstructed = [transaction_to_record(txn) for txn in transactions]
+
+        assert len(reconstructed) == len(direct.http)
+
+        # Distinct objects may share a URL (e.g. analytics.js fetched
+        # twice), so compare the header-field multisets.
+        def key(record):
+            return (record.host, record.uri, record.referrer, record.content_type,
+                    record.content_length, record.location, record.client)
+
+        from collections import Counter
+
+        assert Counter(key(r) for r in direct.http) == Counter(
+            key(r) for r in reconstructed
+        )
+
+    def test_wire_timing_plausible(self, ecosystem, lists):
+        visit = _visit(ecosystem, lists, seed=34)
+        segments = render_visit_segments(
+            visit, client_ip="10.8.8.8", user_agent="UA", base_ts=500.0,
+            ecosystem=ecosystem, rtt=RttModel(4), rng=random.Random(6),
+        )
+        transactions = analyze_segments(segments)
+        assert transactions
+        for txn in transactions:
+            assert txn.tcp_handshake_ms > 0
+            if txn.http_handshake_ms is not None:
+                # Server think time can only add on top of the RTT.
+                assert txn.http_handshake_ms >= txn.tcp_handshake_ms * 0.5

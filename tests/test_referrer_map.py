@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.referrer_map (§3.1 page reconstruction)."""
+
+from __future__ import annotations
+
+from repro.core.referrer_map import ReferrerMap
+
+_PAGE = "http://news.example/story.html"
+
+
+class TestBasicChains:
+    def test_direct_navigation_is_root(self):
+        rmap = ReferrerMap()
+        attribution = rmap.observe(_PAGE, None, looks_like_document=True)
+        assert attribution.page_url == _PAGE
+        assert attribution.is_page_root
+        assert attribution.via == "root"
+
+    def test_children_attach_to_page(self):
+        rmap = ReferrerMap()
+        rmap.observe(_PAGE, None, looks_like_document=True)
+        child = rmap.observe(
+            "http://static.news.example/a.css", _PAGE, looks_like_document=False
+        )
+        assert child.page_url == _PAGE
+        assert not child.is_page_root
+
+    def test_transitive_chain(self):
+        rmap = ReferrerMap()
+        rmap.observe(_PAGE, None, looks_like_document=True)
+        script = "http://ads.example/tag.js"
+        rmap.observe(script, _PAGE, looks_like_document=False)
+        pixel = rmap.observe(
+            "http://ads.example/pixel.gif", script, looks_like_document=False
+        )
+        assert pixel.page_url == _PAGE
+
+    def test_unseen_referer_becomes_root(self):
+        rmap = ReferrerMap()
+        child = rmap.observe(
+            "http://cdn.example/x.js", "http://unseen.example/page", looks_like_document=False
+        )
+        assert child.page_url == "http://unseen.example/page"
+
+    def test_iframe_html_stays_in_page(self):
+        rmap = ReferrerMap()
+        rmap.observe(_PAGE, None, looks_like_document=True)
+        iframe = rmap.observe(
+            "http://ads.example/frame.html", _PAGE, looks_like_document=True
+        )
+        assert iframe.page_url == _PAGE
+        assert not iframe.is_page_root
+
+
+class TestLocationRepair:
+    def test_redirect_followup_attaches(self):
+        rmap = ReferrerMap()
+        rmap.observe(_PAGE, None, looks_like_document=True)
+        rmap.observe(
+            "http://ads.example/click?x=1",
+            _PAGE,
+            looks_like_document=False,
+            location="http://cdn.ads.example/banner.gif",
+        )
+        followup = rmap.observe(
+            "http://cdn.ads.example/banner.gif", None, looks_like_document=False
+        )
+        assert followup.page_url == _PAGE
+        assert followup.via == "location"
+
+    def test_without_location_chain_breaks(self):
+        rmap = ReferrerMap()
+        rmap.observe(_PAGE, None, looks_like_document=True)
+        rmap.observe("http://ads.example/click?x=1", _PAGE, looks_like_document=False)
+        followup = rmap.observe(
+            "http://cdn.ads.example/banner.gif", None, looks_like_document=False
+        )
+        assert followup.page_url == "http://cdn.ads.example/banner.gif"
+        assert followup.via == "root"
+
+    def test_pending_redirect_consumed_once(self):
+        rmap = ReferrerMap()
+        rmap.observe(_PAGE, None, looks_like_document=True)
+        rmap.observe(
+            "http://r.example/r", _PAGE, looks_like_document=False,
+            location="http://t.example/x",
+        )
+        first = rmap.observe("http://t.example/x", None, looks_like_document=False)
+        second = rmap.observe("http://t.example/x", None, looks_like_document=False)
+        assert first.via == "location"
+        assert second.via == "root"
+
+
+class TestEmbeddedRepair:
+    def test_embedded_url_attaches(self):
+        rmap = ReferrerMap()
+        rmap.observe(_PAGE, None, looks_like_document=True)
+        rmap.observe(
+            "http://r.example/go?redirect=http://target.example/ad.gif",
+            _PAGE,
+            looks_like_document=False,
+        )
+        followup = rmap.observe(
+            "http://target.example/ad.gif", None, looks_like_document=False
+        )
+        assert followup.page_url == _PAGE
+        assert followup.via == "embedded"
+
+    def test_embedded_tracking_disabled(self):
+        rmap = ReferrerMap(track_embedded=False)
+        rmap.observe(_PAGE, None, looks_like_document=True)
+        rmap.observe(
+            "http://r.example/go?redirect=http://target.example/ad.gif",
+            _PAGE,
+            looks_like_document=False,
+        )
+        followup = rmap.observe(
+            "http://target.example/ad.gif", None, looks_like_document=False
+        )
+        assert followup.via == "root"
+
+
+class TestPruning:
+    def test_prune_keeps_recent_entries(self):
+        rmap = ReferrerMap()
+        rmap.observe(_PAGE, None, looks_like_document=True)
+        for index in range(100_001):
+            rmap.observe(f"http://x.example/{index}", _PAGE, looks_like_document=False)
+        # Recent attribution still resolvable.
+        recent = rmap.page_of("http://x.example/100000")
+        assert recent == _PAGE
+
+    def test_page_of_unknown(self):
+        assert ReferrerMap().page_of("http://nowhere.example/") is None

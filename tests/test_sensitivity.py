@@ -1,0 +1,73 @@
+"""Tests for repro.analysis.sensitivity (methodology sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    ghostery_coverage_sweep,
+    https_sensitivity,
+    threshold_sweep,
+)
+from repro.trace import RBNTraceGenerator, rbn2_config
+from repro.web import Ecosystem, EcosystemConfig
+
+
+class TestThresholdSweep:
+    def test_monotone_class_c(self, rbn_generator, rbn_trace, classified):
+        points = threshold_sweep(
+            rbn_generator, rbn_trace, classified,
+            thresholds=(0.01, 0.05, 0.15),
+        )
+        assert [p.threshold for p in points] == [0.01, 0.05, 0.15]
+        # Raising the threshold can only move users into C/D.
+        low_share = points[0].class_shares["C"] + points[0].class_shares["D"]
+        high_share = points[-1].class_shares["C"] + points[-1].class_shares["D"]
+        assert high_share >= low_share
+
+    def test_detection_metrics_present(self, rbn_generator, rbn_trace, classified):
+        points = threshold_sweep(
+            rbn_generator, rbn_trace, classified, thresholds=(0.05,)
+        )
+        detection = points[0].detection
+        assert detection.total > 0
+        assert 0.0 <= detection.precision <= 1.0
+        assert 0.0 <= detection.recall <= 1.0
+
+
+class TestHttpsSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        def make_generator(https_share):
+            ecosystem = Ecosystem.generate(
+                EcosystemConfig(
+                    n_publishers=100, seed=5, https_landing_share=https_share
+                )
+            )
+            config = rbn2_config(scale=0.0, seed=9)
+            config.population.n_households = 15
+            config.duration_s = 3 * 3600.0
+            return RBNTraceGenerator(config, ecosystem=ecosystem)
+
+        return https_sensitivity(make_generator, https_shares=(0.0, 0.5))
+
+    def test_blindness_grows(self, points):
+        plain, encrypted = points
+        assert plain.https_share == 0.0 and encrypted.https_share == 0.5
+        # More HTTPS -> fewer observable HTTP requests.
+        assert encrypted.observed_requests < plain.observed_requests
+
+    def test_shares_still_defined(self, points):
+        for point in points:
+            assert 0.0 <= point.ad_request_share <= 1.0
+            assert 0.0 <= point.likely_abp_share <= 1.0
+
+
+class TestGhosteryCoverage:
+    def test_residual_hits_decrease_with_coverage(self, ecosystem, lists):
+        results = ghostery_coverage_sweep(
+            ecosystem, lists, coverages=(0.2, 1.0), n_sites=25
+        )
+        (low_coverage, low_hits), (full_coverage, full_hits) = results
+        assert low_coverage < full_coverage
+        assert full_hits < low_hits

@@ -1,0 +1,131 @@
+"""Unit tests for repro.http.tcp (reassembly and flow tracking)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.http.tcp import FlowTable, TcpSegment, TcpStream
+
+
+class TestTcpStream:
+    def test_in_order(self):
+        stream = TcpStream()
+        stream.add(0, b"hello ")
+        stream.add(6, b"world")
+        assert stream.data == b"hello world"
+        assert not stream.has_gaps
+
+    def test_out_of_order(self):
+        stream = TcpStream()
+        stream.add(6, b"world")
+        assert stream.data == b""
+        assert stream.has_gaps
+        stream.add(0, b"hello ")
+        assert stream.data == b"hello world"
+        assert not stream.has_gaps
+
+    def test_retransmission_ignored(self):
+        stream = TcpStream()
+        stream.add(0, b"abc")
+        stream.add(0, b"abc")
+        stream.add(3, b"def")
+        stream.add(0, b"abcdef")  # overlapping retransmit
+        assert stream.data == b"abcdef"
+
+    def test_partial_overlap_trimmed(self):
+        stream = TcpStream()
+        stream.add(0, b"abcd")
+        stream.add(2, b"cdef")
+        assert stream.data == b"abcdef"
+
+    def test_empty_payload_noop(self):
+        stream = TcpStream()
+        stream.add(0, b"")
+        assert stream.data == b""
+
+
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=10),
+    seed=st.integers(0, 2**16),
+)
+def test_reassembly_any_order_property(chunks, seed):
+    expected = b"".join(chunks)
+    offsets = []
+    position = 0
+    for chunk in chunks:
+        offsets.append((position, chunk))
+        position += len(chunk)
+    rng = random.Random(seed)
+    rng.shuffle(offsets)
+    stream = TcpStream()
+    for offset, chunk in offsets:
+        stream.add(offset, chunk)
+    assert stream.data == expected
+
+
+class TestFlowTable:
+    def _handshake(self, table, client="1.1.1.1", server="2.2.2.2", ts=100.0, rtt=0.03):
+        table.add_segment(
+            TcpSegment(ts=ts, src=client, dst=server, sport=5000, dport=80, syn=True)
+        )
+        table.add_segment(
+            TcpSegment(
+                ts=ts + rtt, src=server, dst=client, sport=80, dport=5000, syn=True, ack=True
+            )
+        )
+
+    def test_handshake_timing(self):
+        table = FlowTable()
+        self._handshake(table, ts=50.0, rtt=0.025)
+        flow = table.flows()[0]
+        assert abs(flow.tcp_handshake_ms - 25.0) < 1e-6
+        assert flow.key.client == "1.1.1.1"
+
+    def test_bidirectional_payload_routing(self):
+        table = FlowTable()
+        self._handshake(table)
+        table.add_segment(
+            TcpSegment(ts=101, src="1.1.1.1", dst="2.2.2.2", sport=5000, dport=80,
+                       seq=0, payload=b"GET")
+        )
+        table.add_segment(
+            TcpSegment(ts=102, src="2.2.2.2", dst="1.1.1.1", sport=80, dport=5000,
+                       seq=0, payload=b"200")
+        )
+        flow = table.flows()[0]
+        assert flow.client_stream.data == b"GET"
+        assert flow.server_stream.data == b"200"
+
+    def test_ts_at_offset(self):
+        table = FlowTable()
+        self._handshake(table)
+        table.add_segment(
+            TcpSegment(ts=110, src="1.1.1.1", dst="2.2.2.2", sport=5000, dport=80,
+                       seq=0, payload=b"aaaa")
+        )
+        table.add_segment(
+            TcpSegment(ts=120, src="1.1.1.1", dst="2.2.2.2", sport=5000, dport=80,
+                       seq=4, payload=b"bbbb")
+        )
+        flow = table.flows()[0]
+        assert flow.ts_at_client_offset(0) == 110
+        assert flow.ts_at_client_offset(5) == 120
+
+    def test_two_flows_separate(self):
+        table = FlowTable()
+        self._handshake(table)
+        table.add_segment(
+            TcpSegment(ts=200, src="3.3.3.3", dst="2.2.2.2", sport=6000, dport=80, syn=True)
+        )
+        assert len(table) == 2
+
+    def test_handshake_none_when_unseen(self):
+        table = FlowTable()
+        table.add_segment(
+            TcpSegment(ts=1, src="1.1.1.1", dst="2.2.2.2", sport=5000, dport=80,
+                       seq=0, payload=b"GET")
+        )
+        assert table.flows()[0].tcp_handshake_ms is None

@@ -1,0 +1,178 @@
+"""Unit tests for repro.http.url."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.http.url import (
+    SplitUrl,
+    embedded_urls,
+    format_query,
+    hostname_of,
+    is_subdomain_of,
+    is_third_party,
+    join_url,
+    parse_query,
+    path_extension,
+    registrable_domain,
+    split_url,
+)
+
+
+class TestSplitUrl:
+    def test_full_url(self):
+        parts = split_url("http://www.Example.com:8080/a/b.html?x=1&y=2#frag")
+        assert parts.scheme == "http"
+        assert parts.host == "www.example.com"
+        assert parts.port == 8080
+        assert parts.path == "/a/b.html"
+        assert parts.query == "x=1&y=2"
+
+    def test_no_port(self):
+        parts = split_url("https://example.com/path")
+        assert parts.port is None
+        assert parts.netloc == "example.com"
+        assert parts.origin == "https://example.com"
+
+    def test_scheme_relative(self):
+        parts = split_url("//cdn.example.net/asset.js")
+        assert parts.scheme == ""
+        assert parts.host == "cdn.example.net"
+        assert parts.path == "/asset.js"
+
+    def test_host_only(self):
+        parts = split_url("http://example.com")
+        assert parts.path == ""
+        assert parts.query == ""
+
+    def test_fragment_dropped(self):
+        assert split_url("http://e.com/p#x?y").path == "/p"
+
+    def test_query_without_path(self):
+        # Degenerate but seen in the wild via proxies.
+        parts = split_url("http://e.com/?a=b")
+        assert parts.path == "/"
+        assert parts.query == "a=b"
+
+    def test_path_and_query_property(self):
+        parts = split_url("http://e.com/p?q=1")
+        assert parts.path_and_query == "/p?q=1"
+        assert split_url("http://e.com/p").path_and_query == "/p"
+
+    def test_join_roundtrip(self):
+        url = "http://sub.example.co.uk:81/x/y?k=v&m"
+        assert join_url(split_url(url)) == url
+
+    def test_ipv4_host(self):
+        parts = split_url("http://192.168.1.10:8000/x")
+        assert parts.host == "192.168.1.10"
+        assert parts.port == 8000
+
+
+class TestRegistrableDomain:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("example.com", "example.com"),
+            ("www.example.com", "example.com"),
+            ("a.b.c.example.com", "example.com"),
+            ("news.co.uk", "news.co.uk"),
+            ("static.news.co.uk", "news.co.uk"),
+            ("deep.static.news.co.uk", "news.co.uk"),
+            ("localhost", "localhost"),
+            ("192.168.0.1", "192.168.0.1"),
+            ("Example.COM.", "example.com"),
+        ],
+    )
+    def test_cases(self, host, expected):
+        assert registrable_domain(host) == expected
+
+    def test_third_party(self):
+        assert is_third_party("ads.tracker.net", "www.example.com")
+        assert not is_third_party("static.example.com", "www.example.com")
+
+    def test_subdomain(self):
+        assert is_subdomain_of("a.b.com", "b.com")
+        assert is_subdomain_of("b.com", "b.com")
+        assert not is_subdomain_of("notb.com", "b.com")
+        assert not is_subdomain_of("b.com.evil.org", "b.com")
+
+
+class TestPathExtension:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("/a/b.GIF", "gif"),
+            ("/a/b.tar.gz", "gz"),
+            ("/a/b", ""),
+            ("/a/.hidden", ""),
+            ("/", ""),
+            ("", ""),
+            ("/x.j$s", ""),
+        ],
+    )
+    def test_cases(self, path, expected):
+        assert path_extension(path) == expected
+
+
+class TestQuery:
+    def test_parse(self):
+        assert parse_query("a=1&b=&c&&d=x=y") == [
+            ("a", "1"),
+            ("b", ""),
+            ("c", ""),
+            ("d", "x=y"),
+        ]
+
+    def test_roundtrip(self):
+        query = "a=1&flag&b=two"
+        assert format_query(parse_query(query)) == query
+
+    def test_empty(self):
+        assert parse_query("") == []
+        assert format_query([]) == ""
+
+
+class TestEmbeddedUrls:
+    def test_clear_text(self):
+        urls = embedded_urls("http://r.com/go?u=http://target.com/x&z=1")
+        assert urls == ["http://target.com/x"]
+
+    def test_percent_encoded(self):
+        urls = embedded_urls("http://r.com/go?u=http%3A%2F%2Ftarget.com%2Fx")
+        assert urls == ["http://target.com/x"]
+
+    def test_none(self):
+        assert embedded_urls("http://r.com/plain?x=1") == []
+        assert embedded_urls("http://r.com/plain") == []
+
+
+_HOST_LABEL = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+
+
+@given(
+    labels=st.lists(_HOST_LABEL, min_size=1, max_size=4),
+    path=st.text(alphabet=string.ascii_lowercase + "/._-", max_size=20),
+    query=st.text(alphabet=string.ascii_lowercase + "=&_", max_size=20),
+)
+def test_split_join_roundtrip_property(labels, path, query):
+    host = ".".join(labels)
+    path = "/" + path.lstrip("/")
+    url = f"http://{host}{path}"
+    if query:
+        url += f"?{query}"
+    parts = split_url(url)
+    assert parts.host == host
+    assert join_url(parts) == url
+
+
+@given(host=st.lists(_HOST_LABEL, min_size=1, max_size=5).map(".".join))
+def test_registrable_domain_is_suffix(host):
+    domain = registrable_domain(host)
+    assert host == domain or host.endswith("." + domain)
+    # Idempotence.
+    assert registrable_domain(domain) == domain

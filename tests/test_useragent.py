@@ -1,0 +1,103 @@
+"""Unit tests for repro.http.useragent (§6.1 annotation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.http.useragent import BrowserFamily, DeviceClass, parse_user_agent
+
+_FIREFOX = "Mozilla/5.0 (Windows NT 6.1; rv:38.0) Gecko/20100101 Firefox/38.0"
+_CHROME = (
+    "Mozilla/5.0 (Windows NT 6.3) AppleWebKit/537.36 (KHTML, like Gecko) "
+    "Chrome/43.0.2357.100 Safari/537.36"
+)
+_SAFARI = (
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10) AppleWebKit/600.6.1 "
+    "(KHTML, like Gecko) Version/8.0.6 Safari/600.6.1"
+)
+_IE11 = "Mozilla/5.0 (Windows NT 6.3; Trident/7.0; rv:11.0) like Gecko"
+_IE8 = "Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 6.1)"
+_IPHONE = (
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 8_3 like Mac OS X) AppleWebKit/600.1.4 "
+    "(KHTML, like Gecko) Version/8.0 Mobile/12F70 Safari/600.1.4"
+)
+_ANDROID = (
+    "Mozilla/5.0 (Linux; Android 5.0; SM-G900F) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/42.0.2311.90 Mobile Safari/537.36"
+)
+
+
+class TestBrowserFamilies:
+    @pytest.mark.parametrize(
+        "ua,family",
+        [
+            (_FIREFOX, BrowserFamily.FIREFOX),
+            (_CHROME, BrowserFamily.CHROME),
+            (_SAFARI, BrowserFamily.SAFARI),
+            (_IE11, BrowserFamily.IE),
+            (_IE8, BrowserFamily.IE),
+            (_IPHONE, BrowserFamily.MOBILE),
+            (_ANDROID, BrowserFamily.MOBILE),
+        ],
+    )
+    def test_family(self, ua, family):
+        info = parse_user_agent(ua)
+        assert info.family == family
+        assert info.is_browser
+
+    def test_chrome_not_safari(self):
+        # Chrome UAs contain "Safari/"; precedence must pick Chrome.
+        assert parse_user_agent(_CHROME).family == BrowserFamily.CHROME
+
+    def test_desktop_vs_mobile_split(self):
+        assert parse_user_agent(_FIREFOX).is_desktop_browser
+        assert parse_user_agent(_IPHONE).is_mobile_browser
+        assert not parse_user_agent(_IPHONE).is_desktop_browser
+
+
+class TestNonBrowsers:
+    @pytest.mark.parametrize(
+        "ua,device",
+        [
+            ("PlayStation 4 3.11", DeviceClass.CONSOLE),
+            ("Mozilla/5.0 (PLAYSTATION 3; 4.76)", DeviceClass.CONSOLE),
+            ("Opera/9.80 (Linux mips; U; HbbTV/1.1.1) SmartTV", DeviceClass.SMART_TV),
+            ("Microsoft-CryptoAPI/6.1", DeviceClass.UPDATER),
+            ("Windows-Update-Agent/7.6", DeviceClass.UPDATER),
+            ("VLC/2.2.1 LibVLC/2.2.1", DeviceClass.MEDIA_PLAYER),
+            ("Spotify/1.0.9 Linux", DeviceClass.MEDIA_PLAYER),
+            ("Dalvik/1.6.0 (Linux; U; Android 4.4.2)", DeviceClass.APP),
+            ("okhttp/2.4.0", DeviceClass.APP),
+            ("CFNetwork/711.3.18 Darwin/14.0.0", DeviceClass.APP),
+            ("curl/7.43.0", DeviceClass.APP),
+            ("Googlebot/2.1 (+http://www.google.com/bot.html)", DeviceClass.BOT),
+        ],
+    )
+    def test_device_class(self, ua, device):
+        info = parse_user_agent(ua)
+        assert info.device == device
+        assert not info.is_browser
+
+    def test_empty_and_none(self):
+        assert parse_user_agent("").family == BrowserFamily.NONE
+        assert parse_user_agent(None).family == BrowserFamily.NONE
+        assert not parse_user_agent(None).is_browser
+
+    def test_custom_agent_without_mozilla(self):
+        info = parse_user_agent("MyCustomApp/1.0")
+        assert info.device == DeviceClass.APP
+        assert not info.is_browser
+
+
+class TestOsDetection:
+    @pytest.mark.parametrize(
+        "ua,os_name",
+        [
+            (_FIREFOX, "Windows"),
+            (_SAFARI, "macOS"),
+            (_IPHONE, "iOS"),
+            (_ANDROID, "Android"),
+        ],
+    )
+    def test_os(self, ua, os_name):
+        assert parse_user_agent(ua).os == os_name

@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.users (aggregation and annotation)."""
+
+from __future__ import annotations
+
+from repro.core.users import aggregate_users, annotate_browsers, heavy_hitters
+from repro.http.useragent import BrowserFamily
+
+
+class TestAggregation:
+    def test_totals_match(self, classified):
+        stats = aggregate_users(classified)
+        assert sum(s.requests for s in stats.values()) == len(classified)
+        assert sum(s.ad_requests for s in stats.values()) == sum(
+            1 for entry in classified if entry.is_ad
+        )
+
+    def test_keys_are_ip_ua_pairs(self, classified):
+        stats = aggregate_users(classified)
+        for (client, user_agent), user_stats in stats.items():
+            assert user_stats.client == client
+            assert user_stats.user_agent == user_agent
+
+    def test_time_bounds(self, classified):
+        stats = aggregate_users(classified)
+        for user_stats in stats.values():
+            assert user_stats.first_ts <= user_stats.last_ts
+
+    def test_list_counters_consistent(self, classified):
+        stats = aggregate_users(classified)
+        for user_stats in stats.values():
+            assert user_stats.easylist_blocked_hits <= user_stats.easylist_hits
+            assert user_stats.whitelisted_and_blacklisted <= user_stats.whitelisted
+            assert (
+                user_stats.easylist_hits + user_stats.easyprivacy_hits
+                <= user_stats.ad_requests
+            )
+            assert 0.0 <= user_stats.ad_ratio <= 1.0
+            assert user_stats.ad_ratio <= user_stats.total_ad_ratio + 1e-9
+
+
+class TestHeavyHitters:
+    def test_threshold(self, classified):
+        stats = aggregate_users(classified)
+        active = heavy_hitters(stats, min_requests=100)
+        assert all(s.requests > 100 for s in active.values())
+        assert len(active) <= len(stats)
+
+    def test_custom_threshold_monotone(self, classified):
+        stats = aggregate_users(classified)
+        assert len(heavy_hitters(stats, min_requests=50)) >= len(
+            heavy_hitters(stats, min_requests=500)
+        )
+
+
+class TestAnnotation:
+    def test_partition(self, classified):
+        stats = aggregate_users(classified)
+        annotation = annotate_browsers(stats)
+        total = len(annotation.desktop) + len(annotation.mobile) + len(annotation.discarded)
+        assert total == len(stats)
+        # Disjoint.
+        assert not set(annotation.desktop) & set(annotation.mobile)
+        assert not set(annotation.browsers) & set(annotation.discarded)
+
+    def test_discarded_are_nonbrowsers(self, classified):
+        stats = aggregate_users(classified)
+        annotation = annotate_browsers(stats)
+        for user_stats in annotation.discarded.values():
+            assert not user_stats.ua_info.is_browser
+
+    def test_by_family_grouping(self, classified):
+        stats = aggregate_users(classified)
+        annotation = annotate_browsers(stats)
+        by_family = annotation.by_family()
+        counted = sum(len(members) for members in by_family.values())
+        assert counted == len(annotation.browsers)
+        for family, members in by_family.items():
+            assert family != BrowserFamily.OTHER
+            for member in members:
+                assert member.ua_info.family == family

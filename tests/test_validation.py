@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import ConfusionMatrix, grade_classification, grade_detection
+
+
+class TestConfusionMatrix:
+    def test_metrics(self):
+        matrix = ConfusionMatrix(true_positive=8, false_positive=2,
+                                 false_negative=4, true_negative=86)
+        assert matrix.precision == pytest.approx(0.8)
+        assert matrix.recall == pytest.approx(8 / 12)
+        assert matrix.accuracy == pytest.approx(0.94)
+        assert 0 < matrix.f1 < 1
+        assert matrix.total == 100
+
+    def test_degenerate(self):
+        empty = ConfusionMatrix()
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f1 == 0.0
+        assert empty.accuracy == 0.0
+
+    def test_addition(self):
+        a = ConfusionMatrix(1, 2, 3, 4)
+        b = ConfusionMatrix(10, 20, 30, 40)
+        total = a + b
+        assert total == ConfusionMatrix(11, 22, 33, 44)
+
+
+class TestGradeClassification:
+    def test_on_fixture_trace(self, classified, rbn_trace):
+        matrix = grade_classification(classified, rbn_trace.truth)
+        assert matrix.total == len(classified)
+        assert matrix.precision > 0.95
+        assert matrix.recall > 0.90
+
+    def test_whitelist_counting_mode(self, classified, rbn_trace):
+        strict = grade_classification(classified, rbn_trace.truth, blacklist_only=True)
+        lenient = grade_classification(classified, rbn_trace.truth, blacklist_only=False)
+        # Counting whitelist-only hits as positives adds false
+        # positives (the gstatic anomaly) but can only help recall.
+        assert lenient.false_positive >= strict.false_positive
+        assert lenient.recall >= strict.recall
+
+
+class TestGradeDetection:
+    def test_detection_on_fixture(self, classified, rbn_trace, rbn_generator):
+        from repro.core import (
+            aggregate_users,
+            annotate_browsers,
+            classify_usage,
+            heavy_hitters,
+        )
+        from repro.trace.capture import abp_server_ips, easylist_download_clients
+
+        stats = aggregate_users(classified)
+        annotation = annotate_browsers(heavy_hitters(stats, min_requests=200))
+        downloads = easylist_download_clients(
+            rbn_trace.tls, abp_server_ips(rbn_generator.ecosystem)
+        )
+        usages = classify_usage(list(annotation.browsers.values()), downloads)
+        profiles = {
+            (household.ip, device.user_agent): device.profile
+            for household in rbn_generator.households
+            for device in household.devices
+        }
+        matrix = grade_detection(usages, profiles)
+        assert matrix.total == len(usages)
+        if matrix.true_positive + matrix.false_positive:
+            assert matrix.precision > 0.5
