@@ -10,6 +10,11 @@ and analyses run offline):
 * ``repro usage`` — the §6 ad-blocker usage study over stored logs.
 * ``repro crawl`` — the §4 active measurement (Table 1).
 * ``repro report`` — §7 traffic characterization over a stored log.
+* ``repro corrupt`` — seeded fault injection into a stored log (testing).
+
+Commands that read logs take ``--on-error {strict,skip,quarantine}``;
+exit codes are 0 (clean), 1 (strict-mode abort on the first bad line),
+3 (completed with dropped records) — see DESIGN.md §7.
 
 All commands that need the ecosystem/lists rebuild them
 deterministically from ``--publishers/--eco-seed``, so separate
@@ -27,9 +32,18 @@ from repro.core import AdClassificationPipeline
 from repro.filterlist import build_lists
 from repro.filterlist.stats import compare_lists
 from repro.http.log import read_log, write_log
+from repro.robustness import (
+    EXIT_STRICT_ABORT,
+    ErrorPolicy,
+    LogParseError,
+    PipelineHealth,
+    QuarantineWriter,
+)
 from repro.trace import (
+    CorruptionConfig,
     RBNTraceGenerator,
     TlsConnectionRecord,
+    TraceCorruptor,
     abp_server_ips,
     easylist_download_clients,
     rbn1_config,
@@ -51,6 +65,46 @@ def _add_ecosystem_flags(parser: argparse.ArgumentParser) -> None:
                         help="number of synthetic publishers (default 300)")
     parser.add_argument("--eco-seed", type=int, default=20151028,
                         help="ecosystem generation seed")
+
+
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--on-error", choices=("strict", "skip", "quarantine"),
+                        default="strict",
+                        help="what to do with malformed log lines (default strict)")
+    parser.add_argument("--quarantine-out",
+                        help="sidecar path for rejected lines "
+                             "(default <trace>.quarantine)")
+
+
+def _load_http_records(args: argparse.Namespace, health: PipelineHealth):
+    """Read the HTTP log under the command's error policy."""
+    policy = ErrorPolicy(args.on_error)
+    quarantine = None
+    quarantine_path = None
+    quarantine_stream = None
+    if policy is ErrorPolicy.QUARANTINE:
+        quarantine_path = args.quarantine_out or f"{args.trace}.quarantine"
+        quarantine_stream = open(quarantine_path, "w")
+        quarantine = QuarantineWriter(quarantine_stream)
+    try:
+        with open(args.trace) as stream:
+            records = list(
+                read_log(stream, on_error=policy, health=health, quarantine=quarantine)
+            )
+    finally:
+        if quarantine_stream is not None:
+            quarantine_stream.close()
+    if quarantine is not None and quarantine.count:
+        print(f"quarantined {quarantine.count} lines to {quarantine_path}")
+    return records
+
+
+def _finish(health: PipelineHealth, *, always_summarize: bool = False) -> int:
+    """Print the end-of-run health summary; map degradation to exit code."""
+    if always_summarize or health.degraded:
+        print()
+        print(health.summary())
+    return health.exit_code()
 
 
 def _write_tls(records: list[TlsConnectionRecord], stream: TextIO) -> None:
@@ -111,9 +165,14 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
     pipeline = AdClassificationPipeline(lists)
-    with open(args.trace) as stream:
-        records = list(read_log(stream))
-    entries = pipeline.process(records)
+    health = PipelineHealth()
+    records = _load_http_records(args, health)
+    entries = pipeline.process(
+        records,
+        health=health,
+        max_users=args.max_users,
+        reorder_window=args.reorder_window,
+    )
 
     ads = sum(1 for entry in entries if entry.is_ad)
     whitelisted = sum(1 for entry in entries if entry.is_whitelisted)
@@ -140,7 +199,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
                     + "\n"
                 )
         print(f"wrote classification to {args.out}")
-    return 0
+    return _finish(health, always_summarize=True)
 
 
 def _cmd_usage(args: argparse.Namespace) -> int:
@@ -155,9 +214,9 @@ def _cmd_usage(args: argparse.Namespace) -> int:
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
     pipeline = AdClassificationPipeline(lists)
-    with open(args.trace) as stream:
-        records = list(read_log(stream))
-    entries = pipeline.process(records)
+    health = PipelineHealth()
+    records = _load_http_records(args, health)
+    entries = pipeline.process(records, health=health)
 
     with open(args.tls) as stream:
         tls_records = _read_tls(stream)
@@ -182,7 +241,7 @@ def _cmd_usage(args: argparse.Namespace) -> int:
     print(render_table(rows, title="ad-blocker usage classes (paper Table 3)"))
     likely = sum(1 for usage in usages if usage.likely_adblock)
     print(f"likely Adblock Plus users: {likely}/{len(usages)} active browsers")
-    return 0
+    return _finish(health)
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
@@ -221,9 +280,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
     pipeline = AdClassificationPipeline(lists)
-    with open(args.trace) as stream:
-        records = list(read_log(stream))
-    entries = pipeline.process(records)
+    health = PipelineHealth()
+    records = _load_http_records(args, health)
+    entries = pipeline.process(records, health=health)
 
     summary = traffic_summary(entries)
     print(f"requests: {summary.total_requests}; ad share "
@@ -243,6 +302,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
         for row in content_type_table(entries)
     ]
     print(render_table(rows, title="traffic by Content-Type (paper Table 4)"))
+    return _finish(health)
+
+
+def _cmd_corrupt(args: argparse.Namespace) -> int:
+    corruptor = TraceCorruptor(
+        CorruptionConfig(
+            rate=args.rate,
+            duplicate_rate=args.duplicate_rate,
+            jitter_s=args.jitter_s,
+            skew_segments=args.skew_segments,
+            skew_s=args.skew_s,
+            seed=args.seed,
+        )
+    )
+    stats = corruptor.corrupt_file(args.trace, args.out)
+    print(f"wrote {args.out}: {stats.lines_corrupted}/{stats.lines_seen} lines damaged, "
+          f"{stats.lines_duplicated} duplicated, {stats.lines_jittered} reordered, "
+          f"{stats.lines_skewed} clock-skewed")
+    for pathology, count in stats.by_pathology.most_common():
+        print(f"  {pathology}: {count}")
     return 0
 
 
@@ -270,17 +349,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_classify = sub.add_parser("classify", help="classify a stored HTTP log")
     _add_ecosystem_flags(p_classify)
+    _add_robustness_flags(p_classify)
     p_classify.add_argument("--trace", required=True)
     p_classify.add_argument("--out", help="write per-request classification TSV")
+    p_classify.add_argument("--max-users", type=int,
+                            help="LRU-evict idle per-user state beyond this many users")
+    p_classify.add_argument("--reorder-window", type=float,
+                            help="re-sort out-of-order records within this many seconds")
     p_classify.set_defaults(func=_cmd_classify)
 
     p_usage = sub.add_parser("usage", help="ad-blocker usage study over stored logs")
     _add_ecosystem_flags(p_usage)
+    _add_robustness_flags(p_usage)
     p_usage.add_argument("--trace", required=True)
     p_usage.add_argument("--tls", required=True)
     p_usage.add_argument("--threshold", type=float, default=0.05)
     p_usage.add_argument("--min-requests", type=int, default=1000)
     p_usage.set_defaults(func=_cmd_usage)
+
+    p_corrupt = sub.add_parser(
+        "corrupt", help="inject capture faults into a stored HTTP log (testing)"
+    )
+    p_corrupt.add_argument("--trace", required=True, help="clean HTTP log TSV")
+    p_corrupt.add_argument("--out", required=True, help="damaged HTTP log TSV")
+    p_corrupt.add_argument("--rate", type=float, default=0.1,
+                           help="fraction of lines hit by unparseable damage")
+    p_corrupt.add_argument("--duplicate-rate", type=float, default=0.0)
+    p_corrupt.add_argument("--jitter-s", type=float, default=0.0,
+                           help="locally shuffle records within this ts window")
+    p_corrupt.add_argument("--skew-segments", type=int, default=0)
+    p_corrupt.add_argument("--skew-s", type=float, default=0.0)
+    p_corrupt.add_argument("--seed", type=int, default=1337)
+    p_corrupt.set_defaults(func=_cmd_corrupt)
 
     p_crawl = sub.add_parser("crawl", help="active measurement study (Table 1)")
     _add_ecosystem_flags(p_crawl)
@@ -290,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report", help="traffic characterization (Table 4)")
     _add_ecosystem_flags(p_report)
+    _add_robustness_flags(p_report)
     p_report.add_argument("--trace", required=True)
     p_report.set_defaults(func=_cmd_report)
 
@@ -299,7 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except LogParseError as exc:
+        print(f"error: malformed input at {exc}; rerun with "
+              f"--on-error skip|quarantine to degrade gracefully", file=sys.stderr)
+        return EXIT_STRICT_ABORT
 
 
 if __name__ == "__main__":

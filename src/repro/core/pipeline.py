@@ -19,6 +19,7 @@ Every step is individually switchable for the ablation benchmarks.
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -30,6 +31,7 @@ from repro.filterlist.engine import Classification, FilterEngine, RequestContext
 from repro.filterlist.lists import FilterList
 from repro.filterlist.options import ContentType
 from repro.http.log import HttpLogRecord
+from repro.robustness import PipelineHealth
 
 __all__ = ["PipelineConfig", "ClassifiedRequest", "AdClassificationPipeline", "UserKey"]
 
@@ -82,12 +84,46 @@ class ClassifiedRequest:
         return self.record.content_length or 0
 
 
+# Cap on pending redirect fix-ups per user; oldest entries are evicted
+# first so recent redirects still get their type fix-up.
+_MAX_PENDING_FIXUPS = 10_000
+
+
 @dataclass(slots=True)
 class _UserState:
     referrer_map: ReferrerMap
     # Redirect targets awaiting their consequent request, for the
     # content-type fix-up: target URL -> index into the entries list.
-    pending_type_fixup: dict[str, int] = field(default_factory=dict)
+    # LRU-ordered: oldest pending redirect is evicted when full.
+    pending_type_fixup: OrderedDict[str, int] = field(default_factory=OrderedDict)
+
+
+def _in_timestamp_order(
+    records: Iterable[HttpLogRecord],
+    window_s: float,
+    health: PipelineHealth | None,
+) -> Iterator[HttpLogRecord]:
+    """Re-sort a slightly out-of-order stream with a bounded buffer.
+
+    Records are held in a min-heap on timestamp and released once the
+    stream has advanced ``window_s`` seconds past them, so any stream
+    shuffled within a jitter window ≤ ``window_s`` comes out in exact
+    timestamp order (ties release in arrival order).  Memory is bounded
+    by the number of records per window, not the stream length.
+    """
+    heap: list[tuple[float, int, HttpLogRecord]] = []
+    seq = 0
+    max_ts = float("-inf")
+    for record in records:
+        if record.ts < max_ts and health is not None:
+            health.records_reordered += 1
+        max_ts = max(max_ts, record.ts)
+        heapq.heappush(heap, (record.ts, seq, record))
+        seq += 1
+        while heap and heap[0][0] <= max_ts - window_s:
+            yield heapq.heappop(heap)[2]
+    while heap:
+        yield heapq.heappop(heap)[2]
 
 
 class AdClassificationPipeline:
@@ -113,19 +149,24 @@ class AdClassificationPipeline:
     def engine(self) -> FilterEngine:
         return self._engine
 
-    def process(self, records: Iterable[HttpLogRecord]) -> list[ClassifiedRequest]:
+    def process(self, records: Iterable[HttpLogRecord], **kwargs) -> list[ClassifiedRequest]:
         """Classify a time-ordered record stream into a list.
 
         Records must be sorted by timestamp (multi-user streams are
-        fine; state is kept per user).
+        fine; state is kept per user).  Keyword arguments are forwarded
+        to :meth:`iter_process`.
         """
-        return list(self.iter_process(records, fixup_window=None))
+        kwargs.setdefault("fixup_window", None)
+        return list(self.iter_process(records, **kwargs))
 
     def iter_process(
         self,
         records: Iterable[HttpLogRecord],
         *,
         fixup_window: int | None = 1024,
+        reorder_window: float | None = None,
+        max_users: int | None = None,
+        health: PipelineHealth | None = None,
     ) -> "Iterator[ClassifiedRequest]":
         """Streaming classification with bounded memory.
 
@@ -134,11 +175,22 @@ class AdClassificationPipeline:
         inside the buffer (redirect targets follow their redirect
         within a handful of requests in practice).  ``fixup_window=None``
         buffers everything — identical results to :meth:`process`.
+
+        ``reorder_window`` (seconds) re-sorts a slightly out-of-order
+        stream through a bounded buffer, so streams shuffled within that
+        jitter window classify identically to sorted ones.  ``max_users``
+        LRU-evicts idle per-user state so memory stays bounded on
+        million-user streams (an evicted user restarts with an empty
+        referrer map if it reappears).  ``health`` tallies reorderings
+        and evictions.
         """
         config = self.config
-        users: dict[UserKey, _UserState] = {}
+        users: "OrderedDict[UserKey, _UserState]" = OrderedDict()
         buffer: "OrderedDict[int, ClassifiedRequest]" = OrderedDict()
         next_index = 0
+
+        if reorder_window is not None:
+            records = _in_timestamp_order(records, reorder_window, health)
 
         for record in records:
             user = (record.client, record.user_agent or "")
@@ -148,6 +200,14 @@ class AdClassificationPipeline:
                     referrer_map=ReferrerMap(track_embedded=config.use_embedded_urls)
                 )
                 users[user] = state
+                if max_users is not None and len(users) > max_users:
+                    users.popitem(last=False)
+                    if health is not None:
+                        health.users_evicted += 1
+                if health is not None:
+                    health.observe_users(len(users))
+            else:
+                users.move_to_end(user)
 
             url = record.url
             looks_like_document = type_from_mime(record.content_type) in (
@@ -183,9 +243,11 @@ class AdClassificationPipeline:
                         source.content_type = content_type
                         source.classification = self._classify(source)
                 if record.location is not None:
-                    state.pending_type_fixup[record.location] = next_index
-                    if len(state.pending_type_fixup) > 10_000:
-                        state.pending_type_fixup.clear()
+                    pending = state.pending_type_fixup
+                    pending[record.location] = next_index
+                    pending.move_to_end(record.location)
+                    while len(pending) > _MAX_PENDING_FIXUPS:
+                        pending.popitem(last=False)
 
             entry = ClassifiedRequest(
                 record=record,

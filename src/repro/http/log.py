@@ -15,6 +15,7 @@ from dataclasses import dataclass, fields
 from typing import Iterable, Iterator, TextIO
 
 from repro.http.message import HttpTransaction
+from repro.robustness import ErrorPolicy, LogParseError, PipelineHealth, QuarantineWriter
 
 __all__ = ["HttpLogRecord", "transaction_to_record", "write_log", "read_log"]
 
@@ -80,12 +81,20 @@ def _encode(value: object) -> str:
     return text.replace("\t", "%09").replace("\n", "%0A")
 
 
+# Bro-style cap on a single field; anything longer is capture damage
+# (or an adversarially inflated header), not a legitimate value.
+_MAX_FIELD_LEN = 8192
+
+
 def _decode(name: str, token: str) -> object:
     if token == _UNSET:
         return None
     token = token.replace("%09", "\t").replace("%0A", "\n")
     if name in ("ts", "tcp_handshake_ms", "http_handshake_ms"):
-        return float(token)
+        value = float(token)
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite {name}")
+        return value
     if name in ("status", "content_length", "flow_id"):
         return int(token)
     return token
@@ -102,24 +111,93 @@ def write_log(records: Iterable[HttpLogRecord], stream: TextIO) -> int:
     return count
 
 
-def read_log(stream: TextIO) -> Iterator[HttpLogRecord]:
-    """Read records written by :func:`write_log`."""
+# Fields old logs may legitimately lack (added after the format froze);
+# anything else missing from a row is damage, not version skew.
+_OPTIONAL_DEFAULTS = {"tcp_handshake_ms": 0.0, "flow_id": 0}
+
+# Stable low-cardinality keys for the health counters.
+_REASON_CATEGORIES = [
+    ("expected ", "field-count"),
+    ("oversized field", "oversized-field"),
+    ("bad value", "bad-value"),
+    ("missing fields", "missing-fields"),
+    ("unknown fields", "unknown-fields"),
+]
+
+
+def _categorize(reason: str) -> str:
+    for prefix, category in _REASON_CATEGORIES:
+        if reason.startswith(prefix):
+            return category
+    return "other"
+
+
+def _decode_line(line: str, header: list[str]) -> HttpLogRecord:
+    """Decode one data line against ``header``; raises ValueError on damage."""
+    tokens = line.split("\t")
+    if len(tokens) != len(header):
+        raise ValueError(f"expected {len(header)} fields, got {len(tokens)}")
+    values: dict[str, object] = {}
+    for name, token in zip(header, tokens):
+        if len(token) > _MAX_FIELD_LEN:
+            raise ValueError(f"oversized field '{name}' ({len(token)} chars)")
+        try:
+            values[name] = _decode(name, token)
+        except ValueError:
+            raise ValueError(f"bad value for field '{name}': {token[:80]!r}") from None
+    for name, default in _OPTIONAL_DEFAULTS.items():
+        values.setdefault(name, default)
+    missing = [name for name in _FIELD_NAMES if name not in values]
+    if missing:
+        raise ValueError(f"missing fields: {', '.join(missing)}")
+    unknown = [name for name in values if name not in _FIELD_NAMES]
+    if unknown:
+        raise ValueError(f"unknown fields: {', '.join(unknown)}")
+    return HttpLogRecord(**values)  # type: ignore[arg-type]
+
+
+def read_log(
+    stream: TextIO,
+    *,
+    on_error: ErrorPolicy = ErrorPolicy.STRICT,
+    health: PipelineHealth | None = None,
+    quarantine: QuarantineWriter | None = None,
+) -> Iterator[HttpLogRecord]:
+    """Read records written by :func:`write_log`.
+
+    Malformed lines are routed through ``on_error``: ``STRICT`` raises
+    :class:`LogParseError` citing the 1-based line number, ``SKIP``
+    drops and counts them in ``health``, ``QUARANTINE`` additionally
+    writes the raw line to the ``quarantine`` sidecar.
+    """
     header: list[str] | None = None
-    for line in stream:
+    for line_no, line in enumerate(stream, start=1):
         line = line.rstrip("\n")
         if not line:
             continue
         if line.startswith("#"):
-            header = line[1:].split("\t")
+            candidate = line[1:].split("\t")
+            # Adopt a header only if its names are plausible; a garbled
+            # comment must not poison the parse of every later line.
+            if set(candidate) <= set(_FIELD_NAMES):
+                header = candidate
             continue
-        if header is None:
-            header = _FIELD_NAMES
-        tokens = line.split("\t")
-        values = {name: _decode(name, token) for name, token in zip(header, tokens)}
-        # Defaults keep old logs readable if fields were added later.
-        values.setdefault("tcp_handshake_ms", 0.0)
-        values.setdefault("flow_id", 0)
-        yield HttpLogRecord(**values)  # type: ignore[arg-type]
+        try:
+            record = _decode_line(line, header if header is not None else _FIELD_NAMES)
+        except ValueError as exc:
+            reason = str(exc)
+            if on_error is ErrorPolicy.STRICT:
+                raise LogParseError(line_no, reason, line) from None
+            quarantined = False
+            if on_error is ErrorPolicy.QUARANTINE and quarantine is not None:
+                quarantine.write(line_no, reason, line)
+                quarantined = True
+            if health is not None:
+                health.record_error("read_log", _categorize(reason), quarantined=quarantined)
+            continue
+        if health is not None:
+            health.record_ok()
+        yield record
 
 
 def records_to_text(records: Iterable[HttpLogRecord]) -> str:

@@ -1,0 +1,28 @@
+"""Resilience subsystem: error policies, health accounting, quarantine.
+
+Damaged input is the normal case at a passive vantage point (paper
+§3.1, §5): truncated TSV lines, garbled fields, capture loss,
+out-of-order timestamps, clock skew.  This package provides the shared
+vocabulary the ingestion→classification path uses to degrade gracefully
+instead of dying on the first bad byte — see DESIGN.md §7.
+"""
+
+from repro.robustness.health import (
+    EXIT_CLEAN,
+    EXIT_DEGRADED,
+    EXIT_STRICT_ABORT,
+    PipelineHealth,
+)
+from repro.robustness.policy import ErrorPolicy, LogParseError
+from repro.robustness.quarantine import QuarantineWriter, read_quarantine
+
+__all__ = [
+    "ErrorPolicy",
+    "LogParseError",
+    "PipelineHealth",
+    "QuarantineWriter",
+    "read_quarantine",
+    "EXIT_CLEAN",
+    "EXIT_STRICT_ABORT",
+    "EXIT_DEGRADED",
+]

@@ -1,0 +1,95 @@
+"""Pipeline health accounting for degraded runs.
+
+A single :class:`PipelineHealth` object is threaded through
+``read_log`` → ``iter_process`` → the CLI, tallying what was seen,
+dropped, repaired and quarantined per stage, so a degraded run ends
+with an explicit accounting instead of silently shrunken output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["PipelineHealth", "EXIT_CLEAN", "EXIT_STRICT_ABORT", "EXIT_DEGRADED"]
+
+# CLI exit codes (README §CLI): 0 all records survived, 1 strict-mode
+# abort on the first bad line, 3 run completed but records were dropped.
+EXIT_CLEAN = 0
+EXIT_STRICT_ABORT = 1
+EXIT_DEGRADED = 3
+
+
+@dataclass
+class PipelineHealth:
+    """Counters for one ingestion→classification run."""
+
+    records_seen: int = 0
+    records_ok: int = 0
+    records_dropped: int = 0
+    records_quarantined: int = 0
+    records_repaired: int = 0
+    records_reordered: int = 0
+    users_evicted: int = 0
+    peak_users: int = 0
+    # stage name -> Counter of error reasons
+    stage_errors: dict[str, Counter] = field(default_factory=dict)
+
+    def record_ok(self) -> None:
+        self.records_seen += 1
+        self.records_ok += 1
+
+    def record_error(self, stage: str, reason: str, *, quarantined: bool = False) -> None:
+        self.records_seen += 1
+        self.records_dropped += 1
+        if quarantined:
+            self.records_quarantined += 1
+        self.stage_errors.setdefault(stage, Counter())[reason] += 1
+
+    def record_repair(self, stage: str, reason: str) -> None:
+        self.records_repaired += 1
+        self.stage_errors.setdefault(stage, Counter())[f"repaired:{reason}"] += 1
+
+    def observe_users(self, active_users: int) -> None:
+        if active_users > self.peak_users:
+            self.peak_users = active_users
+
+    @property
+    def degraded(self) -> bool:
+        return self.records_dropped > 0
+
+    def exit_code(self) -> int:
+        return EXIT_DEGRADED if self.degraded else EXIT_CLEAN
+
+    def merge(self, other: "PipelineHealth") -> None:
+        self.records_seen += other.records_seen
+        self.records_ok += other.records_ok
+        self.records_dropped += other.records_dropped
+        self.records_quarantined += other.records_quarantined
+        self.records_repaired += other.records_repaired
+        self.records_reordered += other.records_reordered
+        self.users_evicted += other.users_evicted
+        self.peak_users = max(self.peak_users, other.peak_users)
+        for stage, reasons in other.stage_errors.items():
+            self.stage_errors.setdefault(stage, Counter()).update(reasons)
+
+    def summary(self) -> str:
+        lines = [
+            "-- pipeline health --",
+            f"records seen:      {self.records_seen}",
+            f"parsed ok:         {self.records_ok}",
+            f"dropped:           {self.records_dropped}"
+            + (f" (quarantined: {self.records_quarantined})" if self.records_quarantined else ""),
+        ]
+        if self.records_repaired:
+            lines.append(f"repaired:          {self.records_repaired}")
+        if self.records_reordered:
+            lines.append(f"out-of-order:      {self.records_reordered}")
+        if self.users_evicted:
+            lines.append(f"users evicted:     {self.users_evicted}")
+        if self.peak_users:
+            lines.append(f"peak users held:   {self.peak_users}")
+        for stage in sorted(self.stage_errors):
+            for reason, count in self.stage_errors[stage].most_common():
+                lines.append(f"  {stage}/{reason}: {count}")
+        return "\n".join(lines)

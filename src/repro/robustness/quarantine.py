@@ -1,0 +1,40 @@
+"""Quarantine sidecar: rejected lines are kept, never silently lost.
+
+The sidecar is itself TSV — ``line_no \\t reason \\t raw`` — with the
+raw line last so embedded tabs stay recoverable.  ``read_quarantine``
+inverts the format for tooling and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, TextIO
+
+__all__ = ["QuarantineWriter", "read_quarantine"]
+
+_HEADER = "#line\treason\traw"
+
+
+class QuarantineWriter:
+    """Appends rejected raw lines to a sidecar stream."""
+
+    def __init__(self, stream: TextIO):
+        self._stream = stream
+        self._wrote_header = False
+        self.count = 0
+
+    def write(self, line_no: int, reason: str, raw: str) -> None:
+        if not self._wrote_header:
+            self._stream.write(_HEADER + "\n")
+            self._wrote_header = True
+        self._stream.write(f"{line_no}\t{reason}\t{raw}\n")
+        self.count += 1
+
+
+def read_quarantine(stream: TextIO) -> Iterator[tuple[int, str, str]]:
+    """Yield ``(line_no, reason, raw_line)`` from a sidecar stream."""
+    for line in stream:
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        line_no, reason, raw = line.split("\t", 2)
+        yield int(line_no), reason, raw

@@ -19,6 +19,7 @@ from repro.trace.capture import (
     capture_stats,
     easylist_download_clients,
 )
+from repro.trace.corruption import CorruptionConfig, CorruptionStats, TraceCorruptor
 from repro.trace.generator import (
     RBNTraceConfig,
     RBNTraceGenerator,
@@ -52,6 +53,9 @@ __all__ = [
     "abp_server_ips",
     "capture_stats",
     "easylist_download_clients",
+    "CorruptionConfig",
+    "CorruptionStats",
+    "TraceCorruptor",
     "RBNTraceConfig",
     "RBNTraceGenerator",
     "generate_trace",

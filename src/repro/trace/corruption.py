@@ -1,0 +1,202 @@
+"""Seeded fault injection for TSV capture logs.
+
+A real RBN vantage point never hands the pipeline a pristine log
+(paper §3.1, §5): lines arrive truncated mid-write, fields garbled by
+capture loss, columns dropped or doubled by splicing, timestamps
+mangled, streams locally out of order, whole segments clock-skewed.
+:class:`TraceCorruptor` injects exactly these pathologies into a clean
+trace deterministically (seeded), so robustness is testable and
+benchmarkable: corrupt a golden trace, run it through the pipeline in
+``skip``/``quarantine`` mode, and compare against the clean run.
+
+The corruptor operates on the *text* representation (the on-disk TSV),
+not on parsed records — damage happens to bytes, not to dataclasses.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["CorruptionConfig", "CorruptionStats", "TraceCorruptor", "LINE_PATHOLOGIES"]
+
+# Line-level pathologies; each hit line gets one, chosen uniformly.
+LINE_PATHOLOGIES = (
+    "truncate",
+    "garble",
+    "drop_column",
+    "dup_column",
+    "bad_timestamp",
+    "oversize",
+)
+
+_BAD_TIMESTAMPS = ("2015-10-28T16:03:22Z", "??", "1446047002,118", "nan", "")
+
+
+@dataclass(slots=True)
+class CorruptionConfig:
+    """Knobs of the fault injector.
+
+    ``rate`` is the fraction of data lines hit by a line-level
+    pathology (unparseable damage); ``duplicate_rate`` re-emits lines
+    verbatim; ``jitter_s`` locally shuffles records within a timestamp
+    window; ``skew_segments``/``skew_s`` shift the clock of contiguous
+    stretches of the capture (parseable but wrong).
+    """
+
+    rate: float = 0.1
+    duplicate_rate: float = 0.0
+    jitter_s: float = 0.0
+    skew_segments: int = 0
+    skew_s: float = 0.0
+    seed: int = 1337
+
+
+@dataclass(slots=True)
+class CorruptionStats:
+    """What the corruptor actually did (for reporting and assertions)."""
+
+    lines_seen: int = 0
+    lines_corrupted: int = 0
+    lines_duplicated: int = 0
+    lines_skewed: int = 0
+    lines_jittered: int = 0
+    by_pathology: Counter = field(default_factory=Counter)
+
+
+class TraceCorruptor:
+    """Injects capture pathologies into TSV log lines, deterministically."""
+
+    def __init__(self, config: CorruptionConfig | None = None, **overrides):
+        self.config = config or CorruptionConfig(**overrides)
+        if config is not None and overrides:
+            raise TypeError("pass either a CorruptionConfig or overrides, not both")
+        self.stats = CorruptionStats()
+
+    # -- line-level damage ------------------------------------------------
+
+    def _truncate(self, line: str, rng: random.Random) -> str:
+        # Keep ≥1 char so the damaged line stays a countable data line.
+        return line[: rng.randrange(1, max(2, len(line)))]
+
+    def _garble(self, line: str, rng: random.Random) -> str:
+        if len(line) < 2:
+            return "\x00"
+        start = rng.randrange(0, len(line) - 1)
+        end = min(len(line), start + rng.randrange(1, 40))
+        junk = "".join(rng.choice(string.printable[:-6]) for _ in range(end - start))
+        garbled = line[:start] + junk + line[end:]
+        if garbled.startswith("#"):  # don't turn a data line into a comment
+            garbled = "@" + garbled[1:]
+        return garbled
+
+    def _drop_column(self, line: str, rng: random.Random) -> str:
+        tokens = line.split("\t")
+        if len(tokens) < 2:
+            return ""
+        del tokens[rng.randrange(len(tokens))]
+        return "\t".join(tokens)
+
+    def _dup_column(self, line: str, rng: random.Random) -> str:
+        tokens = line.split("\t")
+        index = rng.randrange(len(tokens))
+        tokens.insert(index, tokens[index])
+        return "\t".join(tokens)
+
+    def _bad_timestamp(self, line: str, rng: random.Random) -> str:
+        tokens = line.split("\t")
+        tokens[0] = rng.choice(_BAD_TIMESTAMPS)
+        return "\t".join(tokens)
+
+    def _oversize(self, line: str, rng: random.Random) -> str:
+        tokens = line.split("\t")
+        index = rng.randrange(len(tokens))
+        filler = (tokens[index] or "A") * (1 + 16384 // max(1, len(tokens[index])))
+        tokens[index] = filler
+        return "\t".join(tokens)
+
+    def _corrupt_line(self, line: str, rng: random.Random) -> str:
+        pathology = rng.choice(LINE_PATHOLOGIES)
+        self.stats.by_pathology[pathology] += 1
+        self.stats.lines_corrupted += 1
+        return getattr(self, f"_{pathology}")(line, rng)
+
+    # -- stream-level damage ----------------------------------------------
+
+    def _apply_skew(self, lines: list[str], rng: random.Random) -> list[str]:
+        config = self.config
+        for _ in range(config.skew_segments):
+            if len(lines) < 2:
+                break
+            start = rng.randrange(0, len(lines) - 1)
+            length = rng.randrange(1, max(2, len(lines) // 10))
+            for i in range(start, min(len(lines), start + length)):
+                tokens = lines[i].split("\t")
+                try:
+                    tokens[0] = f"{float(tokens[0]) + config.skew_s:.6f}"
+                except ValueError:
+                    continue
+                lines[i] = "\t".join(tokens)
+                self.stats.lines_skewed += 1
+        return lines
+
+    def _apply_jitter(self, lines: list[str], rng: random.Random) -> list[str]:
+        """Re-sort by ``ts + U(-jitter, +jitter)`` — local reordering only."""
+        jitter = self.config.jitter_s
+
+        def perturbed_key(indexed: tuple[int, str]) -> tuple[float, int]:
+            index, line = indexed
+            try:
+                ts = float(line.split("\t", 1)[0])
+            except ValueError:
+                return (float(index), index)  # unparseable: keep position
+            return (ts + rng.uniform(-jitter, jitter), index)
+
+        reordered = [line for _, line in sorted(enumerate(lines), key=perturbed_key)]
+        self.stats.lines_jittered += sum(1 for a, b in zip(lines, reordered) if a != b)
+        return reordered
+
+    # -- public API --------------------------------------------------------
+
+    def corrupt_lines(self, lines: Iterable[str]) -> list[str]:
+        """Corrupt data lines; comment/header lines pass through untouched."""
+        rng = random.Random(self.config.seed)
+        header: list[str] = []
+        data: list[str] = []
+        for line in lines:
+            line = line.rstrip("\n")
+            if line.startswith("#"):
+                header.append(line)
+            else:
+                data.append(line)
+        self.stats.lines_seen += len(data)
+
+        if self.config.skew_segments:
+            data = self._apply_skew(data, rng)
+        if self.config.jitter_s > 0:
+            data = self._apply_jitter(data, rng)
+
+        out = list(header)
+        for line in data:
+            if rng.random() < self.config.rate:
+                out.append(self._corrupt_line(line, rng))
+            else:
+                out.append(line)
+            if rng.random() < self.config.duplicate_rate:
+                out.append(line)
+                self.stats.lines_duplicated += 1
+        return out
+
+    def corrupt_text(self, text: str) -> str:
+        lines = self.corrupt_lines(text.splitlines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def corrupt_file(self, src: str, dst: str) -> CorruptionStats:
+        with open(src) as stream:
+            text = stream.read()
+        with open(dst, "w") as stream:
+            stream.write(self.corrupt_text(text))
+        return self.stats

@@ -95,3 +95,72 @@ class TestCrawlCommand:
         assert main(["crawl", *_ECO, "--sites", "15"]) == 0
         out = capsys.readouterr().out
         assert "Vanilla" in out and "AdBP-Pa" in out
+
+
+@pytest.fixture(scope="module")
+def corrupted_trace(trace_files, tmp_path_factory):
+    http_path, _ = trace_files
+    tmp = tmp_path_factory.mktemp("corrupt")
+    damaged = tmp / "damaged.tsv"
+    code = main(
+        ["corrupt", "--trace", str(http_path), "--out", str(damaged),
+         "--rate", "0.1", "--jitter-s", "1.0", "--seed", "7"]
+    )
+    assert code == 0
+    return damaged
+
+
+class TestDegradedOperation:
+    def test_quarantine_completes_with_exit_3(self, corrupted_trace, capsys, tmp_path):
+        sidecar = tmp_path / "rejects.tsv"
+        code = main(
+            ["classify", *_ECO, "--trace", str(corrupted_trace),
+             "--on-error", "quarantine", "--quarantine-out", str(sidecar),
+             "--reorder-window", "2.0"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "pipeline health" in out
+        assert "quarantined" in out
+
+        # No data silently lost: parsed + quarantined == input data lines.
+        input_lines = sum(
+            1 for line in corrupted_trace.read_text().splitlines()
+            if line and not line.startswith("#")
+        )
+        quarantined = sum(
+            1 for line in sidecar.read_text().splitlines()
+            if line and not line.startswith("#")
+        )
+        parsed = int(out.split(" requests classified")[0].rsplit("\n", 1)[-1])
+        assert parsed + quarantined == input_lines
+
+    def test_skip_completes_with_exit_3(self, corrupted_trace, capsys):
+        code = main(
+            ["classify", *_ECO, "--trace", str(corrupted_trace), "--on-error", "skip"]
+        )
+        assert code == 3
+        assert "dropped:" in capsys.readouterr().out
+
+    def test_strict_aborts_citing_line_number(self, corrupted_trace, capsys):
+        code = main(["classify", *_ECO, "--trace", str(corrupted_trace)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "malformed input at line" in err
+
+    def test_clean_trace_exits_0_with_summary(self, trace_files, capsys):
+        http_path, _ = trace_files
+        code = main(
+            ["classify", *_ECO, "--trace", str(http_path), "--on-error", "quarantine"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dropped:           0" in out
+
+    def test_max_users_flag(self, trace_files, capsys):
+        http_path, _ = trace_files
+        code = main(
+            ["classify", *_ECO, "--trace", str(http_path), "--max-users", "3"]
+        )
+        assert code == 0
+        assert "peak users held:   3" in capsys.readouterr().out

@@ -1,0 +1,374 @@
+"""Resilience subsystem tests: error policies, fault injection,
+reorder buffer, bounded per-user state, and degraded CLI runs."""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+from repro.core import AdClassificationPipeline
+from repro.http.log import HttpLogRecord, read_log, records_to_text, write_log
+from repro.robustness import (
+    ErrorPolicy,
+    LogParseError,
+    PipelineHealth,
+    QuarantineWriter,
+    read_quarantine,
+)
+from repro.trace.corruption import CorruptionConfig, TraceCorruptor
+
+
+def _record(**overrides) -> HttpLogRecord:
+    values = dict(
+        ts=1000.5,
+        client="anon-1",
+        server="101.0.0.1",
+        method="GET",
+        host="site.example",
+        uri="/x?y=1",
+        referrer="http://site.example/",
+        user_agent="UA/1.0",
+        status=200,
+        content_type="image/gif",
+        content_length=43,
+        location=None,
+        tcp_handshake_ms=12.5,
+        http_handshake_ms=13.9,
+        flow_id=7,
+    )
+    values.update(overrides)
+    return HttpLogRecord(**values)
+
+
+def _log_text(n: int = 5) -> str:
+    return records_to_text([_record(ts=1000.0 + i, flow_id=i) for i in range(n)])
+
+
+# ---------------------------------------------------------------------------
+# read_log error policies
+
+
+class TestReadLogStrict:
+    def test_short_row_cites_line_number(self):
+        text = _log_text(3)
+        lines = text.splitlines()
+        lines[2] = lines[2].split("\t", 5)[0]  # truncate the 2nd data line
+        with pytest.raises(LogParseError) as excinfo:
+            list(read_log(io.StringIO("\n".join(lines))))
+        assert excinfo.value.line_no == 3  # header is line 1
+        assert "expected 15 fields" in str(excinfo.value)
+
+    def test_extra_tokens_rejected(self):
+        text = _log_text(1)
+        lines = text.splitlines()
+        lines[1] += "\textra"
+        with pytest.raises(LogParseError, match="expected 15 fields, got 16"):
+            list(read_log(io.StringIO("\n".join(lines))))
+
+    def test_bad_value_cites_field(self):
+        text = _log_text(1).replace("1000.0", "not-a-ts")
+        with pytest.raises(LogParseError, match="field 'ts'"):
+            list(read_log(io.StringIO(text)))
+
+    def test_non_finite_ts_rejected(self):
+        text = _log_text(1).replace("1000.0", "nan")
+        with pytest.raises(LogParseError):
+            list(read_log(io.StringIO(text)))
+
+    def test_oversized_field_rejected(self):
+        text = _log_text(1).replace("UA/1.0", "A" * 9000)
+        with pytest.raises(LogParseError, match="oversized"):
+            list(read_log(io.StringIO(text)))
+
+    def test_clean_log_unaffected(self):
+        health = PipelineHealth()
+        records = list(read_log(io.StringIO(_log_text(4)), health=health))
+        assert len(records) == 4
+        assert health.records_ok == 4 and not health.degraded
+
+
+class TestReadLogSkipAndQuarantine:
+    def test_skip_drops_and_counts(self):
+        lines = _log_text(4).splitlines()
+        lines[2] = "garbage line"
+        health = PipelineHealth()
+        records = list(
+            read_log(io.StringIO("\n".join(lines)), on_error=ErrorPolicy.SKIP, health=health)
+        )
+        assert len(records) == 3
+        assert health.records_seen == 4
+        assert health.records_dropped == 1
+        assert health.records_quarantined == 0
+        assert health.stage_errors["read_log"]["field-count"] == 1
+        assert health.exit_code() == 3
+
+    def test_quarantine_keeps_raw_line(self):
+        lines = _log_text(4).splitlines()
+        lines[2] = "garbage\tline"
+        sidecar = io.StringIO()
+        health = PipelineHealth()
+        records = list(
+            read_log(
+                io.StringIO("\n".join(lines)),
+                on_error=ErrorPolicy.QUARANTINE,
+                health=health,
+                quarantine=QuarantineWriter(sidecar),
+            )
+        )
+        assert len(records) == 3
+        assert health.records_quarantined == 1
+        entries = list(read_quarantine(io.StringIO(sidecar.getvalue())))
+        assert entries == [(3, "expected 15 fields, got 2", "garbage\tline")]
+
+    def test_header_poisoning_does_not_cascade(self):
+        lines = _log_text(3).splitlines()
+        lines.insert(2, "#garbled\tnonsense\theader")
+        health = PipelineHealth()
+        records = list(
+            read_log(io.StringIO("\n".join(lines)), on_error=ErrorPolicy.SKIP, health=health)
+        )
+        assert len(records) == 3  # the bogus header was ignored, not adopted
+
+
+class TestFuzzedInput:
+    """No exception escapes tolerant modes, whatever the damage."""
+
+    def _mutate(self, line: str, rng: random.Random) -> str:
+        choice = rng.randrange(5)
+        if choice == 0:
+            return line[: rng.randrange(1, len(line))]
+        if choice == 1:
+            pos = rng.randrange(len(line))
+            return line[:pos] + rng.choice("\x00\x7f\t@") + line[pos + 1 :]
+        if choice == 2:
+            return line + "\t" + line
+        if choice == 3:
+            return line.replace("\t", " ", rng.randrange(1, 5))
+        return "".join(rng.sample(line, len(line)))
+
+    @pytest.mark.parametrize("policy", [ErrorPolicy.SKIP, ErrorPolicy.QUARANTINE])
+    def test_no_exception_escapes(self, policy):
+        rng = random.Random(987)
+        lines = _log_text(50).splitlines()
+        for i in range(1, len(lines)):
+            if rng.random() < 0.5:
+                mutated = self._mutate(lines[i], rng)
+                lines[i] = mutated if not mutated.startswith("#") else "@" + mutated[1:]
+        health = PipelineHealth()
+        sidecar = QuarantineWriter(io.StringIO())
+        records = list(
+            read_log(
+                io.StringIO("\n".join(lines)),
+                on_error=policy,
+                health=health,
+                quarantine=sidecar,
+            )
+        )
+        assert health.records_ok == len(records)
+        assert health.records_seen == health.records_ok + health.records_dropped
+        if policy is ErrorPolicy.QUARANTINE:
+            assert sidecar.count == health.records_quarantined == health.records_dropped
+
+    def test_strict_raises_with_line_number(self):
+        lines = _log_text(10).splitlines()
+        lines[4] = lines[4][:20]
+        with pytest.raises(LogParseError) as excinfo:
+            list(read_log(io.StringIO("\n".join(lines))))
+        assert excinfo.value.line_no == 5
+
+
+# ---------------------------------------------------------------------------
+# TraceCorruptor
+
+
+class TestTraceCorruptor:
+    def test_deterministic(self):
+        text = _log_text(200)
+        config = CorruptionConfig(rate=0.3, duplicate_rate=0.05, jitter_s=1.0, seed=7)
+        out1 = TraceCorruptor(config).corrupt_text(text)
+        out2 = TraceCorruptor(CorruptionConfig(rate=0.3, duplicate_rate=0.05,
+                                               jitter_s=1.0, seed=7)).corrupt_text(text)
+        assert out1 == out2
+        assert out1 != text
+
+    def test_seed_changes_output(self):
+        text = _log_text(200)
+        out1 = TraceCorruptor(rate=0.3, seed=1).corrupt_text(text)
+        out2 = TraceCorruptor(rate=0.3, seed=2).corrupt_text(text)
+        assert out1 != out2
+
+    def test_stats_accounting(self):
+        corruptor = TraceCorruptor(rate=0.5, duplicate_rate=0.1, seed=3)
+        out = corruptor.corrupt_text(_log_text(300))
+        stats = corruptor.stats
+        assert stats.lines_seen == 300
+        assert 0 < stats.lines_corrupted < 300
+        assert stats.lines_corrupted == sum(stats.by_pathology.values())
+        data_lines = [l for l in out.splitlines() if l and not l.startswith("#")]
+        assert len(data_lines) == 300 + stats.lines_duplicated
+
+    def test_all_damage_is_countable(self):
+        """Every damaged line survives as a data line (none vanish)."""
+        corruptor = TraceCorruptor(rate=1.0, seed=11)
+        out = corruptor.corrupt_text(_log_text(100))
+        data_lines = [l for l in out.splitlines() if l and not l.startswith("#")]
+        assert len(data_lines) == 100
+
+    def test_clock_skew_stays_parseable(self):
+        corruptor = TraceCorruptor(rate=0.0, skew_segments=2, skew_s=120.0, seed=5)
+        out = corruptor.corrupt_text(_log_text(100))
+        records = list(read_log(io.StringIO(out)))
+        assert len(records) == 100
+        assert corruptor.stats.lines_skewed > 0
+        assert any(r.ts > 1150 for r in records)  # base ts ≤ 1099, skewed +120
+
+    def test_zero_rate_is_identity(self):
+        text = _log_text(50)
+        assert TraceCorruptor(rate=0.0, seed=1).corrupt_text(text) == text
+
+
+# ---------------------------------------------------------------------------
+# Pipeline hardening
+
+
+def _classification_key(entries):
+    return [
+        (
+            e.record.ts,
+            e.record.client,
+            e.record.uri,
+            e.page_url,
+            e.content_type,
+            e.normalized_url,
+            e.is_ad,
+            e.is_whitelisted,
+            e.blacklist_name,
+            e.whitelist_name,
+        )
+        for e in entries
+    ]
+
+
+class TestReorderBuffer:
+    def test_jittered_stream_classifies_identically(self, pipeline, rbn_trace):
+        records = sorted(rbn_trace.http[:5000], key=lambda r: r.ts)
+        rng = random.Random(42)
+        shuffled = sorted(records, key=lambda r: r.ts + rng.uniform(-1.0, 1.0))
+        assert [r.ts for r in shuffled] != [r.ts for r in records]
+
+        baseline = list(pipeline.iter_process(records, fixup_window=None))
+        health = PipelineHealth()
+        repaired = list(
+            pipeline.iter_process(
+                shuffled, fixup_window=None, reorder_window=2.0, health=health
+            )
+        )
+        assert health.records_reordered > 0
+        assert _classification_key(repaired) == _classification_key(baseline)
+
+    def test_sorted_stream_passes_through(self, pipeline, rbn_trace):
+        records = sorted(rbn_trace.http[:1000], key=lambda r: r.ts)
+        baseline = list(pipeline.iter_process(records, fixup_window=None))
+        repaired = list(
+            pipeline.iter_process(records, fixup_window=None, reorder_window=2.0)
+        )
+        assert _classification_key(repaired) == _classification_key(baseline)
+
+
+class TestBoundedUserState:
+    def test_max_users_bounds_peak_state(self):
+        pipeline = AdClassificationPipeline({})
+        records = (
+            _record(ts=1000.0 + i * 0.001, client=f"anon-{i}", flow_id=i)
+            for i in range(100_000)
+        )
+        health = PipelineHealth()
+        count = 0
+        for _ in pipeline.iter_process(records, max_users=500, health=health):
+            count += 1
+        assert count == 100_000
+        assert health.peak_users <= 500
+        assert health.users_evicted == 100_000 - 500
+
+    def test_lru_keeps_active_users(self):
+        pipeline = AdClassificationPipeline({})
+        records = []
+        ts = 1000.0
+        # "hot" reappears constantly; one-shot users churn past it.
+        for i in range(50):
+            records.append(_record(ts=ts, client="hot", flow_id=i))
+            records.append(_record(ts=ts + 0.001, client=f"cold-{i}", flow_id=1000 + i))
+            ts += 0.01
+        health = PipelineHealth()
+        list(pipeline.iter_process(records, max_users=5, health=health))
+        # Only cold users were evicted: 50 cold created, ≤4 still resident.
+        assert health.users_evicted >= 46
+        assert health.peak_users <= 5
+
+
+class TestRedirectFixupLru:
+    def _redirect(self, i: int, ts: float) -> HttpLogRecord:
+        return _record(
+            ts=ts,
+            uri=f"/r{i}",
+            status=302,
+            content_type="text/html",
+            location=f"http://img.example/asset{i}",
+            flow_id=i,
+        )
+
+    def _consequent(self, i: int, ts: float) -> HttpLogRecord:
+        return _record(
+            ts=ts,
+            host="img.example",
+            uri=f"/asset{i}",
+            status=200,
+            content_type="image/gif",
+            flow_id=100 + i,
+        )
+
+    def test_recent_redirects_survive_eviction(self, monkeypatch):
+        monkeypatch.setattr(pipeline_mod, "_MAX_PENDING_FIXUPS", 3)
+        pipeline = AdClassificationPipeline({})
+        records = [self._redirect(i, 1000.0 + i) for i in range(5)]
+        records.append(self._consequent(4, 1010.0))  # recent: fix-up applies
+        records.append(self._consequent(0, 1011.0))  # evicted: no fix-up
+        entries = pipeline.process(records)
+        image_type = entries[5].content_type
+        assert entries[4].content_type == image_type  # repaired from redirect
+        assert entries[0].content_type != image_type  # oldest was evicted
+
+    def test_eviction_is_bounded_not_total(self, monkeypatch):
+        monkeypatch.setattr(pipeline_mod, "_MAX_PENDING_FIXUPS", 3)
+        pipeline = AdClassificationPipeline({})
+        records = [self._redirect(i, 1000.0 + i) for i in range(10)]
+        entries = list(pipeline.iter_process(records, fixup_window=None))
+        assert len(entries) == 10  # no crash, no wholesale clear
+
+
+# ---------------------------------------------------------------------------
+# Golden degraded-trace test
+
+
+class TestGoldenDegradedTrace:
+    def test_corrupted_trace_ad_ratio_close_to_clean(self, pipeline, rbn_trace, classified):
+        records = rbn_trace.http
+        clean_ratio = sum(1 for e in classified if e.is_ad) / len(classified)
+
+        text = records_to_text(records)
+        corruptor = TraceCorruptor(rate=0.10, jitter_s=1.0, seed=20151028)
+        damaged = corruptor.corrupt_text(text)
+
+        health = PipelineHealth()
+        survivors = list(
+            read_log(io.StringIO(damaged), on_error=ErrorPolicy.SKIP, health=health)
+        )
+        entries = pipeline.process(survivors, reorder_window=2.0, health=health)
+
+        assert health.records_dropped > 0
+        assert health.records_seen == len(records)
+        ratio = sum(1 for e in entries if e.is_ad) / len(entries)
+        assert abs(ratio - clean_ratio) < 0.05
