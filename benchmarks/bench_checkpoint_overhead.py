@@ -1,0 +1,92 @@
+"""Durable-run bench: checkpointing overhead vs checkpoint interval.
+
+Runs the same RBN-2 slice through the durable classify loop
+(``DurableRun`` + ``ClassifySink``, DESIGN.md §8) with checkpointing
+off, every 10k records, and every 1k records.  The acceptance target is
+that the default interval (10k) costs **< 10 %** throughput versus
+checkpointing off — durability should be cheap enough to leave on.
+Results land in ``benchmarks/results/checkpoint_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.http.log import write_log
+from repro.robustness import ErrorPolicy
+from repro.robustness.runstate import ClassifySink, DurableRun, RunManifest
+
+_SLICE = 100_000
+_INTERVALS = (None, 10_000, 1_000)  # None = periodic checkpoints off
+
+
+def _run_once(pipeline, lists, trace_path, directory, *, every):
+    os.makedirs(directory, exist_ok=True)
+    out_path = os.path.join(directory, "out.tsv")
+    manifest = RunManifest.build(
+        command="classify", params={"bench": every}, lists=lists,
+        input_path=trace_path, output_path=out_path, quarantine_path=None,
+    )
+    runner = DurableRun(
+        directory=directory,
+        manifest=manifest,
+        pipeline=pipeline,
+        sink=ClassifySink(
+            part_path=os.path.join(directory, "output.part"), final_path=out_path
+        ),
+        on_error=ErrorPolicy.STRICT,
+        checkpoint_every=every,
+    )
+    started = time.perf_counter()
+    result = runner.run()
+    return result, time.perf_counter() - started
+
+
+def test_checkpoint_overhead(rbn2, pipeline, lists, results_dir, tmp_path_factory):
+    _generator, trace, _entries = rbn2
+    records = trace.http[:_SLICE]
+    tmp = tmp_path_factory.mktemp("ckpt_bench")
+    trace_path = str(tmp / "trace.tsv")
+    with open(trace_path, "w") as stream:
+        write_log(records, stream)
+
+    # Warm-up (filters compiled lazily, page cache) — not measured.
+    _run_once(pipeline, lists, trace_path, str(tmp / "warmup"), every=None)
+
+    timings = {}
+    checkpoints = {}
+    for every in _INTERVALS:
+        directory = str(tmp / f"every-{every or 'off'}")
+        result, elapsed = _run_once(pipeline, lists, trace_path, directory, every=every)
+        assert result.records == len(records)
+        timings[every] = elapsed
+        checkpoints[every] = result.checkpoints_written
+
+    baseline = timings[None]
+    rows = []
+    for every in _INTERVALS:
+        elapsed = timings[every]
+        rows.append(
+            {
+                "checkpoint every": str(every) if every else "off",
+                "records/s": f"{len(records) / elapsed:,.0f}",
+                "elapsed": f"{elapsed:.2f}s",
+                "checkpoints": checkpoints[every],
+                "overhead": f"{100 * (elapsed - baseline) / baseline:+.1f}%",
+            }
+        )
+
+    table = render_table(rows, title=f"checkpoint overhead over {len(records):,} records")
+    print()
+    print(table)
+    write_result(results_dir, "checkpoint_overhead.txt", table + "\n")
+
+    # The acceptance bar: the default interval must be cheap.
+    overhead_at_default = (timings[10_000] - baseline) / baseline
+    assert overhead_at_default < 0.10, (
+        f"checkpointing every 10k records cost {overhead_at_default:.1%} throughput"
+    )

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +18,7 @@ __all__ = [
     "SizeDistribution",
     "object_size_distributions",
     "traffic_summary",
+    "TrafficAccumulator",
 ]
 
 
@@ -102,38 +102,10 @@ class ContentTypeRow:
 
 def content_type_table(entries: list[ClassifiedRequest], *, top: int = 10) -> list[ContentTypeRow]:
     """Table 4: ad vs non-ad traffic split by declared Content-Type."""
-    ad_requests: dict[str, int] = defaultdict(int)
-    ad_bytes: dict[str, int] = defaultdict(int)
-    nonad_requests: dict[str, int] = defaultdict(int)
-    nonad_bytes: dict[str, int] = defaultdict(int)
-
+    accumulator = TrafficAccumulator()
     for entry in entries:
-        mime = entry.record.content_type or "-"
-        if entry.is_ad:
-            ad_requests[mime] += 1
-            ad_bytes[mime] += entry.bytes
-        else:
-            nonad_requests[mime] += 1
-            nonad_bytes[mime] += entry.bytes
-
-    total_ad_requests = sum(ad_requests.values()) or 1
-    total_ad_bytes = sum(ad_bytes.values()) or 1
-    total_nonad_requests = sum(nonad_requests.values()) or 1
-    total_nonad_bytes = sum(nonad_bytes.values()) or 1
-
-    mimes = sorted(ad_requests, key=lambda mime: ad_requests[mime], reverse=True)[:top]
-    rows = []
-    for mime in mimes:
-        rows.append(
-            ContentTypeRow(
-                content_type=mime,
-                ad_request_share=ad_requests[mime] / total_ad_requests,
-                ad_byte_share=ad_bytes[mime] / total_ad_bytes,
-                nonad_request_share=nonad_requests[mime] / total_nonad_requests,
-                nonad_byte_share=nonad_bytes[mime] / total_nonad_bytes,
-            )
-        )
-    return rows
+        accumulator.add(entry)
+    return accumulator.content_type_rows(top=top)
 
 
 @dataclass(slots=True)
@@ -208,25 +180,99 @@ class TrafficSummary:
         return self.ad_bytes / self.total_bytes if self.total_bytes else 0.0
 
 
+@dataclass(slots=True)
+class TrafficAccumulator:
+    """Incremental fold of the §7.1 summary and Table 4 counters.
+
+    ``traffic_summary``/``content_type_table`` fold a complete entries
+    list through this; durable `repro report` runs instead :meth:`add`
+    one entry at a time and checkpoint :meth:`export_state` mid-stream
+    (DESIGN.md §8).  Dict insertion order (first-seen MIME among ads /
+    non-ads) is part of the state — it is the Table 4 tie-break order.
+    """
+
+    total_requests: int = 0
+    total_bytes: int = 0
+    ad_requests: int = 0
+    ad_bytes: int = 0
+    by_list: dict[str, int] = field(default_factory=dict)
+    ad_requests_by_mime: dict[str, int] = field(default_factory=dict)
+    ad_bytes_by_mime: dict[str, int] = field(default_factory=dict)
+    nonad_requests_by_mime: dict[str, int] = field(default_factory=dict)
+    nonad_bytes_by_mime: dict[str, int] = field(default_factory=dict)
+
+    def add(self, entry: ClassifiedRequest) -> None:
+        size = entry.bytes
+        mime = entry.record.content_type or "-"
+        self.total_requests += 1
+        self.total_bytes += size
+        if entry.is_ad:
+            self.ad_requests += 1
+            self.ad_bytes += size
+            bucket = _bucket_of(entry)
+            self.by_list[bucket] = self.by_list.get(bucket, 0) + 1
+            self.ad_requests_by_mime[mime] = self.ad_requests_by_mime.get(mime, 0) + 1
+            self.ad_bytes_by_mime[mime] = self.ad_bytes_by_mime.get(mime, 0) + size
+        else:
+            self.nonad_requests_by_mime[mime] = self.nonad_requests_by_mime.get(mime, 0) + 1
+            self.nonad_bytes_by_mime[mime] = self.nonad_bytes_by_mime.get(mime, 0) + size
+
+    def summary(self) -> TrafficSummary:
+        denominator = self.ad_requests or 1
+        return TrafficSummary(
+            total_requests=self.total_requests,
+            total_bytes=self.total_bytes,
+            ad_requests=self.ad_requests,
+            ad_bytes=self.ad_bytes,
+            easylist_share_of_ads=self.by_list.get(EASYLIST, 0) / denominator,
+            easyprivacy_share_of_ads=self.by_list.get(EASYPRIVACY, 0) / denominator,
+            non_intrusive_share_of_ads=self.by_list.get("non_intrusive", 0) / denominator,
+        )
+
+    def content_type_rows(self, *, top: int = 10) -> list[ContentTypeRow]:
+        total_ad_requests = self.ad_requests or 1
+        total_ad_bytes = sum(self.ad_bytes_by_mime.values()) or 1
+        total_nonad_requests = sum(self.nonad_requests_by_mime.values()) or 1
+        total_nonad_bytes = sum(self.nonad_bytes_by_mime.values()) or 1
+        mimes = sorted(
+            self.ad_requests_by_mime,
+            key=lambda mime: self.ad_requests_by_mime[mime],
+            reverse=True,
+        )[:top]
+        return [
+            ContentTypeRow(
+                content_type=mime,
+                ad_request_share=self.ad_requests_by_mime[mime] / total_ad_requests,
+                ad_byte_share=self.ad_bytes_by_mime.get(mime, 0) / total_ad_bytes,
+                nonad_request_share=self.nonad_requests_by_mime.get(mime, 0) / total_nonad_requests,
+                nonad_byte_share=self.nonad_bytes_by_mime.get(mime, 0) / total_nonad_bytes,
+            )
+            for mime in mimes
+        ]
+
+    # -- checkpoint wire form (DESIGN.md §8) ---------------------------
+
+    def export_state(self) -> dict:
+        return {
+            "total_requests": self.total_requests,
+            "total_bytes": self.total_bytes,
+            "ad_requests": self.ad_requests,
+            "ad_bytes": self.ad_bytes,
+            "by_list": dict(self.by_list),
+            "ad_requests_by_mime": dict(self.ad_requests_by_mime),
+            "ad_bytes_by_mime": dict(self.ad_bytes_by_mime),
+            "nonad_requests_by_mime": dict(self.nonad_requests_by_mime),
+            "nonad_bytes_by_mime": dict(self.nonad_bytes_by_mime),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TrafficAccumulator":
+        return cls(**state)
+
+
 def traffic_summary(entries: list[ClassifiedRequest]) -> TrafficSummary:
     """§7.1: ad shares of requests/bytes and the per-list breakdown."""
-    total_bytes = 0
-    ad_requests = ad_bytes = 0
-    by_list = defaultdict(int)
+    accumulator = TrafficAccumulator()
     for entry in entries:
-        total_bytes += entry.bytes
-        if not entry.is_ad:
-            continue
-        ad_requests += 1
-        ad_bytes += entry.bytes
-        by_list[_bucket_of(entry)] += 1
-    denominator = ad_requests or 1
-    return TrafficSummary(
-        total_requests=len(entries),
-        total_bytes=total_bytes,
-        ad_requests=ad_requests,
-        ad_bytes=ad_bytes,
-        easylist_share_of_ads=by_list[EASYLIST] / denominator,
-        easyprivacy_share_of_ads=by_list[EASYPRIVACY] / denominator,
-        non_intrusive_share_of_ads=by_list["non_intrusive"] / denominator,
-    )
+        accumulator.add(entry)
+    return accumulator.summary()

@@ -14,7 +14,14 @@ and analyses run offline):
 
 Commands that read logs take ``--on-error {strict,skip,quarantine}``;
 exit codes are 0 (clean), 1 (strict-mode abort on the first bad line),
-3 (completed with dropped records) — see DESIGN.md §7.
+3 (completed with dropped records), 4 (``--resume`` refused on a run
+manifest mismatch) — see DESIGN.md §7–§8.
+
+``classify``/``usage``/``report`` become *durable* with
+``--checkpoint-dir``: progress is checkpointed every
+``--checkpoint-every`` records and a crashed run continues from the
+newest valid checkpoint with ``--resume``, producing output
+byte-identical to an uninterrupted run (DESIGN.md §8).
 
 All commands that need the ecosystem/lists rebuild them
 deterministically from ``--publishers/--eco-seed``, so separate
@@ -24,6 +31,7 @@ invocations compose as long as those flags agree.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence, TextIO
 
@@ -33,11 +41,23 @@ from repro.filterlist import build_lists
 from repro.filterlist.stats import compare_lists
 from repro.http.log import read_log, write_log
 from repro.robustness import (
+    EXIT_MANIFEST_MISMATCH,
     EXIT_STRICT_ABORT,
+    CrashInjector,
     ErrorPolicy,
     LogParseError,
     PipelineHealth,
     QuarantineWriter,
+    atomic_writer,
+)
+from repro.robustness.runstate import (
+    DEFAULT_CHECKPOINT_EVERY,
+    ClassifySink,
+    DurableRun,
+    ManifestMismatch,
+    RunManifest,
+    TrafficSink,
+    UserStatsSink,
 )
 from repro.trace import (
     CorruptionConfig,
@@ -76,27 +96,94 @@ def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
                              "(default <trace>.quarantine)")
 
 
+def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir",
+                        help="make the run durable: write the run manifest, periodic "
+                             "checkpoints and in-progress outputs into this directory")
+    parser.add_argument("--checkpoint-every", type=int, default=DEFAULT_CHECKPOINT_EVERY,
+                        metavar="N",
+                        help=f"records between checkpoints (default "
+                             f"{DEFAULT_CHECKPOINT_EVERY}; 0 disables periodic "
+                             f"checkpoints but keeps atomic output commit)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue a crashed run from the newest valid checkpoint "
+                             "in --checkpoint-dir; exits 4 if the config, filter lists "
+                             "or input no longer match the run manifest")
+    # Testing hook for the crash-recovery harness: hard-abort (no
+    # flush, no cleanup) after N records, like an OOM kill would.
+    parser.add_argument("--crash-after", type=int, metavar="N", help=argparse.SUPPRESS)
+
+
+def _check_checkpoint_args(args: argparse.Namespace) -> None:
+    if (args.resume or args.crash_after) and not args.checkpoint_dir:
+        raise SystemExit("error: --resume/--crash-after require --checkpoint-dir")
+
+
+def _quarantine_path(args: argparse.Namespace) -> str:
+    return args.quarantine_out or f"{args.trace}.quarantine"
+
+
 def _load_http_records(args: argparse.Namespace, health: PipelineHealth):
     """Read the HTTP log under the command's error policy."""
     policy = ErrorPolicy(args.on_error)
     quarantine = None
     quarantine_path = None
-    quarantine_stream = None
     if policy is ErrorPolicy.QUARANTINE:
-        quarantine_path = args.quarantine_out or f"{args.trace}.quarantine"
-        quarantine_stream = open(quarantine_path, "w")
-        quarantine = QuarantineWriter(quarantine_stream)
+        quarantine_path = _quarantine_path(args)
+        quarantine = QuarantineWriter.open(quarantine_path)
     try:
         with open(args.trace) as stream:
             records = list(
                 read_log(stream, on_error=policy, health=health, quarantine=quarantine)
             )
     finally:
-        if quarantine_stream is not None:
-            quarantine_stream.close()
+        if quarantine is not None:
+            quarantine.close()
     if quarantine is not None and quarantine.count:
         print(f"quarantined {quarantine.count} lines to {quarantine_path}")
     return records
+
+
+def _durable_run(
+    args: argparse.Namespace,
+    *,
+    command: str,
+    pipeline: AdClassificationPipeline,
+    lists,
+    sink,
+    params: dict,
+    output_path: str | None = None,
+    reorder_window: float | None = None,
+    max_users: int | None = None,
+):
+    """Build and execute the checkpointed run for one subcommand."""
+    policy = ErrorPolicy(args.on_error)
+    quarantine_path = _quarantine_path(args) if policy is ErrorPolicy.QUARANTINE else None
+    manifest = RunManifest.build(
+        command=command,
+        params=params,
+        lists=lists,
+        input_path=args.trace,
+        output_path=output_path,
+        quarantine_path=quarantine_path,
+    )
+    runner = DurableRun(
+        directory=args.checkpoint_dir,
+        manifest=manifest,
+        pipeline=pipeline,
+        sink=sink,
+        on_error=policy,
+        checkpoint_every=args.checkpoint_every or None,
+        resume=args.resume,
+        reorder_window=reorder_window,
+        max_users=max_users,
+        crash_injector=CrashInjector(args.crash_after) if args.crash_after else None,
+        log=print,
+    )
+    result = runner.run()
+    if result.quarantine_count:
+        print(f"quarantined {result.quarantine_count} lines to {result.quarantine_path}")
+    return result
 
 
 def _finish(health: PipelineHealth, *, always_summarize: bool = False) -> int:
@@ -149,11 +236,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     config = preset(scale=args.scale)
     generator = RBNTraceGenerator(config, ecosystem=ecosystem)
     trace = generator.generate()
-    with open(args.out, "w") as stream:
+    with atomic_writer(args.out) as stream:
         count = write_log(trace.http, stream)
     print(f"wrote {count} HTTP records to {args.out}")
     if args.tls_out:
-        with open(args.tls_out, "w") as stream:
+        with atomic_writer(args.tls_out) as stream:
             _write_tls(trace.tls, stream)
         print(f"wrote {len(trace.tls)} TLS records to {args.tls_out}")
     print(f"({generator.subscribers} subscribers, "
@@ -161,10 +248,46 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _classify_summary(total: int, ads: int, whitelisted: int) -> None:
+    print(f"{total} requests classified")
+    print(f"ad-related: {ads} ({ads / max(1, total):.1%})")
+    print(f"whitelisted: {whitelisted} ({whitelisted / max(1, ads):.1%} of ads)")
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
+    _check_checkpoint_args(args)
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
     pipeline = AdClassificationPipeline(lists)
+
+    if args.checkpoint_dir:
+        sink = ClassifySink(
+            part_path=os.path.join(args.checkpoint_dir, "output.part") if args.out else None,
+            final_path=os.path.abspath(args.out) if args.out else None,
+        )
+        result = _durable_run(
+            args,
+            command="classify",
+            pipeline=pipeline,
+            lists=lists,
+            sink=sink,
+            params={
+                "command": "classify",
+                "publishers": args.publishers,
+                "eco_seed": args.eco_seed,
+                "on_error": args.on_error,
+                "max_users": args.max_users,
+                "reorder_window": args.reorder_window,
+            },
+            output_path=args.out,
+            reorder_window=args.reorder_window,
+            max_users=args.max_users,
+        )
+        _classify_summary(sink.total, sink.ads, sink.whitelisted)
+        if args.out:
+            print(f"wrote classification to {args.out}")
+        return _finish(result.health, always_summarize=True)
+
     health = PipelineHealth()
     records = _load_http_records(args, health)
     entries = pipeline.process(
@@ -176,12 +299,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
     ads = sum(1 for entry in entries if entry.is_ad)
     whitelisted = sum(1 for entry in entries if entry.is_whitelisted)
-    print(f"{len(entries)} requests classified")
-    print(f"ad-related: {ads} ({ads / max(1, len(entries)):.1%})")
-    print(f"whitelisted: {whitelisted} ({whitelisted / max(1, ads):.1%} of ads)")
+    _classify_summary(len(entries), ads, whitelisted)
 
     if args.out:
-        with open(args.out, "w") as stream:
+        with atomic_writer(args.out) as stream:
             stream.write("#ts\tclient\turl\tpage\tis_ad\tblacklist\twhitelisted\n")
             for entry in entries:
                 stream.write(
@@ -211,23 +332,45 @@ def _cmd_usage(args: argparse.Namespace) -> int:
         usage_breakdown,
     )
 
+    _check_checkpoint_args(args)
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
     pipeline = AdClassificationPipeline(lists)
-    health = PipelineHealth()
-    records = _load_http_records(args, health)
-    entries = pipeline.process(records, health=health)
+
+    if args.checkpoint_dir:
+        sink = UserStatsSink()
+        result = _durable_run(
+            args,
+            command="usage",
+            pipeline=pipeline,
+            lists=lists,
+            sink=sink,
+            params={
+                "command": "usage",
+                "publishers": args.publishers,
+                "eco_seed": args.eco_seed,
+                "on_error": args.on_error,
+            },
+        )
+        health = result.health
+        stats = sink.stats
+        total_requests, total_ads = sink.total, sink.total_ads
+    else:
+        health = PipelineHealth()
+        records = _load_http_records(args, health)
+        entries = pipeline.process(records, health=health)
+        stats = aggregate_users(entries)
+        total_requests = len(entries)
+        total_ads = sum(1 for entry in entries if entry.is_ad)
 
     with open(args.tls) as stream:
         tls_records = _read_tls(stream)
     downloads = easylist_download_clients(tls_records, abp_server_ips(ecosystem))
 
-    stats = aggregate_users(entries)
     annotation = annotate_browsers(heavy_hitters(stats, min_requests=args.min_requests))
     usages = classify_usage(
         list(annotation.browsers.values()), downloads, threshold=args.threshold
     )
-    total_ads = sum(1 for entry in entries if entry.is_ad)
     rows = [
         {
             "Type": row.usage_type,
@@ -236,7 +379,7 @@ def _cmd_usage(args: argparse.Namespace) -> int:
             "% requests": f"{100 * row.request_share:.1f}%",
             "% ad reqs": f"{100 * row.ad_request_share:.1f}%",
         }
-        for row in usage_breakdown(usages, total_requests=len(entries), total_ads=total_ads)
+        for row in usage_breakdown(usages, total_requests=total_requests, total_ads=total_ads)
     ]
     print(render_table(rows, title="ad-blocker usage classes (paper Table 3)"))
     likely = sum(1 for usage in usages if usage.likely_adblock)
@@ -275,16 +418,38 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.traffic import content_type_table, traffic_summary
+    from repro.analysis.traffic import TrafficAccumulator
 
+    _check_checkpoint_args(args)
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
     pipeline = AdClassificationPipeline(lists)
-    health = PipelineHealth()
-    records = _load_http_records(args, health)
-    entries = pipeline.process(records, health=health)
 
-    summary = traffic_summary(entries)
+    if args.checkpoint_dir:
+        sink = TrafficSink()
+        result = _durable_run(
+            args,
+            command="report",
+            pipeline=pipeline,
+            lists=lists,
+            sink=sink,
+            params={
+                "command": "report",
+                "publishers": args.publishers,
+                "eco_seed": args.eco_seed,
+                "on_error": args.on_error,
+            },
+        )
+        health = result.health
+        accumulator = sink.accumulator
+    else:
+        health = PipelineHealth()
+        records = _load_http_records(args, health)
+        accumulator = TrafficAccumulator()
+        for entry in pipeline.iter_process(records, fixup_window=None, health=health):
+            accumulator.add(entry)
+
+    summary = accumulator.summary()
     print(f"requests: {summary.total_requests}; ad share "
           f"{summary.ad_request_share:.2%} of requests / "
           f"{summary.ad_byte_share:.2%} of bytes")
@@ -299,7 +464,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             "Non-Ads Reqs": f"{100 * row.nonad_request_share:.1f}%",
             "Non-Ads Bytes": f"{100 * row.nonad_byte_share:.1f}%",
         }
-        for row in content_type_table(entries)
+        for row in accumulator.content_type_rows()
     ]
     print(render_table(rows, title="traffic by Content-Type (paper Table 4)"))
     return _finish(health)
@@ -350,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_classify = sub.add_parser("classify", help="classify a stored HTTP log")
     _add_ecosystem_flags(p_classify)
     _add_robustness_flags(p_classify)
+    _add_checkpoint_flags(p_classify)
     p_classify.add_argument("--trace", required=True)
     p_classify.add_argument("--out", help="write per-request classification TSV")
     p_classify.add_argument("--max-users", type=int,
@@ -361,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_usage = sub.add_parser("usage", help="ad-blocker usage study over stored logs")
     _add_ecosystem_flags(p_usage)
     _add_robustness_flags(p_usage)
+    _add_checkpoint_flags(p_usage)
     p_usage.add_argument("--trace", required=True)
     p_usage.add_argument("--tls", required=True)
     p_usage.add_argument("--threshold", type=float, default=0.05)
@@ -391,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="traffic characterization (Table 4)")
     _add_ecosystem_flags(p_report)
     _add_robustness_flags(p_report)
+    _add_checkpoint_flags(p_report)
     p_report.add_argument("--trace", required=True)
     p_report.set_defaults(func=_cmd_report)
 
@@ -406,6 +574,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: malformed input at {exc}; rerun with "
               f"--on-error skip|quarantine to degrade gracefully", file=sys.stderr)
         return EXIT_STRICT_ABORT
+    except ManifestMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_MANIFEST_MISMATCH
 
 
 if __name__ == "__main__":

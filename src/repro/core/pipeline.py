@@ -33,7 +33,13 @@ from repro.filterlist.options import ContentType
 from repro.http.log import HttpLogRecord
 from repro.robustness import PipelineHealth
 
-__all__ = ["PipelineConfig", "ClassifiedRequest", "AdClassificationPipeline", "UserKey"]
+__all__ = [
+    "PipelineConfig",
+    "ClassifiedRequest",
+    "AdClassificationPipeline",
+    "StreamingClassifier",
+    "UserKey",
+]
 
 UserKey = tuple[str, str]  # (client IP, User-Agent string)
 
@@ -98,32 +104,235 @@ class _UserState:
     pending_type_fixup: OrderedDict[str, int] = field(default_factory=OrderedDict)
 
 
-def _in_timestamp_order(
-    records: Iterable[HttpLogRecord],
-    window_s: float,
-    health: PipelineHealth | None,
-) -> Iterator[HttpLogRecord]:
-    """Re-sort a slightly out-of-order stream with a bounded buffer.
+# Version tag of StreamingClassifier.export_state payloads, so a stale
+# checkpoint from an older layout is rejected instead of misread.
+_STATE_VERSION = 1
 
-    Records are held in a min-heap on timestamp and released once the
-    stream has advanced ``window_s`` seconds past them, so any stream
-    shuffled within a jitter window ≤ ``window_s`` comes out in exact
-    timestamp order (ties release in arrival order).  Memory is bounded
-    by the number of records per window, not the stream length.
+
+class StreamingClassifier:
+    """The Fig 1 pipeline as an explicit-state push machine.
+
+    Where :meth:`AdClassificationPipeline.iter_process` keeps its state
+    in generator locals, this class keeps every mutable piece — the
+    reorder min-heap, per-user referrer maps and pending type fix-ups,
+    the fix-up entry buffer — on the instance, which buys two things:
+
+    * **feed/finish control** for drivers that need to act *between*
+      records (the durable runner checkpoints there);
+    * **serializable state** — :meth:`export_state` snapshots the run
+      as a primitive-only object tree and :meth:`restore_state` rebuilds
+      it, so a crashed run resumed from a checkpoint classifies the
+      remaining records exactly as the uninterrupted run would
+      (DESIGN.md §8).
+
+    ``feed`` returns the entries *released* by that record (usually 0
+    or 1 once the fix-up buffer is warm); ``finish`` drains the rest.
     """
-    heap: list[tuple[float, int, HttpLogRecord]] = []
-    seq = 0
-    max_ts = float("-inf")
-    for record in records:
-        if record.ts < max_ts and health is not None:
-            health.records_reordered += 1
-        max_ts = max(max_ts, record.ts)
-        heapq.heappush(heap, (record.ts, seq, record))
-        seq += 1
-        while heap and heap[0][0] <= max_ts - window_s:
-            yield heapq.heappop(heap)[2]
-    while heap:
-        yield heapq.heappop(heap)[2]
+
+    def __init__(
+        self,
+        pipeline: "AdClassificationPipeline",
+        *,
+        fixup_window: int | None = 1024,
+        reorder_window: float | None = None,
+        max_users: int | None = None,
+        health: PipelineHealth | None = None,
+    ):
+        self.pipeline = pipeline
+        self.fixup_window = fixup_window
+        self.reorder_window = reorder_window
+        self.max_users = max_users
+        self.health = health
+        self.users: "OrderedDict[UserKey, _UserState]" = OrderedDict()
+        self.buffer: "OrderedDict[int, ClassifiedRequest]" = OrderedDict()
+        self.next_index = 0
+        # Reorder-buffer state (active when reorder_window is not None).
+        self._heap: list[tuple[float, int, HttpLogRecord]] = []
+        self._seq = 0
+        self._max_ts = float("-inf")
+
+    # -- streaming --------------------------------------------------------
+
+    def feed(self, record: HttpLogRecord) -> list[ClassifiedRequest]:
+        """Push one record; return the entries released by it."""
+        released: list[ClassifiedRequest] = []
+        if self.reorder_window is None:
+            self._ingest(record, released)
+            return released
+        if record.ts < self._max_ts and self.health is not None:
+            self.health.records_reordered += 1
+        self._max_ts = max(self._max_ts, record.ts)
+        heapq.heappush(self._heap, (record.ts, self._seq, record))
+        self._seq += 1
+        horizon = self._max_ts - self.reorder_window
+        while self._heap and self._heap[0][0] <= horizon:
+            self._ingest(heapq.heappop(self._heap)[2], released)
+        return released
+
+    def finish(self) -> list[ClassifiedRequest]:
+        """Drain the reorder heap and the fix-up buffer; end of stream."""
+        released: list[ClassifiedRequest] = []
+        while self._heap:
+            self._ingest(heapq.heappop(self._heap)[2], released)
+        while self.buffer:
+            released.append(self.buffer.popitem(last=False)[1])
+        return released
+
+    def _ingest(self, record: HttpLogRecord, released: list[ClassifiedRequest]) -> None:
+        config = self.pipeline.config
+        health = self.health
+        user = (record.client, record.user_agent or "")
+        state = self.users.get(user)
+        if state is None:
+            state = _UserState(
+                referrer_map=ReferrerMap(track_embedded=config.use_embedded_urls)
+            )
+            self.users[user] = state
+            if self.max_users is not None and len(self.users) > self.max_users:
+                self.users.popitem(last=False)
+                if health is not None:
+                    health.users_evicted += 1
+            if health is not None:
+                health.observe_users(len(self.users))
+        else:
+            self.users.move_to_end(user)
+
+        url = record.url
+        looks_like_document = type_from_mime(record.content_type) in (
+            ContentType.DOCUMENT,
+            ContentType.SUBDOCUMENT,
+        )
+
+        if config.use_referrer_map:
+            attribution = state.referrer_map.observe(
+                url,
+                record.referrer,
+                looks_like_document=looks_like_document,
+                location=record.location if config.use_location_repair else None,
+            )
+            page_url, is_page_root = attribution.page_url, attribution.is_page_root
+        else:
+            # URL-only ablation: every request is its own context.
+            page_url, is_page_root = url, looks_like_document
+
+        content_type = infer_content_type(
+            url,
+            record.content_type,
+            is_page_root=is_page_root,
+            extension_first=config.extension_first,
+        )
+
+        if config.redirect_type_fixup:
+            # Is this the consequent request of an earlier redirect?
+            fixup_index = state.pending_type_fixup.pop(url, None)
+            if fixup_index is not None:
+                source = self.buffer.get(fixup_index)
+                if source is not None and source.content_type != content_type:
+                    source.content_type = content_type
+                    source.classification = self.pipeline._classify(source)
+            if record.location is not None:
+                pending = state.pending_type_fixup
+                pending[record.location] = self.next_index
+                pending.move_to_end(record.location)
+                while len(pending) > _MAX_PENDING_FIXUPS:
+                    pending.popitem(last=False)
+
+        entry = ClassifiedRequest(
+            record=record,
+            user=user,
+            page_url=page_url,
+            content_type=content_type,
+            is_page_root=is_page_root,
+            normalized_url=(
+                normalize_url(url, self.pipeline._protected)
+                if config.use_normalization
+                else url
+            ),
+            classification=None,  # type: ignore[arg-type]
+        )
+        entry.classification = self.pipeline._classify(entry)
+        self.buffer[self.next_index] = entry
+        self.next_index += 1
+
+        if self.fixup_window is not None:
+            while len(self.buffer) > self.fixup_window:
+                released.append(self.buffer.popitem(last=False)[1])
+
+    # -- checkpoint wire form (DESIGN.md §8) -------------------------------
+
+    def export_state(self) -> dict:
+        """Snapshot the run as a primitive-only object tree.
+
+        Classifications of still-buffered entries are deliberately NOT
+        serialized — the engine is deterministic given the entry's own
+        fields, so :meth:`restore_state` recomputes them.  That keeps
+        engine internals (compiled filters) out of the checkpoint and
+        the payload fast to write.
+        """
+        return {
+            "version": _STATE_VERSION,
+            "next_index": self.next_index,
+            "users": [
+                (
+                    user,
+                    state.referrer_map.export_state(),
+                    list(state.pending_type_fixup.items()),
+                )
+                for user, state in self.users.items()
+            ],
+            "buffer": [
+                (
+                    index,
+                    entry.record.to_row(),
+                    entry.page_url,
+                    int(entry.content_type),
+                    entry.is_page_root,
+                    entry.normalized_url,
+                )
+                for index, entry in self.buffer.items()
+            ],
+            "reorder": {
+                "heap": [(ts, seq, record.to_row()) for ts, seq, record in self._heap],
+                "seq": self._seq,
+                "max_ts": self._max_ts,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild a snapshot taken by :meth:`export_state`."""
+        version = state.get("version")
+        if version != _STATE_VERSION:
+            raise ValueError(f"unsupported classifier state version {version!r}")
+        config = self.pipeline.config
+        self.next_index = state["next_index"]
+        self.users = OrderedDict()
+        for user, referrer_state, pending in state["users"]:
+            self.users[tuple(user)] = _UserState(
+                referrer_map=ReferrerMap.from_state(
+                    referrer_state, track_embedded=config.use_embedded_urls
+                ),
+                pending_type_fixup=OrderedDict(pending),
+            )
+        self.buffer = OrderedDict()
+        for index, row, page_url, content_type, is_page_root, normalized_url in state["buffer"]:
+            entry = ClassifiedRequest(
+                record=HttpLogRecord.from_row(row),
+                user=(row[1], row[7] or ""),  # (client, user_agent)
+                page_url=page_url,
+                content_type=ContentType(content_type),
+                is_page_root=is_page_root,
+                normalized_url=normalized_url,
+                classification=None,  # type: ignore[arg-type]
+            )
+            entry.classification = self.pipeline._classify(entry)
+            self.buffer[index] = entry
+        reorder = state["reorder"]
+        self._heap = [
+            (ts, seq, HttpLogRecord.from_row(row)) for ts, seq, row in reorder["heap"]
+        ]
+        heapq.heapify(self._heap)
+        self._seq = reorder["seq"]
+        self._max_ts = reorder["max_ts"]
 
 
 class AdClassificationPipeline:
@@ -184,92 +393,45 @@ class AdClassificationPipeline:
         referrer map if it reappears).  ``health`` tallies reorderings
         and evictions.
         """
-        config = self.config
-        users: "OrderedDict[UserKey, _UserState]" = OrderedDict()
-        buffer: "OrderedDict[int, ClassifiedRequest]" = OrderedDict()
-        next_index = 0
+        yield from self.classify_stream(
+            records,
+            fixup_window=fixup_window,
+            reorder_window=reorder_window,
+            max_users=max_users,
+            health=health,
+        )
 
-        if reorder_window is not None:
-            records = _in_timestamp_order(records, reorder_window, health)
+    def classify_stream(
+        self,
+        records: Iterable[HttpLogRecord],
+        *,
+        resume_from: dict | None = None,
+        fixup_window: int | None = 1024,
+        reorder_window: float | None = None,
+        max_users: int | None = None,
+        health: PipelineHealth | None = None,
+    ) -> "Iterator[ClassifiedRequest]":
+        """:meth:`iter_process` with resumable state (DESIGN.md §8).
 
+        ``resume_from`` takes a snapshot previously captured with
+        :meth:`StreamingClassifier.export_state`; ``records`` must then
+        be the remainder of the original stream (the durable runner
+        seeks the input to the checkpointed byte offset).  Stream
+        options must match the snapshotting run — the run manifest
+        enforces this at the CLI layer.
+        """
+        classifier = StreamingClassifier(
+            self,
+            fixup_window=fixup_window,
+            reorder_window=reorder_window,
+            max_users=max_users,
+            health=health,
+        )
+        if resume_from is not None:
+            classifier.restore_state(resume_from)
         for record in records:
-            user = (record.client, record.user_agent or "")
-            state = users.get(user)
-            if state is None:
-                state = _UserState(
-                    referrer_map=ReferrerMap(track_embedded=config.use_embedded_urls)
-                )
-                users[user] = state
-                if max_users is not None and len(users) > max_users:
-                    users.popitem(last=False)
-                    if health is not None:
-                        health.users_evicted += 1
-                if health is not None:
-                    health.observe_users(len(users))
-            else:
-                users.move_to_end(user)
-
-            url = record.url
-            looks_like_document = type_from_mime(record.content_type) in (
-                ContentType.DOCUMENT,
-                ContentType.SUBDOCUMENT,
-            )
-
-            if config.use_referrer_map:
-                attribution = state.referrer_map.observe(
-                    url,
-                    record.referrer,
-                    looks_like_document=looks_like_document,
-                    location=record.location if config.use_location_repair else None,
-                )
-                page_url, is_page_root = attribution.page_url, attribution.is_page_root
-            else:
-                # URL-only ablation: every request is its own context.
-                page_url, is_page_root = url, looks_like_document
-
-            content_type = infer_content_type(
-                url,
-                record.content_type,
-                is_page_root=is_page_root,
-                extension_first=config.extension_first,
-            )
-
-            if config.redirect_type_fixup:
-                # Is this the consequent request of an earlier redirect?
-                fixup_index = state.pending_type_fixup.pop(url, None)
-                if fixup_index is not None:
-                    source = buffer.get(fixup_index)
-                    if source is not None and source.content_type != content_type:
-                        source.content_type = content_type
-                        source.classification = self._classify(source)
-                if record.location is not None:
-                    pending = state.pending_type_fixup
-                    pending[record.location] = next_index
-                    pending.move_to_end(record.location)
-                    while len(pending) > _MAX_PENDING_FIXUPS:
-                        pending.popitem(last=False)
-
-            entry = ClassifiedRequest(
-                record=record,
-                user=user,
-                page_url=page_url,
-                content_type=content_type,
-                is_page_root=is_page_root,
-                normalized_url=(
-                    normalize_url(url, self._protected) if config.use_normalization else url
-                ),
-                classification=None,  # type: ignore[arg-type]
-            )
-            entry.classification = self._classify(entry)
-            buffer[next_index] = entry
-            next_index += 1
-
-            if fixup_window is not None:
-                while len(buffer) > fixup_window:
-                    yield buffer.popitem(last=False)[1]
-
-        while buffer:
-            yield buffer.popitem(last=False)[1]
+            yield from classifier.feed(record)
+        yield from classifier.finish()
 
     def _classify(self, entry: ClassifiedRequest) -> Classification:
         context = RequestContext(content_type=entry.content_type, page_url=entry.page_url)

@@ -82,6 +82,27 @@ class ReferrerMap:
         """Current attribution of a URL, if it has been seen."""
         return self._page_root.get(url)
 
+    # -- checkpoint wire form (DESIGN.md §8) ---------------------------
+
+    def export_state(self) -> dict:
+        """Primitive-only snapshot; insertion order is part of the state
+        (pruning drops the oldest half, so order changes behaviour)."""
+        return {
+            "page_root": list(self._page_root.items()),
+            "pending_redirects": list(self._pending_redirects.items()),
+            "embedded": list(self._embedded.items()),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, *, track_embedded: bool = True) -> "ReferrerMap":
+        """Inverse of :meth:`export_state` (``track_embedded`` comes from
+        the pipeline config, which the run manifest pins)."""
+        instance = cls(track_embedded=track_embedded)
+        instance._page_root = dict(state["page_root"])
+        instance._pending_redirects = dict(state["pending_redirects"])
+        instance._embedded = dict(state["embedded"])
+        return instance
+
     # ------------------------------------------------------------------
 
     def _attribute(self, url: str, referer: str | None, looks_like_document: bool) -> Attribution:

@@ -17,7 +17,13 @@ from typing import Iterable, Iterator, TextIO
 from repro.http.message import HttpTransaction
 from repro.robustness import ErrorPolicy, LogParseError, PipelineHealth, QuarantineWriter
 
-__all__ = ["HttpLogRecord", "transaction_to_record", "write_log", "read_log"]
+__all__ = [
+    "HttpLogRecord",
+    "transaction_to_record",
+    "write_log",
+    "read_log",
+    "SeekableLogReader",
+]
 
 _UNSET = "-"
 
@@ -47,6 +53,15 @@ class HttpLogRecord:
         if self.uri.startswith("http://") or self.uri.startswith("https://"):
             return self.uri
         return f"http://{self.host}{self.uri}"
+
+    def to_row(self) -> tuple:
+        """Field values in schema order — the checkpoint wire form."""
+        return tuple(getattr(self, name) for name in _FIELD_NAMES)
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "HttpLogRecord":
+        """Inverse of :meth:`to_row`."""
+        return cls(*row)
 
 
 def transaction_to_record(txn: HttpTransaction) -> HttpLogRecord:
@@ -156,6 +171,55 @@ def _decode_line(line: str, header: list[str]) -> HttpLogRecord:
     return HttpLogRecord(**values)  # type: ignore[arg-type]
 
 
+class _LineHandler:
+    """Shared per-line parse path of :func:`read_log` and
+    :class:`SeekableLogReader`: header adoption, decoding, and the
+    error-policy routing (strict raise / skip / quarantine)."""
+
+    __slots__ = ("header", "on_error", "health", "quarantine")
+
+    def __init__(
+        self,
+        *,
+        on_error: ErrorPolicy,
+        health: PipelineHealth | None,
+        quarantine: QuarantineWriter | None,
+        header: list[str] | None = None,
+    ):
+        self.header = header
+        self.on_error = on_error
+        self.health = health
+        self.quarantine = quarantine
+
+    def handle(self, line: str, line_no: int) -> HttpLogRecord | None:
+        """Parse one newline-stripped line; ``None`` for non-records."""
+        if not line:
+            return None
+        if line.startswith("#"):
+            candidate = line[1:].split("\t")
+            # Adopt a header only if its names are plausible; a garbled
+            # comment must not poison the parse of every later line.
+            if set(candidate) <= set(_FIELD_NAMES):
+                self.header = candidate
+            return None
+        try:
+            record = _decode_line(line, self.header if self.header is not None else _FIELD_NAMES)
+        except ValueError as exc:
+            reason = str(exc)
+            if self.on_error is ErrorPolicy.STRICT:
+                raise LogParseError(line_no, reason, line) from None
+            quarantined = False
+            if self.on_error is ErrorPolicy.QUARANTINE and self.quarantine is not None:
+                self.quarantine.write(line_no, reason, line)
+                quarantined = True
+            if self.health is not None:
+                self.health.record_error("read_log", _categorize(reason), quarantined=quarantined)
+            return None
+        if self.health is not None:
+            self.health.record_ok()
+        return record
+
+
 def read_log(
     stream: TextIO,
     *,
@@ -170,34 +234,71 @@ def read_log(
     drops and counts them in ``health``, ``QUARANTINE`` additionally
     writes the raw line to the ``quarantine`` sidecar.
     """
-    header: list[str] | None = None
+    handler = _LineHandler(on_error=on_error, health=health, quarantine=quarantine)
     for line_no, line in enumerate(stream, start=1):
-        line = line.rstrip("\n")
-        if not line:
-            continue
-        if line.startswith("#"):
-            candidate = line[1:].split("\t")
-            # Adopt a header only if its names are plausible; a garbled
-            # comment must not poison the parse of every later line.
-            if set(candidate) <= set(_FIELD_NAMES):
-                header = candidate
-            continue
-        try:
-            record = _decode_line(line, header if header is not None else _FIELD_NAMES)
-        except ValueError as exc:
-            reason = str(exc)
-            if on_error is ErrorPolicy.STRICT:
-                raise LogParseError(line_no, reason, line) from None
-            quarantined = False
-            if on_error is ErrorPolicy.QUARANTINE and quarantine is not None:
-                quarantine.write(line_no, reason, line)
-                quarantined = True
-            if health is not None:
-                health.record_error("read_log", _categorize(reason), quarantined=quarantined)
-            continue
-        if health is not None:
-            health.record_ok()
-        yield record
+        record = handler.handle(line.rstrip("\n"), line_no)
+        if record is not None:
+            yield record
+
+
+class SeekableLogReader:
+    """Record iterator over an on-disk log with byte-offset accounting.
+
+    Durable runs (DESIGN.md §8) checkpoint their input position between
+    records and later continue mid-file, so this reader iterates the
+    file in *binary* mode and maintains three resumable coordinates:
+
+    * ``offset`` — byte position after the last consumed line;
+    * ``line_no`` — 1-based number of the last consumed line;
+    * ``header`` — the adopted column header, which may precede the
+      resume point and must therefore travel in the checkpoint.
+
+    The coordinates update *before* a record is yielded, so at yield
+    time they already describe the post-record position a checkpoint
+    should store.  Error-policy routing matches :func:`read_log`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        on_error: ErrorPolicy = ErrorPolicy.STRICT,
+        health: PipelineHealth | None = None,
+        quarantine: QuarantineWriter | None = None,
+    ):
+        self._file = open(path, "rb")
+        self._handler = _LineHandler(on_error=on_error, health=health, quarantine=quarantine)
+        self.offset = 0
+        self.line_no = 0
+
+    @property
+    def header(self) -> list[str] | None:
+        return self._handler.header
+
+    def seek(self, *, offset: int, line_no: int, header: list[str] | None) -> None:
+        """Restore a checkpointed position (and the header adopted before it)."""
+        self._file.seek(offset)
+        self.offset = offset
+        self.line_no = line_no
+        self._handler.header = header
+
+    def __iter__(self) -> Iterator[HttpLogRecord]:
+        for raw in self._file:
+            self.offset += len(raw)
+            self.line_no += 1
+            line = raw.decode("utf-8", errors="replace").rstrip("\n")
+            record = self._handler.handle(line, self.line_no)
+            if record is not None:
+                yield record
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "SeekableLogReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def records_to_text(records: Iterable[HttpLogRecord]) -> str:

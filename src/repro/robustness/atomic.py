@@ -1,0 +1,79 @@
+"""Atomic file writes: temp + fsync + rename, never a torn output.
+
+Every durable artifact in the repo — traces, classification TSVs,
+quarantine sidecars, checkpoints, manifests — goes through
+:func:`atomic_writer`, so a crash mid-write leaves either the previous
+complete file or nothing, never a truncated hybrid (DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator
+
+__all__ = ["atomic_writer", "fsync_dir", "replace_atomic"]
+
+
+def fsync_dir(directory: str) -> None:
+    """Flush a directory entry so a rename survives power loss.
+
+    Best-effort: some filesystems/platforms refuse ``open()`` on a
+    directory; the rename itself is still atomic there.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_writer(
+    path: str | os.PathLike,
+    *,
+    mode: str = "w",
+    encoding: str | None = None,
+    sync: bool = True,
+) -> Iterator[IO]:
+    """Context manager yielding a stream that atomically replaces ``path``.
+
+    The stream writes to a temporary file in the destination directory;
+    on clean exit it is flushed, fsync'd (unless ``sync=False``) and
+    renamed over ``path`` in one step.  On an exception the temporary
+    file is removed and the previous ``path`` contents are untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    if "b" not in mode and encoding is None:
+        encoding = "utf-8"
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix="." + os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as stream:
+            yield stream
+            stream.flush()
+            if sync:
+                os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+    if sync:
+        fsync_dir(directory)
+
+
+def replace_atomic(src: str | os.PathLike, dst: str | os.PathLike, *, sync: bool = True) -> None:
+    """Atomically move a finished temp/part file over its final path."""
+    src, dst = os.fspath(src), os.fspath(dst)
+    os.replace(src, dst)
+    if sync:
+        fsync_dir(os.path.dirname(dst) or ".")

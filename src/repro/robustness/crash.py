@@ -1,0 +1,62 @@
+"""Crash injection for the durable-runs equivalence tests.
+
+The checkpoint subsystem's correctness claim — *a run killed anywhere
+and resumed is byte-identical to an uninterrupted run* — is only
+testable if runs can be killed at exact, reproducible points.
+:class:`CrashInjector` counts records as the durable runner feeds them
+and aborts the process after record N.
+
+``HARD`` mode calls :func:`os._exit`, which skips ``atexit`` handlers,
+buffered-stream flushing and ``finally`` blocks — the closest
+in-process stand-in for a SIGKILL/OOM kill, and the mode the
+subprocess test driver and the CI crash matrix use.  ``RAISE`` mode
+raises :class:`InjectedCrash` instead, for in-process tests that want
+to observe state after the "crash".
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["CrashInjector", "CrashMode", "InjectedCrash", "CRASH_EXIT_CODE"]
+
+# Distinctive exit code for an injected hard crash, so test drivers can
+# tell "crashed as planned" (87) from real failures (1/2/tracebacks).
+CRASH_EXIT_CODE = 87
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by :class:`CrashInjector` in ``RAISE`` mode."""
+
+
+class CrashMode(str, enum.Enum):
+    HARD = "hard"  # os._exit: no flush, no cleanup — simulates SIGKILL/OOM
+    RAISE = "raise"  # exception: unwinds normally — for in-process tests
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(slots=True)
+class CrashInjector:
+    """Aborts the process after ``after_records`` ticks.
+
+    The durable runner ticks once per input record *after* that
+    record's effects (output rows, possible checkpoint) have been
+    applied, so ``after_records=N`` means "die with exactly N records
+    processed" — which may be mid-interval or exactly on a checkpoint
+    boundary, both of which resume must survive.
+    """
+
+    after_records: int
+    mode: CrashMode = CrashMode.HARD
+    seen: int = field(default=0, init=False)
+
+    def tick(self) -> None:
+        self.seen += 1
+        if self.seen >= self.after_records:
+            if self.mode is CrashMode.HARD:
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedCrash(f"injected crash after {self.seen} records")

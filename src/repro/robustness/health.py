@@ -11,13 +11,22 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["PipelineHealth", "EXIT_CLEAN", "EXIT_STRICT_ABORT", "EXIT_DEGRADED"]
+__all__ = [
+    "PipelineHealth",
+    "EXIT_CLEAN",
+    "EXIT_STRICT_ABORT",
+    "EXIT_DEGRADED",
+    "EXIT_MANIFEST_MISMATCH",
+]
 
 # CLI exit codes (README §CLI): 0 all records survived, 1 strict-mode
-# abort on the first bad line, 3 run completed but records were dropped.
+# abort on the first bad line, 3 run completed but records were dropped,
+# 4 --resume refused because the run manifest does not match the current
+# config/filter-lists/input (DESIGN.md §8).
 EXIT_CLEAN = 0
 EXIT_STRICT_ABORT = 1
 EXIT_DEGRADED = 3
+EXIT_MANIFEST_MISMATCH = 4
 
 
 @dataclass
@@ -72,6 +81,33 @@ class PipelineHealth:
         self.peak_users = max(self.peak_users, other.peak_users)
         for stage, reasons in other.stage_errors.items():
             self.stage_errors.setdefault(stage, Counter()).update(reasons)
+
+    # -- checkpoint wire form (DESIGN.md §8) ---------------------------
+
+    def export_state(self) -> dict:
+        """Primitive-only snapshot for the checkpoint payload."""
+        return {
+            "records_seen": self.records_seen,
+            "records_ok": self.records_ok,
+            "records_dropped": self.records_dropped,
+            "records_quarantined": self.records_quarantined,
+            "records_repaired": self.records_repaired,
+            "records_reordered": self.records_reordered,
+            "users_evicted": self.users_evicted,
+            "peak_users": self.peak_users,
+            "stage_errors": {stage: dict(reasons) for stage, reasons in self.stage_errors.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PipelineHealth":
+        """Inverse of :meth:`export_state`."""
+        health = cls(
+            **{key: value for key, value in state.items() if key != "stage_errors"}
+        )
+        health.stage_errors = {
+            stage: Counter(reasons) for stage, reasons in state["stage_errors"].items()
+        }
+        return health
 
     def summary(self) -> str:
         lines = [

@@ -1,0 +1,579 @@
+"""Run manifest + the durable (checkpoint/resume) run driver.
+
+DESIGN.md §8.  A *durable run* wraps the ingestion→classification loop
+(`repro classify` / `repro usage` / `repro report`) so that a crash —
+OOM kill, deploy, power loss — costs at most one checkpoint interval:
+
+* a **run manifest** (``manifest.json``) pins what the run *is*: the
+  hash of every classification-relevant parameter, a fingerprint of the
+  filter lists, and the input file's identity (size + content-hash
+  prefix).  ``--resume`` recomputes all three and refuses to continue
+  on any mismatch, because resuming half a run against a different
+  config or a mutated input silently produces garbage;
+* periodic **checkpoints** (:mod:`repro.robustness.checkpoint`) freeze
+  the input byte/line offset, the streaming classifier state, the
+  health counters and the sink positions;
+* outputs are written to ``*.part`` files inside the checkpoint
+  directory and atomically renamed to their final paths only when the
+  run completes, so a crashed run never shadows a previous good output;
+* on resume, part files are truncated back to the positions recorded in
+  the newest *valid* checkpoint and the input is re-read from its
+  offset — replaying the tail deterministically, which is what makes a
+  resumed run byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.pipeline import (
+    AdClassificationPipeline,
+    ClassifiedRequest,
+    StreamingClassifier,
+)
+from repro.core.users import UserKey, UserStats
+from repro.http.log import SeekableLogReader
+from repro.robustness.atomic import atomic_writer, replace_atomic
+from repro.robustness.checkpoint import CheckpointStore
+from repro.robustness.crash import CrashInjector
+from repro.robustness.health import PipelineHealth
+from repro.robustness.policy import ErrorPolicy
+from repro.robustness.quarantine import QuarantineWriter
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "ManifestMismatch",
+    "RunManifest",
+    "DurableRun",
+    "RunResult",
+    "RunSink",
+    "ClassifySink",
+    "UserStatsSink",
+    "TrafficSink",
+    "fingerprint_params",
+    "fingerprint_lists",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+DEFAULT_CHECKPOINT_EVERY = 10_000
+
+# Identity hash covers the first MiB: enough to catch truncation,
+# regeneration and in-place edits without re-reading a multi-GB trace
+# on every checkpoint resume (size changes catch appends).
+_INPUT_HEAD_BYTES = 1 << 20
+
+
+def fingerprint_params(params: dict) -> str:
+    """Order-independent hash of the classification-relevant CLI params."""
+    canonical = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_lists(lists: dict) -> str:
+    """Hash of the filter-list contents the run classifies against."""
+    digest = hashlib.sha256()
+    for name in sorted(lists):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(lists[name].to_text().encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def _input_identity(path: str) -> tuple[int, str]:
+    size = os.path.getsize(path)
+    with open(path, "rb") as stream:
+        head = stream.read(_INPUT_HEAD_BYTES)
+    return size, hashlib.sha256(head).hexdigest()[:16]
+
+
+class ManifestMismatch(Exception):
+    """``--resume`` was pointed at a run that is not this run."""
+
+    def __init__(self, diagnostics: list[str]):
+        self.diagnostics = diagnostics
+        super().__init__(
+            "run manifest mismatch: " + "; ".join(diagnostics)
+        )
+
+
+@dataclass(slots=True)
+class RunManifest:
+    """What a durable run *is* — everything that must match on resume."""
+
+    command: str
+    params: dict
+    config_hash: str
+    lists_fingerprint: str
+    input_path: str
+    input_size: int
+    input_head_sha256: str
+    output_path: str | None
+    quarantine_path: str | None
+    version: int = MANIFEST_VERSION
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        command: str,
+        params: dict,
+        lists: dict,
+        input_path: str,
+        output_path: str | None,
+        quarantine_path: str | None,
+    ) -> "RunManifest":
+        size, head = _input_identity(input_path)
+        return cls(
+            command=command,
+            params=dict(params),
+            config_hash=fingerprint_params(params),
+            lists_fingerprint=fingerprint_lists(lists),
+            input_path=os.path.abspath(input_path),
+            input_size=size,
+            input_head_sha256=head,
+            output_path=os.path.abspath(output_path) if output_path else None,
+            quarantine_path=os.path.abspath(quarantine_path) if quarantine_path else None,
+        )
+
+    def save(self, directory: str) -> None:
+        with atomic_writer(os.path.join(directory, MANIFEST_NAME)) as stream:
+            json.dump(dataclasses.asdict(self), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+    @classmethod
+    def load(cls, directory: str) -> "RunManifest":
+        path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(path, encoding="utf-8") as stream:
+                raw = json.load(stream)
+        except FileNotFoundError:
+            raise ManifestMismatch(
+                [f"no manifest at {path} — nothing to resume (run without --resume first)"]
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ManifestMismatch([f"unreadable manifest at {path}: {exc}"]) from None
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in raw.items() if key in known})
+
+    def mismatches(self, current: "RunManifest") -> list[str]:
+        """Human-readable diffs between the saved run and the current one."""
+        diagnostics: list[str] = []
+        if self.version != current.version:
+            diagnostics.append(f"manifest version {self.version} != {current.version}")
+        if self.command != current.command:
+            diagnostics.append(f"command '{self.command}' != '{current.command}'")
+        if self.config_hash != current.config_hash:
+            changed = [
+                f"{key}: {self.params.get(key)!r} -> {current.params.get(key)!r}"
+                for key in sorted(set(self.params) | set(current.params))
+                if self.params.get(key) != current.params.get(key)
+            ]
+            diagnostics.append("config changed (" + (", ".join(changed) or "params differ") + ")")
+        if self.lists_fingerprint != current.lists_fingerprint:
+            diagnostics.append(
+                f"filter-list fingerprint {self.lists_fingerprint} != {current.lists_fingerprint}"
+            )
+        if self.input_path != current.input_path:
+            diagnostics.append(f"input path '{self.input_path}' != '{current.input_path}'")
+        if (self.input_size, self.input_head_sha256) != (
+            current.input_size,
+            current.input_head_sha256,
+        ):
+            diagnostics.append(
+                f"input file changed on disk (size {self.input_size} -> {current.input_size}, "
+                f"head hash {self.input_head_sha256} -> {current.input_head_sha256})"
+            )
+        if self.output_path != current.output_path:
+            diagnostics.append(f"output path '{self.output_path}' != '{current.output_path}'")
+        if self.quarantine_path != current.quarantine_path:
+            diagnostics.append(
+                f"quarantine path '{self.quarantine_path}' != '{current.quarantine_path}'"
+            )
+        return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Sinks: where released entries go.  A sink owns its .part file(s) and a
+# primitive, resumable state (counters + byte positions).
+
+
+class RunSink:
+    """Base class for durable-run output sinks."""
+
+    def begin(self, *, fresh: bool, state: dict | None) -> None:
+        """Open part files; start from scratch or from checkpoint state."""
+
+    def consume(self, entry: ClassifiedRequest) -> None:
+        raise NotImplementedError
+
+    def export_state(self) -> dict:
+        """Flush + fsync, then snapshot counters and byte positions."""
+        return {}
+
+    def finalize(self) -> list[str]:
+        """Fsync and atomically publish final outputs; returns their paths."""
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+class ClassifySink(RunSink):
+    """`repro classify`: per-request TSV rows plus the console counters."""
+
+    HEADER = "#ts\tclient\turl\tpage\tis_ad\tblacklist\twhitelisted\n"
+
+    def __init__(self, *, part_path: str | None = None, final_path: str | None = None):
+        self.part_path = part_path
+        self.final_path = final_path
+        self.total = 0
+        self.ads = 0
+        self.whitelisted = 0
+        self._file = None
+
+    def begin(self, *, fresh: bool, state: dict | None) -> None:
+        if self.part_path is None:
+            if state is not None:
+                self.total = state["total"]
+                self.ads = state["ads"]
+                self.whitelisted = state["whitelisted"]
+            return
+        if fresh:
+            self._file = open(self.part_path, "wb")
+            self._file.write(self.HEADER.encode("utf-8"))
+        else:
+            assert state is not None
+            self.total = state["total"]
+            self.ads = state["ads"]
+            self.whitelisted = state["whitelisted"]
+            self._file = open(self.part_path, "r+b")
+            self._file.truncate(state["pos"])
+            self._file.seek(state["pos"])
+
+    def consume(self, entry: ClassifiedRequest) -> None:
+        self.total += 1
+        if entry.is_ad:
+            self.ads += 1
+        if entry.is_whitelisted:
+            self.whitelisted += 1
+        if self._file is not None:
+            row = "\t".join(
+                [
+                    str(entry.record.ts),
+                    entry.record.client,
+                    entry.record.url,
+                    entry.page_url,
+                    "1" if entry.is_ad else "0",
+                    entry.blacklist_name or "-",
+                    "1" if entry.is_whitelisted else "0",
+                ]
+            )
+            self._file.write((row + "\n").encode("utf-8"))
+
+    def export_state(self) -> dict:
+        state = {"total": self.total, "ads": self.ads, "whitelisted": self.whitelisted}
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            state["pos"] = self._file.tell()
+        return state
+
+    def finalize(self) -> list[str]:
+        if self._file is None or self.final_path is None:
+            return []
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        self._file = None
+        replace_atomic(self.part_path, self.final_path)
+        return [self.final_path]
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class UserStatsSink(RunSink):
+    """`repro usage`: fold entries into per-user statistics (§6)."""
+
+    def __init__(self):
+        self.stats: dict[UserKey, UserStats] = {}
+        self.total = 0
+        self.total_ads = 0
+
+    def begin(self, *, fresh: bool, state: dict | None) -> None:
+        if state is not None:
+            self.total = state["total"]
+            self.total_ads = state["total_ads"]
+            self.stats = {
+                tuple(row[0]): UserStats(tuple(row[0]), *row[1:]) for row in state["stats"]
+            }
+
+    def consume(self, entry: ClassifiedRequest) -> None:
+        self.total += 1
+        if entry.is_ad:
+            self.total_ads += 1
+        stats = self.stats.get(entry.user)
+        if stats is None:
+            stats = UserStats(user=entry.user)
+            self.stats[entry.user] = stats
+        stats.add(entry)
+
+    def export_state(self) -> dict:
+        return {
+            "total": self.total,
+            "total_ads": self.total_ads,
+            "stats": [dataclasses.astuple(stats) for stats in self.stats.values()],
+        }
+
+
+class TrafficSink(RunSink):
+    """`repro report`: fold entries into the §7 traffic accumulator."""
+
+    def __init__(self):
+        from repro.analysis.traffic import TrafficAccumulator
+
+        self.accumulator = TrafficAccumulator()
+
+    def begin(self, *, fresh: bool, state: dict | None) -> None:
+        if state is not None:
+            from repro.analysis.traffic import TrafficAccumulator
+
+            self.accumulator = TrafficAccumulator.from_state(state)
+
+    def consume(self, entry: ClassifiedRequest) -> None:
+        self.accumulator.add(entry)
+
+    def export_state(self) -> dict:
+        return self.accumulator.export_state()
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of a durable run, for the CLI to render."""
+
+    health: PipelineHealth
+    records: int
+    resumed_generation: int | None
+    checkpoints_written: int
+    quarantine_count: int
+    quarantine_path: str | None
+    output_paths: list[str] = field(default_factory=list)
+
+
+class DurableRun:
+    """Checkpointed ingestion→classification loop around a sink.
+
+    The loop structure is::
+
+        for record in seekable_reader:         # offset accounting
+            for entry in classifier.feed(record):
+                sink.consume(entry)
+            every N records: checkpoint()      # atomic, checksummed
+        for entry in classifier.finish():
+            sink.consume(entry)
+        finalize()                             # publish outputs atomically
+
+    ``checkpoint()`` happens *between* input records, the only points
+    where the combination (input offset, classifier state, sink
+    positions) is consistent.
+    """
+
+    def __init__(
+        self,
+        *,
+        directory: str,
+        manifest: RunManifest,
+        pipeline: AdClassificationPipeline,
+        sink: RunSink,
+        on_error: ErrorPolicy = ErrorPolicy.STRICT,
+        checkpoint_every: int | None = DEFAULT_CHECKPOINT_EVERY,
+        keep: int = 3,
+        resume: bool = False,
+        fixup_window: int | None = 1024,
+        reorder_window: float | None = None,
+        max_users: int | None = None,
+        crash_injector: CrashInjector | None = None,
+        log: Callable[[str], None] = lambda message: None,
+    ):
+        self.directory = directory
+        self.manifest = manifest
+        self.pipeline = pipeline
+        self.sink = sink
+        self.on_error = on_error
+        self.checkpoint_every = checkpoint_every
+        self.store = CheckpointStore(directory, keep=keep)
+        self.resume = resume
+        self.fixup_window = fixup_window
+        self.reorder_window = reorder_window
+        self.max_users = max_users
+        self.crash_injector = crash_injector
+        self.log = log
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def output_part(self) -> str:
+        return os.path.join(self.directory, "output.part")
+
+    @property
+    def quarantine_part(self) -> str:
+        return os.path.join(self.directory, "quarantine.part")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _prepare(self):
+        """Validate/write the manifest; load the resume checkpoint if any."""
+        os.makedirs(self.directory, exist_ok=True)
+        if self.resume:
+            saved = RunManifest.load(self.directory)
+            diagnostics = saved.mismatches(self.manifest)
+            if diagnostics:
+                raise ManifestMismatch(diagnostics)
+            checkpoint = self.store.latest()
+            if checkpoint is not None:
+                self.log(
+                    f"resuming from checkpoint generation {checkpoint.generation} "
+                    f"({checkpoint.payload['records_fed']} records already processed)"
+                )
+            else:
+                self.log("no valid checkpoint found; restarting from the beginning")
+            return checkpoint
+        # Fresh run: the directory must not carry state from an older
+        # run — a stale generation would otherwise be "resumed" later.
+        for generation in self.store.generations():
+            os.unlink(self.store.path_for(generation))
+        self.manifest.save(self.directory)
+        return None
+
+    def _open_quarantine(self, checkpoint) -> QuarantineWriter | None:
+        if self.on_error is not ErrorPolicy.QUARANTINE:
+            return None
+        if checkpoint is None:
+            stream = open(self.quarantine_part, "wb")
+        else:
+            state = checkpoint.payload["quarantine"]
+            stream = open(self.quarantine_part, "r+b")
+            stream.truncate(state["pos"])
+            stream.seek(state["pos"])
+        writer = QuarantineWriter(stream, owns_stream=True)
+        if checkpoint is not None:
+            writer.restore_state(checkpoint.payload["quarantine"])
+        return writer
+
+    def _checkpoint_payload(
+        self,
+        *,
+        records_fed: int,
+        reader: SeekableLogReader,
+        classifier: StreamingClassifier,
+        health: PipelineHealth,
+        quarantine: QuarantineWriter | None,
+    ) -> dict:
+        quarantine_state: dict = {"pos": 0, "count": 0, "wrote_header": False}
+        if quarantine is not None:
+            quarantine.sync()
+            quarantine_state = quarantine.export_state()
+            quarantine_state["pos"] = quarantine.tell()
+        return {
+            "records_fed": records_fed,
+            "reader": {
+                "offset": reader.offset,
+                "line_no": reader.line_no,
+                "header": reader.header,
+            },
+            "classifier": classifier.export_state(),
+            "health": health.export_state(),
+            "sink": self.sink.export_state(),
+            "quarantine": quarantine_state,
+        }
+
+    def run(self) -> RunResult:
+        checkpoint = self._prepare()
+        health = (
+            PipelineHealth.from_state(checkpoint.payload["health"])
+            if checkpoint is not None
+            else PipelineHealth()
+        )
+        quarantine = self._open_quarantine(checkpoint)
+        reader = SeekableLogReader(
+            self.manifest.input_path,
+            on_error=self.on_error,
+            health=health,
+            quarantine=quarantine,
+        )
+        classifier = StreamingClassifier(
+            self.pipeline,
+            fixup_window=self.fixup_window,
+            reorder_window=self.reorder_window,
+            max_users=self.max_users,
+            health=health,
+        )
+        records_fed = 0
+        if checkpoint is not None:
+            payload = checkpoint.payload
+            records_fed = payload["records_fed"]
+            reader.seek(**payload["reader"])
+            classifier.restore_state(payload["classifier"])
+            self.sink.begin(fresh=False, state=payload["sink"])
+        else:
+            self.sink.begin(fresh=True, state=None)
+
+        checkpoints_written = 0
+        try:
+            for record in reader:
+                for entry in classifier.feed(record):
+                    self.sink.consume(entry)
+                records_fed += 1
+                if self.checkpoint_every and records_fed % self.checkpoint_every == 0:
+                    self.store.save(
+                        self._checkpoint_payload(
+                            records_fed=records_fed,
+                            reader=reader,
+                            classifier=classifier,
+                            health=health,
+                            quarantine=quarantine,
+                        )
+                    )
+                    checkpoints_written += 1
+                if self.crash_injector is not None:
+                    self.crash_injector.tick()
+            for entry in classifier.finish():
+                self.sink.consume(entry)
+            output_paths = list(self.sink.finalize())
+            quarantine_path = None
+            if quarantine is not None:
+                quarantine.sync()
+                quarantine.close()
+                quarantine_path = self.manifest.quarantine_path
+                replace_atomic(self.quarantine_part, quarantine_path)
+            # The run is complete: drop the checkpoints so a later
+            # --resume reruns from scratch instead of replaying a tail
+            # into already-published outputs.
+            for generation in self.store.generations():
+                os.unlink(self.store.path_for(generation))
+        finally:
+            reader.close()
+            self.sink.close()
+            if quarantine is not None:
+                quarantine.close()
+        return RunResult(
+            health=health,
+            records=records_fed,
+            resumed_generation=checkpoint.generation if checkpoint is not None else None,
+            checkpoints_written=checkpoints_written,
+            quarantine_count=quarantine.count if quarantine is not None else 0,
+            quarantine_path=quarantine_path,
+            output_paths=output_paths,
+        )

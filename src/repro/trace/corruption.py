@@ -195,8 +195,12 @@ class TraceCorruptor:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def corrupt_file(self, src: str, dst: str) -> CorruptionStats:
+        from repro.robustness.atomic import atomic_writer
+
         with open(src) as stream:
             text = stream.read()
-        with open(dst, "w") as stream:
+        # Atomic replace: corrupting a trace onto itself (src == dst) or
+        # dying mid-write must never leave a half-written file behind.
+        with atomic_writer(dst) as stream:
             stream.write(self.corrupt_text(text))
         return self.stats

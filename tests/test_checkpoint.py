@@ -1,0 +1,480 @@
+"""Durable runs (DESIGN.md §8): atomic writes, checkpoint store, run
+manifest, and the crash/resume equivalence guarantee.
+
+The headline test kills ``repro classify`` with a hard ``os._exit`` at
+several points (mid-interval, on a checkpoint boundary, near the end),
+resumes each run, and asserts the classification TSV, the quarantine
+sidecar and the health summary are byte-identical to an uninterrupted
+run.  Everything else here exists to make that guarantee hold: framing
+validation, torn-file fallback, manifest refusal on config/input drift.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.pipeline import StreamingClassifier
+from repro.http.log import write_log
+from repro.robustness import (
+    CRASH_EXIT_CODE,
+    CheckpointError,
+    CheckpointStore,
+    CrashInjector,
+    CrashMode,
+    ErrorPolicy,
+    InjectedCrash,
+    atomic_writer,
+)
+from repro.robustness.checkpoint import _HEADER, _MAGIC
+from repro.robustness.health import EXIT_MANIFEST_MISMATCH
+from repro.robustness.runstate import (
+    ClassifySink,
+    DurableRun,
+    ManifestMismatch,
+    RunManifest,
+    fingerprint_lists,
+    fingerprint_params,
+)
+from repro.trace.corruption import CorruptionConfig, TraceCorruptor
+
+
+# ---------------------------------------------------------------------------
+# atomic_writer
+
+
+class TestAtomicWriter:
+    def test_replaces_atomically(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_writer(target) as stream:
+            stream.write("new")
+        assert target.read_text() == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]  # no temp left
+
+    def test_exception_preserves_previous_contents(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as stream:
+                stream.write("half-writ")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_binary_mode(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        with atomic_writer(target, mode="wb") as stream:
+            stream.write(b"\x00\xff")
+        assert target.read_bytes() == b"\x00\xff"
+
+
+# ---------------------------------------------------------------------------
+# CheckpointStore
+
+
+class TestCheckpointStore:
+    def test_round_trip_and_generation_numbering(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        first = store.save({"n": 1})
+        second = store.save({"n": 2})
+        assert (first.generation, second.generation) == (1, 2)
+        assert store.load(2).payload == {"n": 2}
+        assert store.latest().payload == {"n": 2}
+
+    def test_retention_prunes_old_generations(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        for n in range(6):
+            store.save({"n": n})
+        assert store.generations() == [4, 5, 6]
+
+    def test_latest_falls_back_past_torn_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        store.save({"n": 1})
+        newest = store.save({"n": 2})
+        path = store.path_for(newest.generation)
+        data = open(path, "rb").read()
+        with open(path, "wb") as stream:  # torn mid-write
+            stream.write(data[: len(data) // 2])
+        assert store.latest().payload == {"n": 1}
+
+    def test_latest_detects_bit_flip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"n": 1})
+        newest = store.save({"n": 2})
+        path = store.path_for(newest.generation)
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0x01
+        open(path, "wb").write(bytes(data))
+        assert store.latest().payload == {"n": 1}
+
+    def test_load_rejects_alien_file(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        os.makedirs(tmp_path, exist_ok=True)
+        open(store.path_for(1), "wb").write(b"not a checkpoint at all........")
+        with pytest.raises(CheckpointError, match="bad magic|truncated"):
+            store.load(1)
+
+    def test_load_rejects_unsupported_version(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        header = _HEADER.pack(_MAGIC, 9999, 0, b"\x00" * 32)
+        open(store.path_for(1), "wb").write(header)
+        with pytest.raises(CheckpointError, match="version"):
+            store.load(1)
+
+    def test_latest_none_when_nothing_validates(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.latest() is None
+        open(store.path_for(1), "wb").write(b"junk")
+        assert store.latest() is None
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, keep=0)
+
+
+# ---------------------------------------------------------------------------
+# RunManifest
+
+
+class TestRunManifest:
+    def test_param_fingerprint_is_order_independent(self):
+        assert fingerprint_params({"a": 1, "b": 2}) == fingerprint_params({"b": 2, "a": 1})
+        assert fingerprint_params({"a": 1}) != fingerprint_params({"a": 2})
+
+    def test_list_fingerprint_tracks_contents(self, lists):
+        assert fingerprint_lists(lists) == fingerprint_lists(dict(reversed(lists.items())))
+
+    def test_save_load_round_trip(self, tmp_path, lists):
+        trace = tmp_path / "in.tsv"
+        trace.write_text("#header\n1\tdata\n")
+        manifest = RunManifest.build(
+            command="classify", params={"seed": 1}, lists=lists,
+            input_path=str(trace), output_path=str(tmp_path / "out.tsv"),
+            quarantine_path=None,
+        )
+        manifest.save(str(tmp_path))
+        loaded = RunManifest.load(str(tmp_path))
+        assert loaded == manifest
+        assert not loaded.mismatches(manifest)
+
+    def test_load_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ManifestMismatch, match="nothing to resume"):
+            RunManifest.load(str(tmp_path))
+
+    def test_mismatch_names_the_changed_param(self, tmp_path, lists):
+        trace = tmp_path / "in.tsv"
+        trace.write_text("data\n")
+        build = lambda seed: RunManifest.build(
+            command="classify", params={"seed": seed}, lists=lists,
+            input_path=str(trace), output_path=None, quarantine_path=None,
+        )
+        diagnostics = build(1).mismatches(build(2))
+        assert any("seed: 1 -> 2" in d for d in diagnostics)
+
+    def test_mismatch_detects_input_mutation(self, tmp_path, lists):
+        trace = tmp_path / "in.tsv"
+        trace.write_text("data\n")
+        build = lambda: RunManifest.build(
+            command="classify", params={}, lists=lists,
+            input_path=str(trace), output_path=None, quarantine_path=None,
+        )
+        before = build()
+        with open(trace, "a") as stream:
+            stream.write("appended\n")
+        diagnostics = before.mismatches(build())
+        assert any("input file changed" in d for d in diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# StreamingClassifier state round-trip (in-process split equivalence)
+
+
+def _keys(entries):
+    return [
+        (e.record.ts, e.record.url, e.page_url, int(e.content_type),
+         e.is_ad, e.blacklist_name, e.is_whitelisted)
+        for e in entries
+    ]
+
+
+class TestStreamingClassifierState:
+    @pytest.mark.parametrize("reorder_window", [None, 5.0])
+    def test_split_restore_equivalence(self, pipeline, rbn_trace, reorder_window):
+        records = rbn_trace.http[:3000]
+        split = 1234
+
+        whole = StreamingClassifier(pipeline, fixup_window=64, reorder_window=reorder_window)
+        golden = []
+        for record in records:
+            golden.extend(whole.feed(record))
+        golden.extend(whole.finish())
+
+        first = StreamingClassifier(pipeline, fixup_window=64, reorder_window=reorder_window)
+        out = []
+        for record in records[:split]:
+            out.extend(first.feed(record))
+        state = first.export_state()
+
+        second = StreamingClassifier(pipeline, fixup_window=64, reorder_window=reorder_window)
+        second.restore_state(state)
+        for record in records[split:]:
+            out.extend(second.feed(record))
+        out.extend(second.finish())
+
+        assert _keys(out) == _keys(golden)
+
+    def test_restore_rejects_alien_version(self, pipeline):
+        classifier = StreamingClassifier(pipeline)
+        with pytest.raises(ValueError, match="state version"):
+            classifier.restore_state({"version": 999})
+
+
+# ---------------------------------------------------------------------------
+# DurableRun in-process: crash (RAISE mode) + resume equivalence
+
+
+@pytest.fixture(scope="module")
+def durable_traces(tmp_path_factory, rbn_trace):
+    """A clean and a damaged small trace on disk for durable-run tests."""
+    tmp = tmp_path_factory.mktemp("durable")
+    clean = tmp / "clean.tsv"
+    with open(clean, "w") as stream:
+        write_log(rbn_trace.http[:4000], stream)
+    corruptor = TraceCorruptor(CorruptionConfig(rate=0.05, seed=11))
+    dirty = tmp / "dirty.tsv"
+    corruptor.corrupt_file(str(clean), str(dirty))
+    return clean, dirty
+
+
+def _durable_classify(
+    directory,
+    pipeline,
+    lists,
+    trace_path,
+    *,
+    resume=False,
+    crash_after=None,
+    on_error=ErrorPolicy.STRICT,
+    checkpoint_every=500,
+):
+    directory = str(directory)
+    out_path = os.path.join(directory, "final-output.tsv")
+    quarantine_path = (
+        os.path.join(directory, "final-quarantine.tsv")
+        if on_error is ErrorPolicy.QUARANTINE
+        else None
+    )
+    manifest = RunManifest.build(
+        command="classify",
+        params={"on_error": str(on_error)},
+        lists=lists,
+        input_path=str(trace_path),
+        output_path=out_path,
+        quarantine_path=quarantine_path,
+    )
+    runner = DurableRun(
+        directory=directory,
+        manifest=manifest,
+        pipeline=pipeline,
+        sink=ClassifySink(
+            part_path=os.path.join(directory, "output.part"), final_path=out_path
+        ),
+        on_error=on_error,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        crash_injector=(
+            CrashInjector(crash_after, mode=CrashMode.RAISE) if crash_after else None
+        ),
+    )
+    return runner.run(), out_path, quarantine_path
+
+
+class TestDurableRunInProcess:
+    @pytest.fixture(scope="class")
+    def golden(self, tmp_path_factory, pipeline, lists, durable_traces):
+        _, dirty = durable_traces
+        tmp = tmp_path_factory.mktemp("golden")
+        result, out_path, quarantine_path = _durable_classify(
+            tmp, pipeline, lists, dirty, on_error=ErrorPolicy.QUARANTINE
+        )
+        return result, open(out_path, "rb").read(), open(quarantine_path, "rb").read()
+
+    # 750: mid-interval; 1500: exactly on a checkpoint boundary; 3500:
+    # inside the final, never-checkpointed stretch.
+    @pytest.mark.parametrize("crash_after", [750, 1500, 3500])
+    def test_crash_resume_is_byte_identical(
+        self, tmp_path, pipeline, lists, durable_traces, golden, crash_after
+    ):
+        _, dirty = durable_traces
+        golden_result, golden_out, golden_quarantine = golden
+        with pytest.raises(InjectedCrash):
+            _durable_classify(
+                tmp_path, pipeline, lists, dirty,
+                crash_after=crash_after, on_error=ErrorPolicy.QUARANTINE,
+            )
+        result, out_path, quarantine_path = _durable_classify(
+            tmp_path, pipeline, lists, dirty,
+            resume=True, on_error=ErrorPolicy.QUARANTINE,
+        )
+        assert open(out_path, "rb").read() == golden_out
+        assert open(quarantine_path, "rb").read() == golden_quarantine
+        # Health counters (incl. stage_errors) survived the checkpoint.
+        assert result.health.summary() == golden_result.health.summary()
+        assert result.resumed_generation is not None or crash_after < 500
+
+    def test_completed_run_cleans_up_checkpoints(
+        self, tmp_path, pipeline, lists, durable_traces
+    ):
+        clean, _ = durable_traces
+        result, out_path, _ = _durable_classify(tmp_path, pipeline, lists, clean)
+        assert result.checkpoints_written > 0
+        assert CheckpointStore(tmp_path).generations() == []
+        assert os.path.exists(out_path)
+        assert not os.path.exists(tmp_path / "output.part")
+
+    def test_crash_leaves_final_output_unshadowed(
+        self, tmp_path, pipeline, lists, durable_traces
+    ):
+        clean, _ = durable_traces
+        out_path = os.path.join(str(tmp_path), "final-output.tsv")
+        with open(out_path, "w") as stream:
+            stream.write("previous good run\n")
+        with pytest.raises(InjectedCrash):
+            _durable_classify(tmp_path, pipeline, lists, clean, crash_after=700)
+        assert open(out_path).read() == "previous good run\n"
+
+    def test_resume_refuses_changed_params(self, tmp_path, pipeline, lists, durable_traces):
+        clean, _ = durable_traces
+        with pytest.raises(InjectedCrash):
+            _durable_classify(tmp_path, pipeline, lists, clean, crash_after=700)
+        with pytest.raises(ManifestMismatch, match="config changed"):
+            _durable_classify(
+                tmp_path, pipeline, lists, clean,
+                resume=True, on_error=ErrorPolicy.SKIP,  # different params
+            )
+
+    def test_resume_refuses_mutated_input(self, tmp_path, pipeline, lists, rbn_trace):
+        trace = tmp_path / "trace.tsv"
+        with open(trace, "w") as stream:
+            write_log(rbn_trace.http[:2000], stream)
+        with pytest.raises(InjectedCrash):
+            _durable_classify(tmp_path, pipeline, lists, trace, crash_after=700)
+        with open(trace, "a") as stream:
+            stream.write("tampered\n")
+        with pytest.raises(ManifestMismatch, match="input file changed"):
+            _durable_classify(tmp_path, pipeline, lists, trace, resume=True)
+
+
+# ---------------------------------------------------------------------------
+# Subprocess: hard kill (os._exit) + resume through the real CLI
+
+
+_ECO = ["--publishers", "80", "--eco-seed", "99"]
+
+
+def _cli(args, cwd):
+    env = dict(os.environ)
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (repo_src, env.get("PYTHONPATH")) if part
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=str(cwd), env=env, capture_output=True, text=True, timeout=600,
+    )
+
+
+def _health_summary(stdout: str) -> str:
+    marker = "-- pipeline health --"
+    assert marker in stdout
+    return stdout[stdout.index(marker):]
+
+
+@pytest.fixture(scope="module")
+def cli_trace(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("crashcli")
+    clean = tmp / "trace.tsv"
+    proc = _cli(
+        ["trace", *_ECO, "--preset", "rbn2", "--scale", "0.0002", "--out", str(clean)],
+        tmp,
+    )
+    assert proc.returncode == 0, proc.stderr
+    dirty = tmp / "dirty.tsv"
+    proc = _cli(
+        ["corrupt", "--trace", str(clean), "--out", str(dirty), "--rate", "0.05",
+         "--seed", "3"],
+        tmp,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return dirty
+
+
+def _classify_args(trace, out, ckpt_dir, *extra):
+    return [
+        "classify", *_ECO, "--trace", str(trace), "--out", str(out),
+        "--on-error", "quarantine", "--quarantine-out", str(out) + ".quarantine",
+        "--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "2000", *extra,
+    ]
+
+
+class TestCrashRecoveryCli:
+    @pytest.fixture(scope="class")
+    def golden(self, tmp_path_factory, cli_trace):
+        tmp = tmp_path_factory.mktemp("cligolden")
+        out = tmp / "golden.tsv"
+        proc = _cli(_classify_args(cli_trace, out, tmp / "ckpt"), tmp)
+        assert proc.returncode in (0, 3), proc.stderr
+        return (
+            out.read_bytes(),
+            (tmp / "golden.tsv.quarantine").read_bytes(),
+            _health_summary(proc.stdout),
+        )
+
+    @pytest.mark.parametrize("crash_after", [3000, 6000, 11000])
+    def test_hard_kill_and_resume(self, tmp_path, cli_trace, golden, crash_after):
+        golden_out, golden_quarantine, golden_health = golden
+        out = tmp_path / "out.tsv"
+        crashed = _cli(
+            _classify_args(cli_trace, out, tmp_path / "ckpt",
+                           "--crash-after", str(crash_after)),
+            tmp_path,
+        )
+        assert crashed.returncode == CRASH_EXIT_CODE, crashed.stderr
+        assert not out.exists()  # final outputs never published by a crashed run
+        resumed = _cli(
+            _classify_args(cli_trace, out, tmp_path / "ckpt", "--resume"), tmp_path
+        )
+        assert resumed.returncode in (0, 3), resumed.stderr
+        assert "resuming from checkpoint" in resumed.stdout
+        assert out.read_bytes() == golden_out
+        assert (tmp_path / "out.tsv.quarantine").read_bytes() == golden_quarantine
+        assert _health_summary(resumed.stdout) == golden_health
+
+    def test_resume_with_changed_config_exits_4(self, tmp_path, cli_trace):
+        out = tmp_path / "out.tsv"
+        crashed = _cli(
+            _classify_args(cli_trace, out, tmp_path / "ckpt", "--crash-after", "3000"),
+            tmp_path,
+        )
+        assert crashed.returncode == CRASH_EXIT_CODE
+        proc = _cli(
+            ["classify", "--publishers", "80", "--eco-seed", "1234",
+             "--trace", str(cli_trace), "--out", str(out),
+             "--on-error", "quarantine", "--quarantine-out", str(out) + ".quarantine",
+             "--checkpoint-dir", str(tmp_path / "ckpt"), "--resume"],
+            tmp_path,
+        )
+        assert proc.returncode == EXIT_MANIFEST_MISMATCH
+        assert "manifest mismatch" in proc.stderr
+        assert "eco_seed" in proc.stderr
+
+    def test_resume_without_checkpoint_dir_is_an_error(self, tmp_path, cli_trace):
+        proc = _cli(
+            ["classify", *_ECO, "--trace", str(cli_trace), "--resume"], tmp_path
+        )
+        assert proc.returncode != 0
+        assert "--checkpoint-dir" in proc.stderr

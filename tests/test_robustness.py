@@ -123,6 +123,27 @@ class TestReadLogSkipAndQuarantine:
         entries = list(read_quarantine(io.StringIO(sidecar.getvalue())))
         assert entries == [(3, "expected 15 fields, got 2", "garbage\tline")]
 
+    def test_quarantine_round_trip_with_embedded_tabs(self):
+        sidecar = io.StringIO()
+        with QuarantineWriter(sidecar) as writer:
+            writer.write(7, "field-count", "raw\twith\tmany\ttabs\tkept")
+            writer.write(9, "bad-ts", "trailing\ttab\t")
+        entries = list(read_quarantine(io.StringIO(sidecar.getvalue())))
+        assert entries == [
+            (7, "field-count", "raw\twith\tmany\ttabs\tkept"),
+            (9, "bad-ts", "trailing\ttab\t"),
+        ]
+
+    def test_quarantine_flushes_every_line_by_default(self, tmp_path):
+        """Rejected lines must be on disk before close — the process may
+        never get to close during the failures the sidecar documents."""
+        path = tmp_path / "sidecar.tsv"
+        writer = QuarantineWriter.open(str(path))
+        writer.write(1, "why", "raw line")
+        assert "raw line" in path.read_text()  # visible pre-close
+        writer.close()
+        writer.close()  # idempotent
+
     def test_header_poisoning_does_not_cascade(self):
         lines = _log_text(3).splitlines()
         lines.insert(2, "#garbled\tnonsense\theader")
@@ -372,3 +393,36 @@ class TestGoldenDegradedTrace:
         assert health.records_seen == len(records)
         ratio = sum(1 for e in entries if e.is_ad) / len(entries)
         assert abs(ratio - clean_ratio) < 0.05
+
+
+# ---------------------------------------------------------------------------
+# Health checkpoint wire form
+
+
+class TestHealthStateRoundTrip:
+    def test_counters_and_stage_errors_survive(self):
+        health = PipelineHealth()
+        for _ in range(5):
+            health.record_ok()
+        health.record_error("read_log", "field-count", quarantined=True)
+        health.record_error("read_log", "bad-ts")
+        health.record_error("classify", "oversize")
+        health.record_repair("read_log", "header-adopted")
+        health.observe_users(17)
+        health.records_reordered = 3
+        health.users_evicted = 2
+
+        restored = PipelineHealth.from_state(health.export_state())
+        assert restored == health
+        # The summary text is what the crash/resume equivalence tests
+        # compare byte-for-byte — it must be reproducible from state.
+        assert restored.summary() == health.summary()
+        assert restored.exit_code() == health.exit_code() == 3
+
+    def test_state_is_a_snapshot_not_a_view(self):
+        health = PipelineHealth()
+        health.record_error("read_log", "field-count")
+        state = health.export_state()
+        health.record_error("read_log", "field-count")
+        restored = PipelineHealth.from_state(state)
+        assert restored.stage_errors["read_log"]["field-count"] == 1
