@@ -11,6 +11,8 @@ and analyses run offline):
 * ``repro crawl`` — the §4 active measurement (Table 1).
 * ``repro report`` — §7 traffic characterization over a stored log.
 * ``repro corrupt`` — seeded fault injection into a stored log (testing).
+* ``repro lint`` — static analysis: filter-list lint (FL001-FL008) and,
+  with ``--self``, the repo-invariant codebase gate (RC001-RC004).
 
 Commands that read logs take ``--on-error {strict,skip,quarantine}``;
 exit codes are 0 (clean), 1 (strict-mode abort on the first bad line),
@@ -470,6 +472,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return _finish(health)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticcheck import (
+        Severity,
+        apply_baseline,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    if not args.files and not args.self:
+        raise SystemExit("error: give filter-list files to lint, or --self")
+
+    diagnostics = []
+    if args.files:
+        from repro.staticcheck import lint_paths
+
+        # Baseline fingerprints embed the list path; normalize to a
+        # cwd-relative form so absolute and relative invocations agree.
+        paths = []
+        for path in args.files:
+            relative = os.path.relpath(path)
+            paths.append(path if relative.startswith("..") else relative)
+        diagnostics.extend(lint_paths(paths))
+    if args.self:
+        import repro
+        from repro.staticcheck import lint_source_file
+
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        source_root = os.path.dirname(package_root)
+        for dirpath, dirnames, filenames in os.walk(package_root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    diagnostics.extend(
+                        lint_source_file(
+                            os.path.join(dirpath, filename), root=source_root
+                        )
+                    )
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, diagnostics)
+        print(f"wrote baseline with {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        diagnostics, suppressed = apply_baseline(diagnostics, load_baseline(args.baseline))
+
+    if args.format == "json":
+        print(render_json(diagnostics))
+    elif diagnostics:
+        print(render_text(diagnostics))
+    else:
+        print("no findings")
+    if suppressed:
+        print(f"({suppressed} baselined finding(s) suppressed)", file=sys.stderr)
+
+    threshold = Severity.parse(args.fail_on)
+    return 1 if any(diag.severity >= threshold for diag in diagnostics) else 0
+
+
 def _cmd_corrupt(args: argparse.Namespace) -> int:
     corruptor = TraceCorruptor(
         CorruptionConfig(
@@ -533,6 +597,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_usage.add_argument("--threshold", type=float, default=0.05)
     p_usage.add_argument("--min-requests", type=int, default=1000)
     p_usage.set_defaults(func=_cmd_usage)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: filter-list lint / codebase gate (DESIGN.md §9)"
+    )
+    p_lint.add_argument("files", nargs="*",
+                        help="filter-list files to lint (FL001-FL008)")
+    p_lint.add_argument("--self", action="store_true",
+                        help="lint the repro package itself (RC001-RC004)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--fail-on", choices=("error", "warning"), default="error",
+                        help="lowest severity that makes the exit code 1 "
+                             "(default error)")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="suppress findings whose fingerprint is in this "
+                             "baseline file")
+    p_lint.add_argument("--write-baseline", metavar="FILE",
+                        help="record current findings as the accepted baseline "
+                             "and exit 0")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_corrupt = sub.add_parser(
         "corrupt", help="inject capture faults into a stored HTTP log (testing)"

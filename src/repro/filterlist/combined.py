@@ -14,6 +14,14 @@ filters.  This backend implements that design for comparison:
 Semantics are identical to :class:`~repro.filterlist.engine.FilterEngine`
 (property-tested); the trade-off is build time and per-hit cost versus
 the keyword index.
+
+**ReDoS guard (FL006, DESIGN.md §9.3).** One catastrophic-backtracking
+fragment spliced into the alternation would stall *every* URL
+classification.  With ``redos_guard`` on (the default), every fragment
+is statically pre-screened before it reaches the combined regex;
+hazardous fragments are left out of the alternation and the engine
+falls back to full per-filter confirmation whenever such filters exist
+— slower, but never wrong and never pathological in the combined scan.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import re
 
 from repro.filterlist.engine import Classification, FilterEngine, MatchResult, RequestContext
 from repro.filterlist.filter import Filter
+from repro.staticcheck.redos import scan_pattern_source
 
 __all__ = ["CombinedRegexEngine"]
 
@@ -36,26 +45,49 @@ class CombinedRegexEngine:
 
     Wraps a linear-scan :class:`FilterEngine` for the confirmation
     step; the combined regexes reject non-matching URLs first.
+
+    Args:
+        redos_guard: statically screen each pattern fragment (FL006)
+            before splicing it into the combined alternation.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, redos_guard: bool = True) -> None:
         self._inner = FilterEngine(use_keyword_index=False)
+        self._redos_guard = redos_guard
         self._blocking_sources: list[str] = []
         self._exception_sources: list[str] = []
         self._blocking_combined: re.Pattern[str] | None = None
         self._exception_combined: re.Pattern[str] | None = None
+        # Filters whose fragment was quarantined from the alternation;
+        # while present, the negative pre-filter cannot prove a miss.
+        self._hazardous_blocking: list[Filter] = []
+        self._hazardous_exceptions: list[Filter] = []
 
     def add_filters(self, filters, list_name: str | None = None) -> None:
         materialized = list(filters)
         self._inner.add_filters(materialized, list_name=list_name)
         for filter_ in materialized:
             source = _pattern_regex_source(filter_)
+            hazardous = (
+                self._redos_guard and scan_pattern_source(filter_.regex.pattern) is not None
+            )
             if filter_.is_exception:
-                self._exception_sources.append(source)
+                if hazardous:
+                    self._hazardous_exceptions.append(filter_)
+                else:
+                    self._exception_sources.append(source)
             else:
-                self._blocking_sources.append(source)
+                if hazardous:
+                    self._hazardous_blocking.append(filter_)
+                else:
+                    self._blocking_sources.append(source)
         self._blocking_combined = None  # rebuild lazily
         self._exception_combined = None
+
+    @property
+    def hazardous_filters(self) -> list[Filter]:
+        """Filters excluded from the alternation by the ReDoS guard."""
+        return [*self._hazardous_blocking, *self._hazardous_exceptions]
 
     def _combined(self, sources: list[str]) -> re.Pattern[str] | None:
         if not sources:
@@ -74,6 +106,10 @@ class CombinedRegexEngine:
 
     def match(self, url: str, context: RequestContext) -> MatchResult:
         self._ensure_built()
+        if self._hazardous_blocking or self._hazardous_exceptions:
+            # Quarantined fragments are absent from the alternation, so
+            # a combined miss proves nothing — confirm individually.
+            return self._inner.match(url, context)
         if (
             self._blocking_combined is not None
             and self._blocking_combined.search(url) is None
@@ -89,6 +125,8 @@ class CombinedRegexEngine:
 
     def classify(self, url: str, context: RequestContext) -> Classification:
         self._ensure_built()
+        if self._hazardous_blocking or self._hazardous_exceptions:
+            return self._inner.classify(url, context)
         blocking_possible = (
             self._blocking_combined is not None
             and self._blocking_combined.search(url) is not None

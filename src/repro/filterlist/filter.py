@@ -46,15 +46,17 @@ def compile_pattern(pattern: str, *, match_case: bool = False) -> re.Pattern[str
     """Compile an ABP filter pattern into a regex.
 
     The translation mirrors adblockplus/lib/matcher semantics:
-    collapse runs of ``*``, escape everything else, then substitute the
-    special tokens.
+    collapse runs of ``*``, read the anchors off the true pattern
+    edges, escape everything else, then substitute the special tokens.
+
+    Anchors are detected *before* edge wildcards are stripped: in
+    ``*|foo`` the ``|`` is mid-pattern and therefore a literal, and in
+    ``|*foo`` / ``foo*|`` the wildcard neutralizes the adjacent anchor
+    (the anchored position may be arbitrarily far from the literal).
+    The seed stripped wildcards first, which silently promoted those
+    literal ``|`` characters to anchors.
     """
     text = re.sub(r"\*+", "*", pattern)
-    # Leading/trailing * are no-ops for unanchored substring search.
-    if text.startswith("*"):
-        text = text[1:]
-    if text.endswith("*"):
-        text = text[:-1]
 
     anchor_start = anchor_domain = anchor_end = False
     if text.startswith("||"):
@@ -66,6 +68,15 @@ def compile_pattern(pattern: str, *, match_case: bool = False) -> re.Pattern[str
     if text.endswith("|"):
         anchor_end = True
         text = text[:-1]
+
+    # Edge wildcards are no-ops for unanchored substring search and
+    # cancel an anchor they sit next to.
+    if text.startswith("*"):
+        anchor_domain = anchor_start = False
+        text = text.lstrip("*")
+    if text.endswith("*"):
+        anchor_end = False
+        text = text.rstrip("*")
 
     out: list[str] = []
     if anchor_domain:
@@ -150,8 +161,13 @@ class Filter:
         return self.kind is FilterKind.EXCEPTION
 
     @classmethod
-    def parse(cls, line: str, *, list_name: str = "") -> "Filter":
-        """Parse one filter line (not a comment / elemhide rule)."""
+    def parse(cls, line: str, *, list_name: str = "", lenient: bool = False) -> "Filter":
+        """Parse one filter line (not a comment / elemhide rule).
+
+        ``lenient`` is the linter's mode: unknown ``$options`` are
+        recorded on :attr:`FilterOptions.unknown_options` instead of
+        rejecting the rule (FL007 needs the parsed rule to report it).
+        """
         text = line.strip()
         body = text
         kind = FilterKind.BLOCKING
@@ -162,7 +178,11 @@ class Filter:
         dollar = _find_options_separator(body)
         if dollar is not None:
             pattern, option_text = body[:dollar], body[dollar + 1 :]
-            options = parse_options(option_text, is_exception=(kind is FilterKind.EXCEPTION))
+            options = parse_options(
+                option_text,
+                is_exception=(kind is FilterKind.EXCEPTION),
+                lenient=lenient,
+            )
         else:
             pattern, options = body, FilterOptions()
 

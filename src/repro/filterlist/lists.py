@@ -22,10 +22,26 @@ __all__ = [
     "EASYPRIVACY",
     "ACCEPTABLE_ADS",
     "FilterList",
+    "LintRefusedError",
     "Subscription",
     "SubscriptionSet",
     "DEFAULT_EXPIRES",
 ]
+
+
+class LintRefusedError(ValueError):
+    """Raised by ``FilterList.from_text(..., lint="refuse")`` when the
+    list contains rules with error-severity lint findings."""
+
+    def __init__(self, name: str, diagnostics: list) -> None:
+        self.diagnostics = diagnostics
+        preview = "; ".join(
+            f"{diag.code} [{diag.subject or diag.message}]" for diag in diagnostics[:3]
+        )
+        more = f" (+{len(diagnostics) - 3} more)" if len(diagnostics) > 3 else ""
+        super().__init__(
+            f"filter list {name!r} refused by lint: {preview}{more}"
+        )
 
 # Canonical list names used for attribution throughout the repo.
 EASYLIST = "easylist"
@@ -49,17 +65,57 @@ class FilterList:
     hiding_rules: list[ElementHidingRule] = field(default_factory=list)
     version: str = "1"
     expires_seconds: float = 4 * 86400.0
+    # Rules removed at load time by lint="quarantine" (DESIGN.md §9.4).
+    quarantined_rules: list[Filter] = field(default_factory=list)
 
     @classmethod
-    def from_text(cls, text: str, name: str) -> "FilterList":
+    def from_text(cls, text: str, name: str, *, lint: str = "off") -> "FilterList":
+        """Parse a list, optionally gating hazardous rules at load time.
+
+        ``lint`` is the load policy for rules with *error*-severity
+        lint findings (FL001/FL003/FL006/FL008 — see DESIGN.md §9.4):
+
+        * ``"off"`` (default): keep every parseable rule, as before;
+        * ``"refuse"``: raise :class:`LintRefusedError` naming the
+          offending rules — for curated lists that must be clean;
+        * ``"quarantine"``: drop flagged rules into
+          :attr:`quarantined_rules` and load the rest.
+        """
+        if lint not in ("off", "refuse", "quarantine"):
+            raise ValueError(f"unknown lint policy {lint!r}")
         parsed: ParsedList = parse_list_text(text, name=name)
         expires = parsed.expires_seconds or DEFAULT_EXPIRES.get(name, 4 * 86400.0)
+        filters = parsed.filters
+        quarantined: list[Filter] = []
+        if lint != "off":
+            # Local import: staticcheck depends on filterlist parsing,
+            # so importing it at module scope would be circular.
+            from repro.staticcheck.diagnostics import Severity
+            from repro.staticcheck.filterlint import rule_local_diagnostics
+
+            kept: list[Filter] = []
+            findings = []
+            for filter_ in filters:
+                errors = [
+                    diag
+                    for diag in rule_local_diagnostics(filter_, source=name, line=0)
+                    if diag.severity >= Severity.ERROR
+                ]
+                if errors:
+                    findings.extend(errors)
+                    quarantined.append(filter_)
+                else:
+                    kept.append(filter_)
+            if findings and lint == "refuse":
+                raise LintRefusedError(name, findings)
+            filters = kept
         return cls(
             name=name,
-            filters=parsed.filters,
+            filters=filters,
             hiding_rules=parsed.hiding_rules,
             version=parsed.metadata.get("version", "1"),
             expires_seconds=expires,
+            quarantined_rules=quarantined,
         )
 
     def to_text(self) -> str:

@@ -89,6 +89,12 @@ class FilterOptions:
     elemhide_exception: bool = False
     generic_hide: bool = False
     collapse: bool | None = None
+    # Lint bookkeeping (DESIGN.md §9): options the parser did not
+    # recognize (lenient mode only — strict parsing raises instead) and
+    # self-contradictions that strict parsing silently resolves
+    # last-wins today.  Matching behaviour ignores both fields.
+    unknown_options: tuple[str, ...] = ()
+    conflicts: tuple[str, ...] = ()
 
     @property
     def is_document_exception(self) -> bool:
@@ -125,7 +131,7 @@ def _longest_suffix_match(host: str, domains: frozenset[str]) -> str | None:
     return best
 
 
-def parse_options(text: str, *, is_exception: bool) -> FilterOptions:
+def parse_options(text: str, *, is_exception: bool, lenient: bool = False) -> FilterOptions:
     """Parse the comma-separated option list of a filter.
 
     Args:
@@ -133,17 +139,37 @@ def parse_options(text: str, *, is_exception: bool) -> FilterOptions:
         is_exception: whether the filter is an ``@@`` exception —
             required because ``document``/``elemhide`` are only valid
             there.
+        lenient: record unknown or misplaced options in
+            :attr:`FilterOptions.unknown_options` instead of raising —
+            the linter's mode (FL007), so it can report the rule text,
+            list and line number instead of losing the rule.
 
     Raises:
         OptionParseError: for options this engine does not know; real
             ABP versions do the same, discarding the whole filter, so
             unknown options must not silently match everything.
+
+    Self-contradictory combinations (``$third-party,~third-party``, a
+    content type both included and excluded) parse in both modes —
+    matching keeps the historical last-wins/include-wins behaviour —
+    but are recorded in :attr:`FilterOptions.conflicts` so FL003 can
+    flag the rule as dead instead of letting it silently skew
+    classification.
     """
     include_types = ContentType(0)
     exclude_types = ContentType(0)
     options = FilterOptions()
     domains_include: set[str] = set()
     domains_exclude: set[str] = set()
+    unknown: list[str] = []
+    conflicts: list[str] = []
+    third_party_seen: set[bool] = set()
+
+    def _reject(reason: str, option: str) -> None:
+        if lenient:
+            unknown.append(option)
+        else:
+            raise OptionParseError(reason)
 
     for raw in text.split(","):
         option = raw.strip()
@@ -155,7 +181,8 @@ def parse_options(text: str, *, is_exception: bool) -> FilterOptions:
 
         if name in _TYPE_NAMES:
             if name == "document" and not is_exception and not inverted:
-                raise OptionParseError("$document is only valid in exception filters")
+                _reject("$document is only valid in exception filters", option)
+                continue
             if inverted:
                 exclude_types |= _TYPE_NAMES[name]
             else:
@@ -170,19 +197,30 @@ def parse_options(text: str, *, is_exception: bool) -> FilterOptions:
                 else:
                     domains_include.add(domain)
         elif name == "third-party":
+            third_party_seen.add(not inverted)
             options.third_party = not inverted
         elif name == "match-case":
             options.match_case = True
         elif name == "elemhide":
             if not is_exception:
-                raise OptionParseError("$elemhide is only valid in exception filters")
+                _reject("$elemhide is only valid in exception filters", option)
+                continue
             options.elemhide_exception = True
         elif name == "generichide":
             options.generic_hide = True
         elif name == "collapse":
             options.collapse = not inverted
         else:
-            raise OptionParseError(f"unknown filter option: {option!r}")
+            _reject(f"unknown filter option: {option!r}", option)
+
+    if len(third_party_seen) == 2:
+        conflicts.append("third-party and ~third-party both given")
+    contradictory = include_types & exclude_types
+    if contradictory:
+        names = ", ".join(
+            member.name.lower() for member in ContentType if member & contradictory
+        )
+        conflicts.append(f"content type(s) both included and excluded: {names}")
 
     if include_types:
         options.type_mask = include_types
@@ -193,4 +231,6 @@ def parse_options(text: str, *, is_exception: bool) -> FilterOptions:
         options.type_mask = ContentType(0)
     options.domains_include = frozenset(domains_include)
     options.domains_exclude = frozenset(domains_exclude)
+    options.unknown_options = tuple(unknown)
+    options.conflicts = tuple(conflicts)
     return options

@@ -15,7 +15,22 @@ from dataclasses import dataclass, field
 from repro.filterlist.filter import ElementHidingRule, Filter
 from repro.filterlist.options import OptionParseError
 
-__all__ = ["ParsedList", "parse_list_text", "parse_expires"]
+__all__ = ["ParsedList", "RejectedLine", "parse_list_text", "parse_expires"]
+
+
+@dataclass(frozen=True, slots=True)
+class RejectedLine:
+    """One rule line the parser discarded, with enough context to lint.
+
+    The seed kept only the raw text, which made unknown ``$options``
+    effectively silent — nothing downstream could say *which* option on
+    *which line* killed the rule.  FL001/FL007 report straight from
+    these records (DESIGN.md §9).
+    """
+
+    line_no: int
+    text: str
+    reason: str
 
 
 @dataclass(slots=True)
@@ -27,6 +42,7 @@ class ParsedList:
     hiding_rules: list[ElementHidingRule] = field(default_factory=list)
     metadata: dict[str, str] = field(default_factory=dict)
     invalid_lines: list[str] = field(default_factory=list)
+    rejected: list[RejectedLine] = field(default_factory=list)
 
     @property
     def title(self) -> str:
@@ -67,7 +83,7 @@ def parse_list_text(text: str, name: str = "") -> ParsedList:
     must keep working when a list update ships one bad rule.
     """
     result = ParsedList(name=name)
-    for raw_line in text.splitlines():
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.strip()
         if not line:
             continue
@@ -82,11 +98,13 @@ def parse_list_text(text: str, name: str = "") -> ParsedList:
         if "##" in line or "#@#" in line:
             try:
                 result.hiding_rules.append(ElementHidingRule.parse(line))
-            except ValueError:
+            except ValueError as exc:
                 result.invalid_lines.append(line)
+                result.rejected.append(RejectedLine(line_no, line, str(exc)))
             continue
         try:
             result.filters.append(Filter.parse(line, list_name=name))
-        except (OptionParseError, re.error, ValueError):
+        except (OptionParseError, re.error, ValueError) as exc:
             result.invalid_lines.append(line)
+            result.rejected.append(RejectedLine(line_no, line, str(exc)))
     return result

@@ -63,7 +63,7 @@ def atomic_writer(
             if sync:
                 os.fsync(stream.fileno())
         os.replace(tmp_path, path)
-    except BaseException:
+    except BaseException:  # staticcheck: ok[RC002] cleanup-and-reraise, nothing swallowed
         with contextlib.suppress(OSError):
             os.unlink(tmp_path)
         raise

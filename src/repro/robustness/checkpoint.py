@@ -137,7 +137,7 @@ class CheckpointStore:
             raise CheckpointError(f"{path}: checksum mismatch")
         try:
             payload = pickle.loads(blob)
-        except Exception as exc:  # pickle raises a zoo of types
+        except Exception as exc:  # pickle raises a zoo of types; staticcheck: ok[RC002] rethrown as CheckpointError
             raise CheckpointError(f"{path}: undecodable payload: {exc}") from None
         if not isinstance(payload, dict):
             raise CheckpointError(f"{path}: unexpected payload type {type(payload).__name__}")

@@ -246,6 +246,7 @@ class ClassifySink(RunSink):
                 self.whitelisted = state["whitelisted"]
             return
         if fresh:
+            # staticcheck: ok[RC001] .part sink: published atomically by finalize()
             self._file = open(self.part_path, "wb")
             self._file.write(self.HEADER.encode("utf-8"))
         else:
@@ -253,6 +254,7 @@ class ClassifySink(RunSink):
             self.total = state["total"]
             self.ads = state["ads"]
             self.whitelisted = state["whitelisted"]
+            # staticcheck: ok[RC001] resume rewinds the .part file to the checkpointed offset
             self._file = open(self.part_path, "r+b")
             self._file.truncate(state["pos"])
             self._file.seek(state["pos"])
@@ -461,9 +463,11 @@ class DurableRun:
         if self.on_error is not ErrorPolicy.QUARANTINE:
             return None
         if checkpoint is None:
+            # staticcheck: ok[RC001] quarantine .part sink, atomically published on finish
             stream = open(self.quarantine_part, "wb")
         else:
             state = checkpoint.payload["quarantine"]
+            # staticcheck: ok[RC001] resume rewinds the sidecar to the checkpointed offset
             stream = open(self.quarantine_part, "r+b")
             stream.truncate(state["pos"])
             stream.seek(state["pos"])

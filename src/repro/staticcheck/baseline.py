@@ -1,0 +1,51 @@
+"""Lint baselines: pin accepted findings so CI fails only on the diff.
+
+A baseline is a JSON file of finding fingerprints (see
+:attr:`~repro.staticcheck.diagnostics.Diagnostic.fingerprint` — they
+deliberately exclude line numbers, so reordering a list or adding
+comments does not churn the file).  ``repro lint --baseline FILE``
+subtracts baselined findings before applying ``--fail-on``;
+``--write-baseline FILE`` records the current findings as accepted.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.robustness.atomic import atomic_writer
+from repro.staticcheck.diagnostics import Diagnostic
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints accepted by the committed baseline."""
+    with open(path, encoding="utf-8") as stream:
+        payload = json.load(stream)
+    if payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported lint baseline version in {path}")
+    return set(payload.get("fingerprints", ()))
+
+
+def write_baseline(path: str, diagnostics: list[Diagnostic]) -> int:
+    """Persist current findings as the accepted set; returns the count."""
+    fingerprints = sorted({diag.fingerprint for diag in diagnostics})
+    with atomic_writer(path) as stream:
+        json.dump(
+            {"version": _VERSION, "fingerprints": fingerprints},
+            stream,
+            indent=2,
+            sort_keys=True,
+        )
+        stream.write("\n")
+    return len(fingerprints)
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], accepted: set[str]
+) -> tuple[list[Diagnostic], int]:
+    """Split findings into (new, suppressed-count)."""
+    fresh = [diag for diag in diagnostics if diag.fingerprint not in accepted]
+    return fresh, len(diagnostics) - len(fresh)

@@ -1,0 +1,386 @@
+"""Codebase gate: AST checks for repo invariants (``repro lint --self``).
+
+Generic linters cannot see this repo's contracts; these checks encode
+them (DESIGN.md §9.4):
+
+* **RC001** — a file opened for writing inside ``src/repro/`` without
+  going through :mod:`repro.robustness.atomic`.  Every durable artifact
+  must be crash-atomic (DESIGN.md §8); an ad-hoc ``open(path, "w")``
+  can publish a torn file.
+* **RC002** — a bare ``except:`` or broad ``except Exception:``
+  handler.  Damaged-input handling must route through
+  :class:`repro.robustness.policy.ErrorPolicy` so drops are counted
+  and quarantined, never silently swallowed.
+* **RC003** — nondeterminism hazards: module-level ``random.*`` calls
+  (unseeded global RNG), ``random.Random()`` with no seed,
+  ``time.time()`` / ``datetime.now()`` in library code.  Checkpoint
+  resume (DESIGN.md §8) requires byte-identical replay; wall clocks
+  and unseeded RNGs break it.
+* **RC004** — a class whose ``export_state`` returns a dict literal
+  and whose ``restore_state`` / ``from_state`` consumes a *different*
+  key set.  Such drift produces checkpoints that crash (or silently
+  lose fields) only on resume — the worst possible time.
+
+Deliberate exemptions are annotated in source with a pragma on the
+offending line::
+
+    stream = open(path, "wb")  # staticcheck: ok[RC001] streaming .part sink
+
+The pragma names the code it waives; an explanation is expected after
+the bracket.  Pragmas are per-line, so a new violation nearby still
+fires.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+
+from repro.staticcheck.diagnostics import Diagnostic, Severity
+
+__all__ = ["lint_file", "lint_tree", "collect_pragmas"]
+
+_PRAGMA_RE = re.compile(r"#.*staticcheck:\s*ok\[([A-Z0-9,\s]+)\]")
+
+# Files allowed to open files for writing directly: the atomic-write
+# primitive itself.
+_RC001_EXEMPT_FILES = ("robustness/atomic.py",)
+
+_WRITE_METHOD_NAMES = frozenset({"write_text", "write_bytes"})
+_UNSEEDED_RANDOM_FUNCS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "expovariate", "betavariate",
+        "paretovariate", "lognormvariate", "vonmisesvariate", "normalvariate",
+        "triangular", "getrandbits",
+    }
+)
+_RESTORE_METHODS = ("restore_state", "from_state")
+
+
+def collect_pragmas(source: str) -> dict[int, set[str]]:
+    """Map line number -> codes waived on that line."""
+    pragmas: dict[int, set[str]] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+            pragmas[line_no] = codes
+    return pragmas
+
+
+@dataclass(slots=True)
+class _Context:
+    path: str
+    rel_path: str
+    pragmas: dict[int, set[str]]
+    findings: list[Diagnostic]
+
+    def report(
+        self,
+        code: str,
+        message: str,
+        node: ast.AST,
+        *,
+        subject: str = "",
+        severity: Severity | None = None,
+    ) -> None:
+        line = getattr(node, "lineno", 0)
+        end_line = getattr(node, "end_lineno", None) or line
+        # A pragma suppresses on any line of the statement, or on a
+        # comment line directly above it.
+        for pragma_line in range(max(1, line - 1), end_line + 1):
+            if code in self.pragmas.get(pragma_line, ()):
+                return
+        self.findings.append(
+            Diagnostic.build(
+                code,
+                message,
+                source=self.rel_path,
+                line=line,
+                subject=subject or message,
+                severity=severity,
+            )
+        )
+
+
+# -- RC001: writes bypassing atomic.py --------------------------------------
+
+
+def _is_write_mode(mode: str) -> bool:
+    return any(flag in mode for flag in ("w", "a", "x", "+"))
+
+
+def _check_rc001(tree: ast.AST, ctx: _Context) -> None:
+    if ctx.rel_path.endswith(_RC001_EXEMPT_FILES):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode: str | None = None
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+                if isinstance(node.args[1].value, str):
+                    mode = node.args[1].value
+            for keyword in node.keywords:
+                if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+                    if isinstance(keyword.value.value, str):
+                        mode = keyword.value.value
+            if mode is not None and _is_write_mode(mode):
+                ctx.report(
+                    "RC001",
+                    f"open(..., {mode!r}) bypasses robustness/atomic.py — "
+                    "a crash mid-write publishes a torn file",
+                    node,
+                    subject=f"open:{mode}",
+                )
+        elif isinstance(func, ast.Attribute) and func.attr in _WRITE_METHOD_NAMES:
+            ctx.report(
+                "RC001",
+                f".{func.attr}() bypasses robustness/atomic.py — "
+                "a crash mid-write publishes a torn file",
+                node,
+                subject=func.attr,
+            )
+
+
+# -- RC002: broad exception handlers ----------------------------------------
+
+
+def _broad_names(node: ast.expr | None) -> list[str]:
+    if node is None:
+        return ["<bare>"]
+    names = []
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in ("Exception", "BaseException"):
+            names.append(candidate.id)
+    return names
+
+
+def _check_rc002(tree: ast.AST, ctx: _Context) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _broad_names(node.type)
+        if not broad:
+            continue
+        bare = broad == ["<bare>"]
+        ctx.report(
+            "RC002",
+            ("bare except:" if bare else f"except {'/'.join(broad)}:")
+            + " swallows errors outside ErrorPolicy accounting — catch "
+            "specific exceptions or route through the error policy",
+            node,
+            subject="bare-except" if bare else "broad-except",
+            severity=Severity.ERROR if bare else Severity.WARNING,
+        )
+
+
+# -- RC003: nondeterminism hazards ------------------------------------------
+
+
+def _check_rc003(tree: ast.AST, ctx: _Context) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        value = func.value
+        if isinstance(value, ast.Name) and value.id == "random":
+            if func.attr in _UNSEEDED_RANDOM_FUNCS:
+                ctx.report(
+                    "RC003",
+                    f"random.{func.attr}() uses the unseeded process-global "
+                    "RNG — derive a random.Random(seed) instead "
+                    "(checkpoint resume must replay identically)",
+                    node,
+                    subject=f"random.{func.attr}",
+                )
+            elif func.attr == "Random" and not node.args and not node.keywords:
+                ctx.report(
+                    "RC003",
+                    "random.Random() with no seed is nondeterministic — "
+                    "pass an explicit seed",
+                    node,
+                    subject="random.Random",
+                )
+        elif isinstance(value, ast.Name) and value.id == "time" and func.attr == "time":
+            ctx.report(
+                "RC003",
+                "time.time() in library code makes runs irreproducible — "
+                "take timestamps from the trace/records instead",
+                node,
+                subject="time.time",
+            )
+        elif func.attr in ("now", "utcnow") and isinstance(value, ast.Name) and value.id in (
+            "datetime",
+            "date",
+        ):
+            ctx.report(
+                "RC003",
+                f"{value.id}.{func.attr}() reads the wall clock — "
+                "library code must be replayable",
+                node,
+                subject=f"{value.id}.{func.attr}",
+            )
+
+
+# -- RC004: export/restore state drift --------------------------------------
+
+
+def _dict_literal_keys(node: ast.expr) -> set[str] | None:
+    """Top-level string keys of a dict literal, or None if not one."""
+    if not isinstance(node, ast.Dict):
+        return None
+    keys: set[str] = set()
+    for key in node.keys:
+        if key is None:
+            return None  # ** splat: key set not statically known
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.add(key.value)
+        else:
+            return None
+    return keys
+
+
+def _export_keys(func: ast.FunctionDef) -> set[str] | None:
+    """Keys of the dict literal(s) ``export_state`` returns."""
+    keys: set[str] | None = None
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            literal = _dict_literal_keys(node.value)
+            if literal is None:
+                return None  # delegating/dynamic export: skip the class
+            keys = literal if keys is None else keys | literal
+    return keys
+
+
+class _RestoreScan(ast.NodeVisitor):
+    """Collect keys the restore method reads off its state parameter."""
+
+    def __init__(self, param: str) -> None:
+        self.param = param
+        self.keys: set[str] = set()
+        self.consumes_all = False
+
+    def _is_state(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id == self.param
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._is_state(node.value) and isinstance(node.slice, ast.Constant):
+            if isinstance(node.slice.value, str):
+                self.keys.add(node.slice.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "get"
+            and self._is_state(func.value)
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            self.keys.add(node.args[0].value)
+        for keyword in node.keywords:
+            if keyword.arg is None:  # **splat
+                value = keyword.value
+                if self._is_state(value):
+                    self.consumes_all = True
+                else:
+                    # **{... for ... in state.items()} comprehensions
+                    for inner in ast.walk(value):
+                        if self._is_state(inner):
+                            self.consumes_all = True
+        self.generic_visit(node)
+
+
+def _check_rc004(tree: ast.AST, ctx: _Context) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        export = methods.get("export_state")
+        restore = next(
+            (methods[name] for name in _RESTORE_METHODS if name in methods), None
+        )
+        if export is None or restore is None:
+            continue
+        exported = _export_keys(export)
+        if exported is None:
+            continue  # delegation or dynamic construction: not checkable
+        if len(restore.args.args) < 2:
+            continue
+        scan = _RestoreScan(restore.args.args[1].arg)
+        scan.visit(restore)
+        consumed = scan.keys
+
+        missing = consumed - exported
+        if missing:
+            ctx.report(
+                "RC004",
+                f"{node.name}.{restore.name} reads key(s) "
+                f"{sorted(missing)} that {node.name}.export_state never "
+                "writes — resume would crash or silently default",
+                restore,
+                subject=f"{node.name}:{','.join(sorted(missing))}",
+            )
+        unconsumed = exported - consumed
+        if unconsumed and not scan.consumes_all:
+            ctx.report(
+                "RC004",
+                f"{node.name}.export_state writes key(s) "
+                f"{sorted(unconsumed)} that {node.name}.{restore.name} "
+                "never reads — state is silently dropped on resume",
+                export,
+                subject=f"{node.name}:{','.join(sorted(unconsumed))}",
+                severity=Severity.WARNING,
+            )
+
+
+# -- entry points -----------------------------------------------------------
+
+
+def lint_tree(source: str, *, path: str, rel_path: str) -> list[Diagnostic]:
+    """Run all RC checks over one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic.build(
+                "RC002",
+                f"file does not parse: {exc}",
+                source=rel_path,
+                line=exc.lineno or 0,
+                subject="syntax-error",
+                severity=Severity.ERROR,
+            )
+        ]
+    ctx = _Context(
+        path=path,
+        rel_path=rel_path,
+        pragmas=collect_pragmas(source),
+        findings=[],
+    )
+    _check_rc001(tree, ctx)
+    _check_rc002(tree, ctx)
+    _check_rc003(tree, ctx)
+    _check_rc004(tree, ctx)
+    return ctx.findings
+
+
+def lint_file(path: str, *, root: str | None = None) -> list[Diagnostic]:
+    with open(path, encoding="utf-8") as stream:
+        source = stream.read()
+    rel_path = os.path.relpath(path, root) if root else path
+    return lint_tree(source, path=path, rel_path=rel_path.replace(os.sep, "/"))

@@ -1,0 +1,206 @@
+"""Pattern containment for shadowing analysis (FL002, DESIGN.md §9.2).
+
+``pattern_contains(a, b)`` decides — conservatively — whether every URL
+matched by ABP pattern ``b`` is also matched by pattern ``a``.  Exact
+regex-language containment is intractable in general; this module only
+answers *True* for cases it can prove from the pattern structure:
+
+* ``a`` unanchored: each of ``a``'s ``*``-separated literal segments
+  occurs, in order, inside ``b``'s pattern text.  A literal occurrence
+  in the pattern guarantees an occurrence in every matching URL
+  (wildcards only add text, the ``^`` placeholder has identical
+  semantics in both patterns).
+* ``a`` domain-anchored (``||host...``): ``b`` must be domain-anchored
+  to ``host`` or a subdomain of it, and ``a``'s post-host remainder
+  must be a structural prefix of ``b``'s.
+* start/end anchored patterns require matching anchors in ``b`` plus
+  prefix/suffix containment of the literal segments.
+
+False negatives are fine (a shadowing pair the linter misses), false
+positives are not (a live rule reported dead) — every shortcut below
+errs toward returning False.
+
+Option containment (:func:`options_contain`) completes the check: the
+broader rule must apply in at least every request context the narrower
+one applies in.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.filterlist.filter import Filter
+from repro.filterlist.options import FilterOptions
+
+__all__ = [
+    "normalize_pattern",
+    "pattern_contains",
+    "options_contain",
+    "filter_contains",
+    "ParsedPattern",
+    "parse_pattern",
+]
+
+# Characters the ``^`` separator placeholder can stand for that also
+# appear literally in patterns — used for ||host^ vs ||host/... checks.
+_SEPARATOR_LITERALS = frozenset("/:?=&^")
+
+
+class ParsedPattern:
+    """Anchor flags + core text of a normalized ABP pattern.
+
+    Normalization mirrors :func:`repro.filterlist.filter.compile_pattern`:
+    collapse ``*`` runs, *then* read the anchors off the true pattern
+    edges, then drop edge wildcards (an edge ``*`` next to an anchor
+    neutralizes the anchor; a ``|`` that is not at the pattern edge is
+    a literal).
+    """
+
+    __slots__ = ("anchor_domain", "anchor_start", "anchor_end", "core", "segments")
+
+    def __init__(self, pattern: str) -> None:
+        text = re.sub(r"\*+", "*", pattern)
+        self.anchor_domain = False
+        self.anchor_start = False
+        self.anchor_end = False
+        if text.startswith("||"):
+            self.anchor_domain = True
+            text = text[2:]
+        elif text.startswith("|"):
+            self.anchor_start = True
+            text = text[1:]
+        if text.endswith("|") and text != "":
+            self.anchor_end = True
+            text = text[:-1]
+        if text.startswith("*"):
+            self.anchor_domain = self.anchor_start = False
+            text = text.lstrip("*")
+        if text.endswith("*"):
+            self.anchor_end = False
+            text = text.rstrip("*")
+        self.core = text
+        self.segments = [segment for segment in text.split("*") if segment]
+
+    @property
+    def canonical(self) -> str:
+        """Reassembled canonical pattern text (the FL004 duplicate key)."""
+        prefix = "||" if self.anchor_domain else ("|" if self.anchor_start else "")
+        suffix = "|" if self.anchor_end else ""
+        return f"{prefix}{self.core}{suffix}"
+
+    @property
+    def host(self) -> str:
+        """For domain-anchored patterns: the anchored host prefix."""
+        if not self.anchor_domain:
+            return ""
+        host = self.core
+        for index, char in enumerate(host):
+            if char in "/^*?":
+                return host[:index]
+        return host
+
+    @property
+    def after_host(self) -> str:
+        return self.core[len(self.host) :] if self.anchor_domain else self.core
+
+
+def normalize_pattern(pattern: str) -> str:
+    """Canonical form of an ABP pattern (see :class:`ParsedPattern`)."""
+    return ParsedPattern(pattern).canonical
+
+
+def parse_pattern(pattern: str) -> ParsedPattern:
+    return ParsedPattern(pattern)
+
+
+def _segments_in_order(segments: list[str], text: str, *, from_start: bool = False) -> bool:
+    """Do the literal segments occur, in order, inside ``text``?"""
+    position = 0
+    for index, segment in enumerate(segments):
+        if index == 0 and from_start:
+            if not text.startswith(segment):
+                return False
+            position = len(segment)
+            continue
+        found = text.find(segment, position)
+        if found < 0:
+            return False
+        position = found + len(segment)
+    return True
+
+
+def pattern_contains(a: str, b: str) -> bool:
+    """Conservative: does pattern ``a`` match a superset of pattern ``b``?"""
+    pa, pb = ParsedPattern(a), ParsedPattern(b)
+    if pa.core == pb.core and (
+        (pa.anchor_domain, pa.anchor_start, pa.anchor_end)
+        == (pb.anchor_domain, pb.anchor_start, pb.anchor_end)
+    ):
+        return True
+
+    if pa.anchor_end and not pb.anchor_end:
+        return False
+    if pa.anchor_end and pb.anchor_end:
+        last = pa.segments[-1] if pa.segments else ""
+        if last and not pb.core.endswith(last):
+            return False
+
+    if pa.anchor_domain:
+        if not pb.anchor_domain:
+            return False
+        host_a, host_b = pa.host, pb.host
+        if not (host_b == host_a or host_b.endswith("." + host_a)):
+            return False
+        rest_a, rest_b = pa.after_host, pb.after_host
+        if not rest_a:
+            return True
+        if rest_a == "^":
+            # ``||host^`` needs a separator (or end) right after the
+            # host; ``b`` guarantees that when its own remainder starts
+            # with a separator literal or ``^`` — or ends the URL too.
+            return bool(rest_b) and rest_b[0] in _SEPARATOR_LITERALS or (
+                not rest_b and pb.anchor_end
+            )
+        rest_segments = [segment for segment in rest_a.split("*") if segment]
+        return _segments_in_order(rest_segments, rest_b, from_start=not rest_a.startswith("*"))
+
+    if pa.anchor_start:
+        if not pb.anchor_start:
+            return False
+        return _segments_in_order(pa.segments, pb.core, from_start=True)
+
+    # a is a floating substring pattern.
+    if not pa.segments:
+        # Core is empty or wildcards only: matches everything.
+        return not pa.anchor_end or pb.anchor_end
+    search_space = pb.core
+    return _segments_in_order(pa.segments, search_space)
+
+
+def options_contain(a: FilterOptions, b: FilterOptions) -> bool:
+    """Does option set ``a`` apply in every context option set ``b`` does?"""
+    if (a.type_mask & b.type_mask) != b.type_mask:
+        return False
+    if a.third_party is not None and a.third_party != b.third_party:
+        return False
+    if a.match_case and not b.match_case:
+        return False
+    if a.elemhide_exception != b.elemhide_exception:
+        return False
+    if a.is_document_exception != b.is_document_exception:
+        return False
+    if a.domains_include:
+        # a only applies on listed page domains: containment only
+        # provable when b is restricted to a subset of those domains.
+        if not b.domains_include or not b.domains_include <= a.domains_include:
+            return False
+    if a.domains_exclude and not a.domains_exclude <= b.domains_exclude:
+        return False
+    return True
+
+
+def filter_contains(a: Filter, b: Filter) -> bool:
+    """Full shadowing check: same kind, broader pattern, broader options."""
+    if a.kind is not b.kind:
+        return False
+    return options_contain(a.options, b.options) and pattern_contains(a.pattern, b.pattern)

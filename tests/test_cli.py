@@ -164,3 +164,57 @@ class TestDegradedOperation:
         )
         assert code == 0
         assert "peak users held:   3" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    FIXTURE = (
+        "||ads.example^$bogus-option\n"
+        "/(a+)+broken/$script\n"
+        "||ok.example^$script\n"
+    )
+
+    @pytest.fixture()
+    def fixture_path(self, tmp_path):
+        path = tmp_path / "list.txt"
+        path.write_text(self.FIXTURE)
+        return str(path)
+
+    def test_findings_exit_1(self, fixture_path, capsys):
+        assert main(["lint", fixture_path]) == 1
+        out = capsys.readouterr().out
+        assert "FL006 error" in out and "FL007 warning" in out
+
+    def test_fail_on_error_ignores_warnings(self, tmp_path, capsys):
+        path = tmp_path / "warn.txt"
+        path.write_text("||x.example^$bogus-option\n")
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+
+    def test_clean_list_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "clean.txt"
+        path.write_text("||ads.example^$script\n")
+        assert main(["lint", str(path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_json_format(self, fixture_path, capsys):
+        import json
+
+        main(["lint", fixture_path, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["counts"]["error"] == 1
+
+    def test_baseline_round_trip(self, fixture_path, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", fixture_path, "--write-baseline", baseline]) == 0
+        assert main(["lint", fixture_path, "--baseline", baseline,
+                     "--fail-on", "warning"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_self_gate_is_clean(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_no_input_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["lint"])

@@ -1,0 +1,100 @@
+"""Regression tests: regex metacharacters in ABP patterns stay literal.
+
+The pattern compiler escapes everything except ``*``, ``^`` and the
+edge anchors — a ``+`` or ``{`` in a filter must match itself, never
+act as a quantifier (the audit behind DESIGN.md §9.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filterlist.filter import Filter, compile_pattern
+
+
+class TestMetacharactersAreLiteral:
+    @pytest.mark.parametrize(
+        ("pattern", "matching", "non_matching"),
+        [
+            ("/ad+server/", "http://x.example/ad+server/a.gif",
+             "http://x.example/addddserver/a.gif"),
+            ("/a{2}/", "http://x.example/a{2}/img", "http://x.example/aa/img"),
+            ("/b}x{/", "http://x.example/b}x{/img", "http://x.example/bx/img"),
+            ("/ads(1)/", "http://x.example/ads(1)/", "http://x.example/ads1/"),
+            ("/ads[1]/", "http://x.example/ads[1]/", "http://x.example/ads1/"),
+            ("/what?/", "http://x.example/what?/", "http://x.example/wha/"),
+            ("/p.d/", "http://x.example/p.d/", "http://x.example/pxd/"),
+            ("/a$b/", "http://x.example/a$b/", "http://x.example/ab/"),
+        ],
+    )
+    def test_literal_match_only(self, pattern, matching, non_matching):
+        regex = compile_pattern(pattern)
+        assert regex.search(matching), pattern
+        assert not regex.search(non_matching), pattern
+
+    def test_plus_quantifier_never_leaks(self):
+        # If '+' leaked through unescaped, 'aaaa' would match 'a+'.
+        assert not compile_pattern("a+b").search("http://x/aaaab")
+        assert compile_pattern("a+b").search("http://x/a+b")
+
+    def test_backslash_is_literal(self):
+        regex = compile_pattern(r"/a\d/")
+        assert regex.search(r"http://x.example/a\d/")
+        assert not regex.search("http://x.example/a5/")
+
+
+class TestWildcardAndSeparator:
+    def test_star_is_the_only_wildcard(self):
+        regex = compile_pattern("/ads/*/banner")
+        assert regex.search("http://x.example/ads/2015/banner.gif")
+        assert not regex.search("http://x.example/ads-banner")
+
+    def test_star_runs_collapse(self):
+        assert (
+            compile_pattern("a***b").pattern == compile_pattern("a*b").pattern
+        )
+
+    def test_separator_placeholder(self):
+        regex = compile_pattern("||ads.example^")
+        assert regex.search("http://ads.example/x")
+        assert regex.search("http://ads.example")  # ^ matches URL end
+        assert not regex.search("http://ads.example.com/x")
+
+
+class TestAnchorEdgeCases:
+    """Anchors are read off the true edges, before wildcard stripping."""
+
+    def test_star_pipe_prefix_is_literal_pipe(self):
+        # *|foo: the | is mid-pattern, so it is a literal character.
+        regex = compile_pattern("*|foo")
+        assert regex.search("http://x.example/a|foo")
+        assert not regex.search("http://x.example/afoo")
+
+    def test_pipe_star_prefix_anchors_nothing(self):
+        # |*foo: the start anchor is followed by a wildcard — any
+        # position is "anchored", so this is plain substring search.
+        regex = compile_pattern("|*foo")
+        assert regex.search("http://x.example/deep/foo")
+
+    def test_trailing_star_pipe_is_literal_pipe(self):
+        regex = compile_pattern("foo|*")
+        assert regex.search("http://x.example/foo|bar")
+        assert not regex.search("http://x.example/foo")
+
+    def test_plain_anchors_still_work(self):
+        assert compile_pattern("|http://a.example").search("http://a.example/x")
+        assert not compile_pattern("|a.example").search("http://a.example/")
+        assert compile_pattern(".gif|").search("http://x.example/i.gif")
+        assert not compile_pattern(".gif|").search("http://x.example/i.gif?x=1")
+
+
+class TestDollarInPattern:
+    def test_options_split_does_not_eat_literal_dollar(self):
+        # '$/' cannot start an option list, so the $ stays in the pattern.
+        filter_ = Filter.parse("/cgi$/ads/")
+        assert filter_.pattern == "/cgi$/ads/"
+        assert filter_.regex.search("http://x.example/cgi$/ads/a")
+
+    def test_real_options_are_split(self):
+        filter_ = Filter.parse("||x.example^$script,third-party")
+        assert filter_.pattern == "||x.example^"

@@ -1,0 +1,136 @@
+"""Property test: every parser-accepted rule decides identically under
+the keyword-indexed engine and the combined-regex backend.
+
+This is the linter's soundness anchor (DESIGN.md §9.5): the FL checks
+reason about pattern structure, which is only meaningful if the two
+engines agree on what a pattern *means*.  Hypothesis generates rules
+from the documented ABP grammar plus URLs biased to collide with them,
+and asserts decision-for-decision equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.filterlist.combined import CombinedRegexEngine
+from repro.filterlist.engine import FilterEngine, RequestContext
+from repro.filterlist.filter import Filter
+from repro.filterlist.options import ContentType
+
+# -- rule generation --------------------------------------------------------
+
+_HOSTS = ("ads.example", "cdn.example", "track.example", "a.ads.example")
+_PATH_WORDS = ("banner", "img", "ads", "track", "a+b", "x{1}", "pix.gif")
+
+_host = st.sampled_from(_HOSTS)
+_path_word = st.sampled_from(_PATH_WORDS)
+
+
+@st.composite
+def _patterns(draw):
+    shape = draw(st.integers(0, 4))
+    if shape == 0:
+        return f"||{draw(_host)}^"
+    if shape == 1:
+        return f"||{draw(_host)}/{draw(_path_word)}"
+    if shape == 2:
+        return f"/{draw(_path_word)}/"
+    if shape == 3:
+        return f"/{draw(_path_word)}/*{draw(_path_word)}"
+    return f"|http://{draw(_host)}/{draw(_path_word)}"
+
+
+@st.composite
+def _option_suffixes(draw):
+    options = []
+    if draw(st.booleans()):
+        options.append(draw(st.sampled_from(("script", "image", "~script", "stylesheet"))))
+    if draw(st.booleans()):
+        options.append(draw(st.sampled_from(("third-party", "~third-party"))))
+    if draw(st.booleans()):
+        options.append(f"domain={draw(_host)}")
+    return "$" + ",".join(options) if options else ""
+
+
+@st.composite
+def _rules(draw):
+    prefix = "@@" if draw(st.booleans()) else ""
+    return f"{prefix}{draw(_patterns())}{draw(_option_suffixes())}"
+
+
+@st.composite
+def _urls(draw):
+    host = draw(_host)
+    segments = draw(st.lists(_path_word, min_size=0, max_size=3))
+    return f"http://{host}/" + "/".join(segments)
+
+
+@st.composite
+def _contexts(draw):
+    return RequestContext(
+        content_type=draw(st.sampled_from(
+            (ContentType.SCRIPT, ContentType.IMAGE, ContentType.OTHER)
+        )),
+        page_url=f"http://{draw(_host)}/page",
+    )
+
+
+def _build_engines(rules):
+    filters = []
+    for rule in rules:
+        try:
+            filters.append(Filter.parse(rule))
+        except ValueError:
+            pass  # parser-rejected rules are out of scope
+    keyword_engine = FilterEngine()
+    combined_engine = CombinedRegexEngine()
+    keyword_engine.add_filters(filters, list_name="prop")
+    combined_engine.add_filters(filters, list_name="prop")
+    return keyword_engine, combined_engine
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    rules=st.lists(_rules(), min_size=1, max_size=8),
+    url=_urls(),
+    context=_contexts(),
+)
+def test_engines_agree_on_match(rules, url, context):
+    keyword_engine, combined_engine = _build_engines(rules)
+    a = keyword_engine.match(url, context)
+    b = combined_engine.match(url, context)
+    assert a.decision == b.decision, (rules, url)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    rules=st.lists(_rules(), min_size=1, max_size=8),
+    url=_urls(),
+    context=_contexts(),
+)
+def test_engines_agree_on_classify(rules, url, context):
+    keyword_engine, combined_engine = _build_engines(rules)
+    a = keyword_engine.classify(url, context)
+    b = combined_engine.classify(url, context)
+    assert (a.blacklist_filter is None) == (b.blacklist_filter is None), (rules, url)
+    assert (a.whitelist_filter is None) == (b.whitelist_filter is None), (rules, url)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rules=st.lists(_rules(), min_size=1, max_size=6), url=_urls(), context=_contexts())
+def test_redos_guard_never_changes_decisions(rules, url, context):
+    """The FL006 guard may only reroute evaluation, never alter it."""
+    filters = []
+    for rule in rules:
+        try:
+            filters.append(Filter.parse(rule))
+        except ValueError:
+            pass
+    guarded = CombinedRegexEngine(redos_guard=True)
+    unguarded = CombinedRegexEngine(redos_guard=False)
+    guarded.add_filters(filters, list_name="prop")
+    unguarded.add_filters(filters, list_name="prop")
+    assert guarded.match(url, context).decision == unguarded.match(url, context).decision

@@ -1,0 +1,171 @@
+"""Codebase gate (RC001-RC004) on inline fixtures, plus self-cleanliness."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro.staticcheck import lint_source_file
+from repro.staticcheck.codelint import collect_pragmas, lint_tree
+from repro.staticcheck.diagnostics import Severity
+
+
+def _codes(source: str) -> list[str]:
+    return sorted(
+        diag.code for diag in lint_tree(source, path="fixture.py", rel_path="fixture.py")
+    )
+
+
+class TestRC001:
+    def test_open_for_write(self):
+        assert _codes("f = open('out.txt', 'w')\n") == ["RC001"]
+
+    def test_open_append_and_exclusive(self):
+        assert _codes("open('a', 'a')\nopen('b', 'x')\n") == ["RC001", "RC001"]
+
+    def test_open_mode_kwarg(self):
+        assert _codes("open('out.bin', mode='wb')\n") == ["RC001"]
+
+    def test_path_write_text(self):
+        source = "from pathlib import Path\nPath('x').write_text('hi')\n"
+        assert _codes(source) == ["RC001"]
+
+    def test_read_open_is_fine(self):
+        assert _codes("open('in.txt')\nopen('in.bin', 'rb')\n") == []
+
+    def test_pragma_suppresses(self):
+        source = "# staticcheck: ok[RC001] test fixture\nopen('out', 'w')\n"
+        assert _codes(source) == []
+
+    def test_atomic_module_exempt(self):
+        source = "open('out', 'w')\n"
+        diags = lint_tree(source, path="atomic.py", rel_path="robustness/atomic.py")
+        assert diags == []
+
+
+class TestRC002:
+    def test_bare_except_is_error(self):
+        source = "try:\n    pass\nexcept:\n    pass\n"
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        assert [(d.code, d.severity) for d in diags] == [("RC002", Severity.ERROR)]
+
+    def test_broad_except_is_warning(self):
+        source = "try:\n    pass\nexcept Exception:\n    pass\n"
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        assert [(d.code, d.severity) for d in diags] == [("RC002", Severity.WARNING)]
+
+    def test_broad_in_tuple(self):
+        source = "try:\n    pass\nexcept (ValueError, BaseException):\n    pass\n"
+        assert _codes(source) == ["RC002"]
+
+    def test_narrow_except_is_fine(self):
+        source = "try:\n    pass\nexcept (ValueError, KeyError):\n    pass\n"
+        assert _codes(source) == []
+
+    def test_syntax_error_reported_not_raised(self):
+        diags = lint_tree("def broken(:\n", path="f.py", rel_path="f.py")
+        assert [diag.code for diag in diags] == ["RC002"]
+        assert diags[0].severity is Severity.ERROR
+
+
+class TestRC003:
+    def test_unseeded_module_random(self):
+        assert _codes("import random\nx = random.random()\n") == ["RC003"]
+
+    def test_argless_random_instance(self):
+        assert _codes("import random\nrng = random.Random()\n") == ["RC003"]
+
+    def test_seeded_random_instance_is_fine(self):
+        assert _codes("import random\nrng = random.Random(42)\n") == []
+
+    def test_time_time(self):
+        assert _codes("import time\nts = time.time()\n") == ["RC003"]
+
+    def test_datetime_now(self):
+        source = "from datetime import datetime\nnow = datetime.now()\n"
+        assert _codes(source) == ["RC003"]
+
+    def test_pragma_on_preceding_line(self):
+        source = (
+            "import time\n"
+            "# staticcheck: ok[RC003] wall-clock for a log banner only\n"
+            "ts = time.time()\n"
+        )
+        assert _codes(source) == []
+
+
+RC004_DRIFT = """\
+class Thing:
+    def export_state(self):
+        return {"count": self.count, "seen": list(self.seen)}
+
+    def restore_state(self, state):
+        self.count = state["count"]
+"""
+
+RC004_CLEAN = """\
+class Thing:
+    def export_state(self):
+        return {"count": self.count}
+
+    def restore_state(self, state):
+        self.count = state["count"]
+"""
+
+RC004_SPLAT = """\
+class Thing:
+    def export_state(self):
+        return {"count": self.count, "seen": self.seen}
+
+    def restore_state(self, state):
+        self.__dict__.update(**state)
+"""
+
+
+class TestRC004:
+    def test_exported_key_never_restored(self):
+        diags = lint_tree(RC004_DRIFT, path="f.py", rel_path="f.py")
+        assert [diag.code for diag in diags] == ["RC004"]
+        assert "seen" in diags[0].message
+
+    def test_matching_fields_are_fine(self):
+        assert _codes(RC004_CLEAN) == []
+
+    def test_splat_consumes_everything(self):
+        assert _codes(RC004_SPLAT) == []
+
+    def test_restored_key_never_exported_is_error(self):
+        source = RC004_CLEAN.replace('state["count"]', 'state["tally"]')
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        # Reading a key that is never exported is the ERROR; the now
+        # unconsumed "count" export is reported as a WARNING alongside.
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert len(errors) == 1 and errors[0].code == "RC004"
+        assert "tally" in errors[0].message
+
+
+class TestPragmas:
+    def test_collects_codes_per_line(self):
+        source = "x = 1  # staticcheck: ok[RC001,RC003] reason\n"
+        assert collect_pragmas(source) == {1: {"RC001", "RC003"}}
+
+    def test_pragma_after_other_comment_text(self):
+        source = "x = 1  # see DESIGN.md; staticcheck: ok[RC002] rethrown\n"
+        assert collect_pragmas(source) == {1: {"RC002"}}
+
+
+def test_repro_package_is_clean():
+    """The acceptance gate: ``repro lint --self`` has zero findings."""
+    package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    source_root = os.path.dirname(package_root)
+    findings = []
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in filenames:
+            if filename.endswith(".py"):
+                findings.extend(
+                    lint_source_file(os.path.join(dirpath, filename), root=source_root)
+                )
+    assert findings == [], "\n".join(str(diag) for diag in findings)

@@ -1,0 +1,215 @@
+"""Filter-list linter: one test per FL code, plus reports and baselines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.filterlist.filter import Filter
+from repro.filterlist.lists import FilterList, LintRefusedError
+from repro.staticcheck import (
+    apply_baseline,
+    lint_paths,
+    lint_texts,
+    load_baseline,
+    render_json,
+    render_text,
+    rule_local_diagnostics,
+    write_baseline,
+)
+from repro.staticcheck.diagnostics import Severity
+
+# The acceptance fixture: eleven lines, all eight codes.
+FIXTURE = """\
+||ads.example^$bogus-option
+/ads/$third-party,~third-party
+||track.example^$script
+||track.example^$script
+||wide.example^
+||wide.example/banner/$script
+@@||nowhere-to-be-seen.invalid^$script
+/(a+)+broken/$script
+||conflict.example^$domain=x.com|~x.com
+example.com##
+/(unclosed/$image
+"""
+
+
+@pytest.fixture(scope="module")
+def fixture_diagnostics():
+    return lint_texts([("fixture", FIXTURE)])
+
+
+def _lines_for(diagnostics, code):
+    return sorted(diag.line for diag in diagnostics if diag.code == code)
+
+
+class TestEveryCode:
+    def test_fl001_unparseable(self, fixture_diagnostics):
+        # Empty element-hiding selector and an uncompilable regex rule.
+        assert _lines_for(fixture_diagnostics, "FL001") == [10, 11]
+
+    def test_fl002_shadowed(self, fixture_diagnostics):
+        assert _lines_for(fixture_diagnostics, "FL002") == [6]
+
+    def test_fl003_dead_rule(self, fixture_diagnostics):
+        assert _lines_for(fixture_diagnostics, "FL003") == [2]
+
+    def test_fl004_duplicate(self, fixture_diagnostics):
+        assert _lines_for(fixture_diagnostics, "FL004") == [4]
+
+    def test_fl005_useless_exception(self, fixture_diagnostics):
+        assert _lines_for(fixture_diagnostics, "FL005") == [7]
+
+    def test_fl006_redos(self, fixture_diagnostics):
+        assert _lines_for(fixture_diagnostics, "FL006") == [8]
+
+    def test_fl007_unknown_option(self, fixture_diagnostics):
+        assert _lines_for(fixture_diagnostics, "FL007") == [1]
+
+    def test_fl008_domain_conflict(self, fixture_diagnostics):
+        assert _lines_for(fixture_diagnostics, "FL008") == [9]
+
+    def test_all_eight_codes_present(self, fixture_diagnostics):
+        codes = {diag.code for diag in fixture_diagnostics}
+        assert codes == {f"FL00{i}" for i in range(1, 9)}
+
+
+class TestClean:
+    def test_clean_list_has_no_findings(self):
+        text = "\n".join(
+            [
+                "[Adblock Plus 2.0]",
+                "! Title: clean",
+                "||ads.one.example^$script",
+                "||ads.two.example^$image,third-party",
+                "@@||ads.one.example/allowed^$script",
+                "example.com##.banner",
+            ]
+        )
+        assert lint_texts([("clean", text)]) == []
+
+    def test_comments_and_headers_skipped(self):
+        text = "! comment\n[Adblock Plus 2.0]\n\n||x.example^\n"
+        assert lint_texts([("c", text)]) == []
+
+
+class TestCrossRuleDetails:
+    def test_fl004_normalization_catches_wildcard_variants(self):
+        # Trailing `*` runs are stripped, so these are the same filter.
+        text = "||dup.example^$script\n||dup.example^**$script\n"
+        diags = lint_texts([("d", text)])
+        assert _lines_for(diags, "FL004") == [2]
+
+    def test_fl002_requires_option_containment(self):
+        # The broad rule is $image-only: it does NOT cover the $script
+        # rule even though the pattern does.
+        text = "||a.example^$image\n||a.example/banner^$script\n"
+        assert lint_texts([("o", text)]) == []
+
+    def test_fl002_cross_list_shadowing(self):
+        diags = lint_texts(
+            [("broad", "||cdn.example^\n"), ("narrow", "||cdn.example/ads/$script\n")]
+        )
+        fl002 = [diag for diag in diags if diag.code == "FL002"]
+        assert len(fl002) == 1
+        assert fl002[0].source == "narrow"
+
+    def test_fl005_exception_with_matching_block_is_fine(self):
+        text = "||ads.example^$script\n@@||ads.example^$script\n"
+        diags = lint_texts([("e", text)])
+        assert not [diag for diag in diags if diag.code == "FL005"]
+
+    def test_fl005_document_exceptions_exempt(self):
+        # $document whitelists a whole page; it needs no blocking twin.
+        text = "@@||paywall.example^$document\n"
+        diags = lint_texts([("e", text)])
+        assert not [diag for diag in diags if diag.code == "FL005"]
+
+
+class TestRuleLocal:
+    def test_unknown_option_names_reported(self):
+        filter_ = Filter.parse("||x.example^$frobnicate", lenient=True)
+        diags = rule_local_diagnostics(filter_, source="s", line=7)
+        assert [diag.code for diag in diags] == ["FL007"]
+        assert "frobnicate" in diags[0].message
+        assert diags[0].line == 7
+
+    def test_fl003_empty_type_mask(self):
+        filter_ = Filter.parse("||x.example^$~script,~image,~stylesheet,~other,"
+                               "~xmlhttprequest,~subdocument,~document,~media,~font,"
+                               "~object,~websocket,~ping", lenient=True)
+        diags = rule_local_diagnostics(filter_, source="s", line=1)
+        assert "FL003" in {diag.code for diag in diags}
+
+
+class TestReports:
+    def test_text_report_shape(self, fixture_diagnostics):
+        text = render_text(fixture_diagnostics)
+        assert "fixture:8: FL006 error:" in text
+        assert text.splitlines()[-1].startswith("5 error(s), 4 warning(s)")
+
+    def test_json_report_round_trips(self, fixture_diagnostics):
+        payload = json.loads(render_json(fixture_diagnostics))
+        assert payload["version"] == 1
+        assert payload["counts"]["error"] == 5
+        assert len(payload["findings"]) == len(fixture_diagnostics)
+        assert all("fingerprint" in finding for finding in payload["findings"])
+
+
+class TestBaseline:
+    def test_round_trip(self, fixture_diagnostics, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, fixture_diagnostics)
+        fresh, suppressed = apply_baseline(fixture_diagnostics, load_baseline(path))
+        assert fresh == []
+        assert suppressed == len(fixture_diagnostics)
+
+    def test_new_finding_survives_baseline(self, fixture_diagnostics, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, fixture_diagnostics[1:])
+        fresh, _ = apply_baseline(fixture_diagnostics, load_baseline(path))
+        assert fresh == [fixture_diagnostics[0]]
+
+    def test_fingerprint_is_line_number_free(self, fixture_diagnostics, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, fixture_diagnostics)
+        # Prepend a comment: every line number shifts by one, but the
+        # fingerprints (code:source:rule-text) are unchanged.
+        shifted = lint_texts([("fixture", "! shifting comment\n" + FIXTURE)])
+        fresh, suppressed = apply_baseline(shifted, load_baseline(path))
+        assert fresh == []
+        assert suppressed == len(shifted)
+
+
+class TestLintPaths:
+    def test_reads_files(self, tmp_path):
+        path = tmp_path / "list.txt"
+        path.write_text(FIXTURE)
+        diags = lint_paths([str(path)])
+        assert {diag.code for diag in diags} == {f"FL00{i}" for i in range(1, 9)}
+        assert all(diag.source == str(path) for diag in diags)
+
+
+class TestLintOnLoad:
+    def test_off_keeps_hazardous_rules(self):
+        lst = FilterList.from_text("/(a+)+x/$script\n", "t")
+        assert len(lst.filters) == 1 and not lst.quarantined_rules
+
+    def test_quarantine_drops_only_flagged(self):
+        lst = FilterList.from_text(
+            "||ok.example^\n/(a+)+x/$script\n", "t", lint="quarantine"
+        )
+        assert [f.text for f in lst.filters] == ["||ok.example^"]
+        assert [f.text for f in lst.quarantined_rules] == ["/(a+)+x/$script"]
+
+    def test_refuse_raises_with_findings(self):
+        with pytest.raises(LintRefusedError) as excinfo:
+            FilterList.from_text("/(a+)+x/$script\n", "t", lint="refuse")
+        assert any(diag.code == "FL006" for diag in excinfo.value.diagnostics)
+        assert excinfo.value.diagnostics[0].severity >= Severity.ERROR
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FilterList.from_text("||x^\n", "t", lint="banana")
