@@ -1,0 +1,126 @@
+"""Parallel classification bench: wall-clock vs ``--workers`` (DESIGN.md §10).
+
+Runs the same 100K-record RBN-2 slice through the serial classifier and
+through :class:`ParallelRun` pools of 1/2/4/8 workers, asserting
+byte-identical rows before timing is believed.  Two derived numbers
+frame the measured ones:
+
+* the parse/classify split of the serial run — workers reparse the
+  whole input and classify only their shard, so the serial split is
+  what bounds achievable speedup (Amdahl with parse as the serial
+  fraction: T(W) = parse + classify/W on W real cores);
+* a projected multi-core speedup from that split, reported next to the
+  measured wall-clock so results from a core-starved CI container
+  (this repo's reference environment has ONE core, where a pool can
+  only lose) remain interpretable.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import tempfile
+import time
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.core.pipeline import StreamingClassifier
+from repro.http.log import read_log, records_to_text
+from repro.parallel import ParallelRun
+from repro.robustness import ErrorPolicy
+from repro.robustness.runstate import classification_row
+
+_SLICE = 100_000
+_POOLS = (1, 2, 4, 8)
+
+
+def _serial(pipeline, path):
+    """Serial run, returning (rows, parse_seconds, classify_seconds)."""
+    started = time.perf_counter()
+    with open(path) as stream:
+        records = list(read_log(stream, on_error=ErrorPolicy.SKIP))
+    parsed = time.perf_counter()
+    classifier = StreamingClassifier(pipeline)
+    rows = [classification_row(e) for r in records for e in classifier.feed(r)]
+    rows.extend(classification_row(e) for e in classifier.finish())
+    finished = time.perf_counter()
+    return rows, parsed - started, finished - parsed
+
+
+def _pool(pipeline, path, workers):
+    rows: list[str] = []
+    started = time.perf_counter()
+    ParallelRun(
+        workers=workers,
+        input_path=path,
+        pipeline_factory=lambda: pipeline,
+        on_error=ErrorPolicy.SKIP,
+        on_row=lambda row, is_ad, is_whitelisted: rows.append(row),
+    ).run()
+    return rows, time.perf_counter() - started
+
+
+def test_pool_speedup(benchmark, rbn2, pipeline, results_dir):
+    _generator, trace, _entries = rbn2
+    text = records_to_text(trace.http[:_SLICE])
+    cores = os.cpu_count() or 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.tsv")
+        with open(path, "w") as stream:  # staticcheck: ok[RC001] bench scratch file
+            stream.write(text)
+
+        golden, parse_s, classify_s = _serial(pipeline, path)
+        serial_s = parse_s + classify_s
+        n = len(golden)
+
+        rows = [
+            {
+                "plan": "serial",
+                "runtime (s)": f"{serial_s:.2f}",
+                "measured speedup": "1.00x",
+                f"projected ({_POOLS[-1]}+ cores)": "1.00x",
+                "identical": "-",
+            }
+        ]
+        for workers in _POOLS:
+            pool_rows, pool_s = _pool(pipeline, path, workers)
+            assert pool_rows == golden, f"--workers {workers} broke byte-identity"
+            projected = serial_s / (parse_s + classify_s / workers)
+            rows.append(
+                {
+                    "plan": f"{workers} workers",
+                    "runtime (s)": f"{pool_s:.2f}",
+                    "measured speedup": f"{serial_s / pool_s:.2f}x",
+                    f"projected ({_POOLS[-1]}+ cores)": f"{projected:.2f}x",
+                    "identical": "yes",
+                }
+            )
+
+        benchmark.pedantic(_pool, args=(pipeline, path, 4), rounds=1, iterations=1)
+
+    table = render_table(
+        rows,
+        title=(
+            f"parallel classification over {n/1000:.0f}K classified rows "
+            f"({_SLICE/1000:.0f}K records of RBN-2), {cores}-core host"
+        ),
+    )
+    note = (
+        f"serial split: parse {parse_s:.2f}s + classify {classify_s:.2f}s.\n"
+        "Workers reparse the full input and classify 1/W of it, so on W real\n"
+        "cores T(W) = parse + classify/W — the 'projected' column.  Measured\n"
+        f"wall-clock on this {cores}-core host "
+        + (
+            "shares one core across the whole pool (a pool can only add\n"
+            "overhead here); the projection is the number to compare against\n"
+            "multi-core deployments.\n"
+            if cores == 1
+            else "reflects real concurrency.\n"
+        )
+    )
+    write_result(results_dir, "bench_parallel.txt", table + "\n\n" + note)
+    print()
+    print(table)
+    print(note)

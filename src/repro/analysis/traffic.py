@@ -269,6 +269,29 @@ class TrafficAccumulator:
     def from_state(cls, state: dict) -> "TrafficAccumulator":
         return cls(**state)
 
+    def merge_state(self, state: dict) -> None:
+        """Fold a shard's exported counters into this accumulator.
+
+        Every field is a sum over disjoint entry sets, so the fold is
+        associative and commutative on the *numbers*; only dict
+        insertion order (the Table 4 tie-break) depends on fold order,
+        which is why the parallel runner folds shards in shard-index
+        order (DESIGN.md §10).
+        """
+        self.total_requests += state["total_requests"]
+        self.total_bytes += state["total_bytes"]
+        self.ad_requests += state["ad_requests"]
+        self.ad_bytes += state["ad_bytes"]
+        for target, shard in (
+            (self.by_list, state["by_list"]),
+            (self.ad_requests_by_mime, state["ad_requests_by_mime"]),
+            (self.ad_bytes_by_mime, state["ad_bytes_by_mime"]),
+            (self.nonad_requests_by_mime, state["nonad_requests_by_mime"]),
+            (self.nonad_bytes_by_mime, state["nonad_bytes_by_mime"]),
+        ):
+            for name, value in shard.items():
+                target[name] = target.get(name, 0) + value
+
 
 def traffic_summary(entries: list[ClassifiedRequest]) -> TrafficSummary:
     """§7.1: ad shares of requests/bytes and the per-list breakdown."""

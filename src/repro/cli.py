@@ -35,7 +35,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Sequence, TextIO
+from typing import TYPE_CHECKING, Sequence, TextIO
+
+if TYPE_CHECKING:
+    from repro.analysis.traffic import TrafficAccumulator
 
 from repro.analysis.report import render_table
 from repro.core import AdClassificationPipeline
@@ -44,6 +47,7 @@ from repro.filterlist.stats import compare_lists
 from repro.http.log import read_log, write_log
 from repro.robustness import (
     EXIT_MANIFEST_MISMATCH,
+    EXIT_MISSING_INPUT,
     EXIT_STRICT_ABORT,
     CrashInjector,
     ErrorPolicy,
@@ -60,6 +64,7 @@ from repro.robustness.runstate import (
     RunManifest,
     TrafficSink,
     UserStatsSink,
+    classification_row,
 )
 from repro.trace import (
     CorruptionConfig,
@@ -119,6 +124,32 @@ def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
 def _check_checkpoint_args(args: argparse.Namespace) -> None:
     if (args.resume or args.crash_after) and not args.checkpoint_dir:
         raise SystemExit("error: --resume/--crash-after require --checkpoint-dir")
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, metavar="N",
+                        help="shard classification by user across N worker "
+                             "processes; output is byte-identical to the "
+                             "serial path (DESIGN.md §10)")
+
+
+def _check_parallel_args(args: argparse.Namespace) -> None:
+    if args.workers is None:
+        return
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+    if getattr(args, "max_users", None) is not None:
+        raise SystemExit("error: --workers is incompatible with --max-users "
+                         "(the LRU eviction order is global, not shardable)")
+
+
+def _pipeline_factory(args: argparse.Namespace):
+    """Picklable per-worker pipeline builder from the ecosystem flags."""
+    import functools
+
+    from repro.parallel import build_ecosystem_pipeline
+
+    return functools.partial(build_ecosystem_pipeline, args.publishers, args.eco_seed)
 
 
 def _quarantine_path(args: argparse.Namespace) -> str:
@@ -256,8 +287,110 @@ def _classify_summary(total: int, ads: int, whitelisted: int) -> None:
     print(f"whitelisted: {whitelisted} ({whitelisted / max(1, ads):.1%} of ads)")
 
 
+def _classify_params(args: argparse.Namespace) -> dict:
+    """Manifest params for `repro classify`; ``workers`` is pinned so a
+    serial checkpoint directory cannot be resumed with a different pool
+    shape (the sharding itself is part of what the run *is*)."""
+    return {
+        "command": "classify",
+        "publishers": args.publishers,
+        "eco_seed": args.eco_seed,
+        "on_error": args.on_error,
+        "max_users": args.max_users,
+        "reorder_window": args.reorder_window,
+        "workers": args.workers,
+    }
+
+
+def _classify_parallel(args: argparse.Namespace) -> int:
+    """`repro classify --workers N` (DESIGN.md §10)."""
+    from repro.parallel import ParallelRun
+
+    factory = _pipeline_factory(args)
+    policy = ErrorPolicy(args.on_error)
+
+    if args.checkpoint_dir:
+        ecosystem = _ecosystem_from(args)
+        lists = build_lists(ecosystem.list_spec())
+        quarantine_path = _quarantine_path(args) if policy is ErrorPolicy.QUARANTINE else None
+        manifest = RunManifest.build(
+            command="classify",
+            params=_classify_params(args),
+            lists=lists,
+            input_path=args.trace,
+            output_path=args.out,
+            quarantine_path=quarantine_path,
+        )
+        sink = ClassifySink(
+            part_path=os.path.join(args.checkpoint_dir, "output.part") if args.out else None,
+            final_path=os.path.abspath(args.out) if args.out else None,
+        )
+        outcome = ParallelRun(
+            workers=args.workers,
+            input_path=args.trace,
+            pipeline_factory=factory,
+            on_error=policy,
+            reorder_window=args.reorder_window,
+            directory=args.checkpoint_dir,
+            manifest=manifest,
+            sink=sink,
+            checkpoint_every=args.checkpoint_every or None,
+            resume=args.resume,
+            crash_injector=CrashInjector(args.crash_after) if args.crash_after else None,
+            log=print,
+        ).run()
+        if outcome.quarantine_count:
+            print(f"quarantined {outcome.quarantine_count} lines to {outcome.quarantine_path}")
+        _classify_summary(sink.total, sink.ads, sink.whitelisted)
+        if args.out:
+            print(f"wrote classification to {args.out}")
+        return _finish(outcome.health, always_summarize=True)
+
+    quarantine = None
+    quarantine_path = None
+    if policy is ErrorPolicy.QUARANTINE:
+        quarantine_path = _quarantine_path(args)
+        quarantine = QuarantineWriter.open(quarantine_path)
+    rows: list[str] = []
+    counts = {"ads": 0, "whitelisted": 0}
+
+    def on_row(row: str, is_ad: bool, is_whitelisted: bool) -> None:
+        rows.append(row)
+        if is_ad:
+            counts["ads"] += 1
+        if is_whitelisted:
+            counts["whitelisted"] += 1
+
+    try:
+        outcome = ParallelRun(
+            workers=args.workers,
+            input_path=args.trace,
+            pipeline_factory=factory,
+            on_error=policy,
+            reorder_window=args.reorder_window,
+            on_row=on_row,
+            quarantine=quarantine,
+        ).run()
+    finally:
+        if quarantine is not None:
+            quarantine.close()
+    if quarantine is not None and quarantine.count:
+        print(f"quarantined {quarantine.count} lines to {quarantine_path}")
+    _classify_summary(len(rows), counts["ads"], counts["whitelisted"])
+    if args.out:
+        with atomic_writer(args.out) as stream:
+            stream.write(ClassifySink.HEADER)
+            for row in rows:
+                stream.write(row + "\n")
+        print(f"wrote classification to {args.out}")
+    return _finish(outcome.health, always_summarize=True)
+
+
 def _cmd_classify(args: argparse.Namespace) -> int:
     _check_checkpoint_args(args)
+    _check_parallel_args(args)
+    if args.workers is not None:
+        return _classify_parallel(args)
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
     pipeline = AdClassificationPipeline(lists)
@@ -273,14 +406,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             pipeline=pipeline,
             lists=lists,
             sink=sink,
-            params={
-                "command": "classify",
-                "publishers": args.publishers,
-                "eco_seed": args.eco_seed,
-                "on_error": args.on_error,
-                "max_users": args.max_users,
-                "reorder_window": args.reorder_window,
-            },
+            params=_classify_params(args),
             output_path=args.out,
             reorder_window=args.reorder_window,
             max_users=args.max_users,
@@ -305,22 +431,9 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
     if args.out:
         with atomic_writer(args.out) as stream:
-            stream.write("#ts\tclient\turl\tpage\tis_ad\tblacklist\twhitelisted\n")
+            stream.write(ClassifySink.HEADER)
             for entry in entries:
-                stream.write(
-                    "\t".join(
-                        [
-                            str(entry.record.ts),
-                            entry.record.client,
-                            entry.record.url,
-                            entry.page_url,
-                            "1" if entry.is_ad else "0",
-                            entry.blacklist_name or "-",
-                            "1" if entry.is_whitelisted else "0",
-                        ]
-                    )
-                    + "\n"
-                )
+                stream.write(classification_row(entry) + "\n")
         print(f"wrote classification to {args.out}")
     return _finish(health, always_summarize=True)
 
@@ -423,6 +536,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.traffic import TrafficAccumulator
 
     _check_checkpoint_args(args)
+    _check_parallel_args(args)
+    if args.workers is not None and args.checkpoint_dir:
+        raise SystemExit(
+            "error: --workers with --checkpoint-dir is only supported for classify"
+        )
+    if args.workers is not None:
+        from repro.parallel import ParallelRun
+
+        policy = ErrorPolicy(args.on_error)
+        quarantine = None
+        quarantine_path = None
+        if policy is ErrorPolicy.QUARANTINE:
+            quarantine_path = _quarantine_path(args)
+            quarantine = QuarantineWriter.open(quarantine_path)
+        try:
+            outcome = ParallelRun(
+                workers=args.workers,
+                input_path=args.trace,
+                pipeline_factory=_pipeline_factory(args),
+                on_error=policy,
+                emit="fold",
+                quarantine=quarantine,
+            ).run()
+        finally:
+            if quarantine is not None:
+                quarantine.close()
+        if quarantine is not None and quarantine.count:
+            print(f"quarantined {quarantine.count} lines to {quarantine_path}")
+        health = outcome.health
+        accumulator = outcome.accumulator
+        assert accumulator is not None
+        return _report_tables(accumulator, health)
+
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
     pipeline = AdClassificationPipeline(lists)
@@ -451,6 +597,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         for entry in pipeline.iter_process(records, fixup_window=None, health=health):
             accumulator.add(entry)
 
+    return _report_tables(accumulator, health)
+
+
+def _report_tables(accumulator: "TrafficAccumulator", health: PipelineHealth) -> int:
     summary = accumulator.summary()
     print(f"requests: {summary.total_requests}; ad share "
           f"{summary.ad_request_share:.2%} of requests / "
@@ -580,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ecosystem_flags(p_classify)
     _add_robustness_flags(p_classify)
     _add_checkpoint_flags(p_classify)
+    _add_parallel_flags(p_classify)
     p_classify.add_argument("--trace", required=True)
     p_classify.add_argument("--out", help="write per-request classification TSV")
     p_classify.add_argument("--max-users", type=int,
@@ -642,6 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ecosystem_flags(p_report)
     _add_robustness_flags(p_report)
     _add_checkpoint_flags(p_report)
+    _add_parallel_flags(p_report)
     p_report.add_argument("--trace", required=True)
     p_report.set_defaults(func=_cmd_report)
 
@@ -660,6 +812,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ManifestMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_MANIFEST_MISMATCH
+    except FileNotFoundError as exc:
+        print(f"error: input file not found: {exc.filename}", file=sys.stderr)
+        return EXIT_MISSING_INPUT
 
 
 if __name__ == "__main__":

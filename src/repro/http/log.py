@@ -11,6 +11,7 @@ to disk.
 from __future__ import annotations
 
 import io
+import zlib
 from dataclasses import dataclass, fields
 from typing import Iterable, Iterator, TextIO
 
@@ -23,6 +24,8 @@ __all__ = [
     "write_log",
     "read_log",
     "SeekableLogReader",
+    "shard_of",
+    "claims_line",
 ]
 
 _UNSET = "-"
@@ -171,12 +174,46 @@ def _decode_line(line: str, header: list[str]) -> HttpLogRecord:
     return HttpLogRecord(**values)  # type: ignore[arg-type]
 
 
+def shard_of(client: str, user_agent: str, workers: int) -> int:
+    """Shard index owning user ``(client, user_agent)`` out of ``workers``.
+
+    The parallel execution layer (DESIGN.md §10) splits work by *user*
+    — the paper's per-user accounting is independent between users —
+    so every record of a user lands on the same worker.  CRC-32 is
+    stable across Python versions and processes (unlike ``hash()``,
+    which PYTHONHASHSEED salts), which the run manifest relies on when
+    a resumed run must reproduce the original sharding.
+    """
+    key = f"{client}\x00{user_agent}".encode("utf-8", errors="surrogatepass")
+    return zlib.crc32(key) % workers
+
+
+def claims_line(line_no: int, shard: int, workers: int) -> bool:
+    """Does ``shard`` own malformed line ``line_no``?
+
+    A line that does not parse has no user to shard by, so exactly one
+    worker must claim its error accounting and quarantine write; a
+    stable round-robin on the 1-based line number spreads that work and
+    keeps the claim deterministic for resume.
+    """
+    return line_no % workers == shard
+
+
 class _LineHandler:
     """Shared per-line parse path of :func:`read_log` and
     :class:`SeekableLogReader`: header adoption, decoding, and the
-    error-policy routing (strict raise / skip / quarantine)."""
+    error-policy routing (strict raise / skip / quarantine).
 
-    __slots__ = ("header", "on_error", "health", "quarantine")
+    With ``shard=(k, W)`` the handler still *parses* every line — all
+    workers must agree on global record positions — but accounts for a
+    parsed record only if shard ``k`` owns its user, and for a malformed
+    line only if ``k`` claims its line number (DESIGN.md §10).  Strict
+    mode raises in every worker: the abort must not depend on which
+    shard meets the bad line.  After each parsed record, :attr:`owned`
+    says whether this shard owns it.
+    """
+
+    __slots__ = ("header", "on_error", "health", "quarantine", "shard", "owned")
 
     def __init__(
         self,
@@ -185,11 +222,14 @@ class _LineHandler:
         health: PipelineHealth | None,
         quarantine: QuarantineWriter | None,
         header: list[str] | None = None,
+        shard: tuple[int, int] | None = None,
     ):
         self.header = header
         self.on_error = on_error
         self.health = health
         self.quarantine = quarantine
+        self.shard = shard
+        self.owned = True
 
     def handle(self, line: str, line_no: int) -> HttpLogRecord | None:
         """Parse one newline-stripped line; ``None`` for non-records."""
@@ -208,6 +248,8 @@ class _LineHandler:
             reason = str(exc)
             if self.on_error is ErrorPolicy.STRICT:
                 raise LogParseError(line_no, reason, line) from None
+            if self.shard is not None and not claims_line(line_no, *self.shard):
+                return None
             quarantined = False
             if self.on_error is ErrorPolicy.QUARANTINE and self.quarantine is not None:
                 self.quarantine.write(line_no, reason, line)
@@ -215,7 +257,9 @@ class _LineHandler:
             if self.health is not None:
                 self.health.record_error("read_log", _categorize(reason), quarantined=quarantined)
             return None
-        if self.health is not None:
+        if self.shard is not None:
+            self.owned = shard_of(record.client, record.user_agent or "", self.shard[1]) == self.shard[0]
+        if self.health is not None and self.owned:
             self.health.record_ok()
         return record
 
@@ -265,9 +309,12 @@ class SeekableLogReader:
         on_error: ErrorPolicy = ErrorPolicy.STRICT,
         health: PipelineHealth | None = None,
         quarantine: QuarantineWriter | None = None,
+        shard: tuple[int, int] | None = None,
     ):
         self._file = open(path, "rb")
-        self._handler = _LineHandler(on_error=on_error, health=health, quarantine=quarantine)
+        self._handler = _LineHandler(
+            on_error=on_error, health=health, quarantine=quarantine, shard=shard
+        )
         self.offset = 0
         self.line_no = 0
 
@@ -290,6 +337,20 @@ class SeekableLogReader:
             record = self._handler.handle(line, self.line_no)
             if record is not None:
                 yield record
+
+    def iter_shard(self) -> Iterator[tuple[HttpLogRecord, bool]]:
+        """Yield every parsed record with its ownership flag.
+
+        Shard workers (DESIGN.md §10) need the full parsed stream — a
+        record owned by another shard still occupies a global ingest
+        index and feeds the replicated reorder heap — plus a flag
+        saying whether this shard classifies it.  Without a ``shard``
+        every record is owned, which makes one-worker pools exercise
+        the same path.
+        """
+        handler = self._handler
+        for record in self:
+            yield record, handler.owned
 
     def close(self) -> None:
         self._file.close()

@@ -1,0 +1,451 @@
+"""Parent-side orchestration of the shard worker pool (DESIGN.md §10).
+
+The parent never parses or classifies.  It spawns one worker per shard,
+then folds their message streams back into the single serial-order
+output: rows re-interleave by global ingest index, rejected lines by
+line number, health counters and traffic accumulators by
+``merge_state()`` in shard order.
+
+Durable runs extend the DESIGN.md §8 model with *per-shard* checkpoint
+stores.  Each worker autonomously saves generation ``n`` when its
+replicated stream position crosses the ``n * checkpoint_every``-th
+parsed record — a pure function of the input, so all workers cut at the
+same global positions — and notifies the parent, which saves its own
+generation-``n`` state (sink positions, emit frontier, sidecar
+watermark) once every shard's marker for ``n`` has arrived.  Resume
+restarts every worker from the newest generation valid in the parent
+store *and* every shard store; output published beyond that cut is
+deduplicated by the emit frontier, which is lossless because the
+replayed tail regenerates it byte-identically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.traffic import TrafficAccumulator
+from repro.core.pipeline import AdClassificationPipeline
+from repro.parallel.sharding import OrderedRowEmitter, QuarantineMerger
+from repro.parallel.worker import WorkerConfig, run_worker
+from repro.robustness.atomic import replace_atomic
+from repro.robustness.checkpoint import CheckpointStore
+from repro.robustness.crash import CrashInjector
+from repro.robustness.health import PipelineHealth
+from repro.robustness.policy import ErrorPolicy, LogParseError
+from repro.robustness.quarantine import QuarantineWriter
+from repro.robustness.runstate import ClassifySink, ManifestMismatch, RunManifest
+
+__all__ = [
+    "ParallelOutcome",
+    "ParallelRun",
+    "WorkerFailure",
+    "build_ecosystem_pipeline",
+]
+
+PARENT_STATE_VERSION = 1
+
+# The durable fix-up window (DurableRun's default): bounds worker memory
+# and how far output rows can trail the read position.  The non-durable
+# path buffers everything, mirroring AdClassificationPipeline.process().
+DURABLE_FIXUP_WINDOW = 1024
+
+_QUEUE_SLOTS_PER_WORKER = 4
+_POLL_TIMEOUT_S = 1.0
+# Consecutive empty polls with a dead, done-less worker before giving
+# up (its final messages may still be in flight through the queue pipe).
+_DEAD_WORKER_GRACE_POLLS = 3
+
+
+class WorkerFailure(Exception):
+    """A shard worker died or reported an unexpected exception."""
+
+
+def build_ecosystem_pipeline(publishers: int, eco_seed: int) -> AdClassificationPipeline:
+    """Picklable pipeline factory for ecosystem-backed CLI runs.
+
+    Each worker process rebuilds the ecosystem, filter lists and engine
+    itself — the compiled engine is far bigger than the two integers
+    that determine it, and the rebuild is deterministic.
+    """
+    from repro.filterlist import build_lists
+    from repro.web import Ecosystem, EcosystemConfig
+
+    ecosystem = Ecosystem.generate(EcosystemConfig(n_publishers=publishers, seed=eco_seed))
+    return AdClassificationPipeline(build_lists(ecosystem.list_spec()))
+
+
+@dataclass(slots=True)
+class ParallelOutcome:
+    """What a pool run produced, for the CLI to render."""
+
+    health: PipelineHealth
+    records: int
+    rows: int
+    quarantine_count: int
+    quarantine_path: str | None
+    accumulator: TrafficAccumulator | None
+    resumed_generation: int | None
+    checkpoints_written: int
+    output_paths: list[str] = field(default_factory=list)
+
+
+class ParallelRun:
+    """One classification run over a pool of shard workers.
+
+    Two execution modes share the machinery:
+
+    * non-durable (``directory=None``): rows stream to ``on_row`` and
+      rejected lines to a caller-owned ``quarantine`` writer, exactly
+      mirroring the serial in-memory path;
+    * durable (``directory`` set): the parent owns a
+      :class:`ClassifySink` over ``output.part``, the quarantine
+      ``.part`` sidecar, the run manifest, and the parent checkpoint
+      store, mirroring :class:`repro.robustness.runstate.DurableRun`.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        input_path: str,
+        pipeline_factory: "Callable[[], AdClassificationPipeline]",
+        on_error: ErrorPolicy = ErrorPolicy.STRICT,
+        reorder_window: float | None = None,
+        emit: str = "rows",
+        on_row: "Callable[[str, bool, bool], None] | None" = None,
+        quarantine: QuarantineWriter | None = None,
+        directory: str | None = None,
+        manifest: RunManifest | None = None,
+        sink: ClassifySink | None = None,
+        checkpoint_every: int | None = None,
+        keep: int = 3,
+        resume: bool = False,
+        crash_injector: CrashInjector | None = None,
+        log: "Callable[[str], None]" = lambda message: None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.input_path = input_path
+        self.pipeline_factory = pipeline_factory
+        self.on_error = on_error
+        self.reorder_window = reorder_window
+        self.emit = emit
+        self.on_row = on_row
+        self.quarantine = quarantine
+        self.directory = directory
+        self.manifest = manifest
+        self.sink = sink
+        self.checkpoint_every = checkpoint_every
+        self.keep = keep
+        self.resume = resume
+        self.crash_injector = crash_injector
+        self.log = log
+        if self.durable:
+            if manifest is None or sink is None:
+                raise ValueError("durable parallel runs need a manifest and a sink")
+            if emit != "rows":
+                raise ValueError("durable parallel runs only support classify output")
+
+    @property
+    def durable(self) -> bool:
+        return self.directory is not None
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def parent_store(self) -> CheckpointStore:
+        assert self.directory is not None
+        return CheckpointStore(os.path.join(self.directory, "parent"), keep=self.keep)
+
+    def shard_dir(self, worker_id: int) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"shard-{worker_id:02d}")
+
+    @property
+    def quarantine_part(self) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, "quarantine.part")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _prepare(self) -> tuple[int | None, dict | None]:
+        """Manifest handling + resume rendezvous; mirrors DurableRun."""
+        if not self.durable:
+            return None, None
+        assert self.directory is not None and self.manifest is not None
+        os.makedirs(self.directory, exist_ok=True)
+        if self.resume:
+            saved = RunManifest.load(self.directory)
+            diagnostics = saved.mismatches(self.manifest)
+            if diagnostics:
+                raise ManifestMismatch(diagnostics)
+            candidates = set(self.parent_store.valid_generations())
+            for worker_id in range(self.workers):
+                store = CheckpointStore(self.shard_dir(worker_id), keep=self.keep)
+                candidates &= set(store.valid_generations())
+                if not candidates:
+                    break
+            if candidates:
+                generation = max(candidates)
+                payload = self.parent_store.load(generation).payload
+                if payload.get("version") != PARENT_STATE_VERSION:
+                    raise ValueError(
+                        f"unsupported parent state version {payload.get('version')!r}"
+                    )
+                self.log(
+                    f"resuming from checkpoint generation {generation} "
+                    f"({payload['records']} records already processed)"
+                )
+                return generation, payload
+            self.log("no valid checkpoint found; restarting from the beginning")
+            return None, None
+        for store in [self.parent_store] + [
+            CheckpointStore(self.shard_dir(worker_id)) for worker_id in range(self.workers)
+        ]:
+            for generation in store.generations():
+                os.unlink(store.path_for(generation))
+        self.manifest.save(self.directory)
+        return None, None
+
+    def _open_quarantine(self, payload: dict | None) -> QuarantineWriter | None:
+        """Durable-mode sidecar over quarantine.part (resume truncates)."""
+        if self.on_error is not ErrorPolicy.QUARANTINE:
+            return None
+        if payload is None:
+            # staticcheck: ok[RC001] quarantine .part sink, atomically published on finish
+            stream = open(self.quarantine_part, "wb")
+        else:
+            state = payload["quarantine"]
+            # staticcheck: ok[RC001] resume rewinds the sidecar to the checkpointed offset
+            stream = open(self.quarantine_part, "r+b")
+            stream.truncate(state["pos"])
+            stream.seek(state["pos"])
+        writer = QuarantineWriter(stream, owns_stream=True)
+        if payload is not None:
+            writer.restore_state(payload["quarantine"])
+        return writer
+
+    def _spawn(self, context, out_queue, resume_generation: int | None):
+        processes = []
+        for worker_id in range(self.workers):
+            config = WorkerConfig(
+                worker_id=worker_id,
+                workers=self.workers,
+                input_path=self.input_path,
+                on_error=self.on_error.value,
+                fixup_window=DURABLE_FIXUP_WINDOW if self.durable else None,
+                reorder_window=self.reorder_window,
+                emit=self.emit,
+                checkpoint_dir=self.shard_dir(worker_id) if self.durable else None,
+                checkpoint_every=self.checkpoint_every if self.durable else None,
+                resume_generation=resume_generation,
+            )
+            process = context.Process(
+                target=run_worker,
+                args=(config, self.pipeline_factory, out_queue),
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+        return processes
+
+    # -- the fold ---------------------------------------------------------
+
+    def run(self) -> ParallelOutcome:
+        # Surface a missing input as FileNotFoundError in the parent
+        # (CLI exit 2) instead of as a WorkerFailure traceback.
+        open(self.input_path, "rb").close()
+        resume_generation, payload = self._prepare()
+        quarantine = self.quarantine
+        if self.durable:
+            assert self.sink is not None
+            self.sink.begin(fresh=payload is None, state=payload["sink"] if payload else None)
+            quarantine = self._open_quarantine(payload)
+
+        emitter = OrderedRowEmitter(next_emit=payload["next_emit"] if payload else 0)
+        merger = QuarantineMerger(
+            quarantine.write if quarantine is not None else (lambda line_no, reason, raw: None),
+            flushed_line=payload["flushed_line"] if payload else 0,
+        )
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        out_queue = context.Queue(maxsize=_QUEUE_SLOTS_PER_WORKER * self.workers + 8)
+        processes = self._spawn(context, out_queue, resume_generation)
+
+        done: dict[int, dict] = {}
+        markers: dict[int, dict[int, dict]] = {}
+        checkpoints_written = 0
+        empty_polls_with_dead = 0
+        try:
+            while len(done) < self.workers:
+                try:
+                    worker_id, kind, message = out_queue.get(timeout=_POLL_TIMEOUT_S)
+                except queue_module.Empty:
+                    empty_polls_with_dead = self._watch(processes, done, empty_polls_with_dead)
+                    continue
+                empty_polls_with_dead = 0
+                if kind == "batch":
+                    for index, row, is_ad, is_whitelisted in message["rows"]:
+                        emitter.push(index, (row, is_ad, is_whitelisted))
+                    for row, is_ad, is_whitelisted in emitter.drain():
+                        self._consume_row(row, is_ad, is_whitelisted)
+                    for line_no, reason, raw in message["quarantine"]:
+                        merger.push(line_no, reason, raw)
+                elif kind == "ckpt":
+                    generation = message["generation"]
+                    group = markers.setdefault(generation, {})
+                    group[worker_id] = message
+                    if len(group) == self.workers:
+                        del markers[generation]
+                        self._save_parent_checkpoint(
+                            generation, group, emitter, merger, quarantine
+                        )
+                        checkpoints_written += 1
+                elif kind == "done":
+                    done[worker_id] = message
+                elif kind == "parse_error":
+                    line_no, reason, line = message
+                    raise LogParseError(line_no, reason, line)
+                else:
+                    raise WorkerFailure(f"worker {worker_id} failed:\n{message}")
+            for process in processes:
+                process.join(timeout=10.0)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=5.0)
+            out_queue.close()
+
+        for row, is_ad, is_whitelisted in emitter.drain():
+            self._consume_row(row, is_ad, is_whitelisted)
+        records = done[0]["arrivals"]
+        if self.emit == "rows":
+            if emitter.next_emit != records:
+                emitter.assert_empty()
+                raise WorkerFailure(
+                    f"row merge lost rows: emitted {emitter.next_emit} of {records}"
+                )
+            emitter.assert_empty()
+        merger.finish()
+
+        health = PipelineHealth()
+        for worker_id in range(self.workers):
+            health.merge_state(done[worker_id]["health"])
+        accumulator = None
+        if self.emit == "fold":
+            accumulator = TrafficAccumulator()
+            for worker_id in range(self.workers):
+                accumulator.merge_state(done[worker_id]["fold"])
+
+        output_paths: list[str] = []
+        quarantine_path: str | None = None
+        quarantine_count = quarantine.count if quarantine is not None else 0
+        if self.durable:
+            assert self.sink is not None and self.manifest is not None
+            output_paths = list(self.sink.finalize())
+            self.sink.close()
+            if quarantine is not None:
+                quarantine.sync()
+                quarantine.close()
+                quarantine_path = self.manifest.quarantine_path
+                assert quarantine_path is not None
+                replace_atomic(self.quarantine_part, quarantine_path)
+            stores = [self.parent_store] + [
+                CheckpointStore(self.shard_dir(worker_id)) for worker_id in range(self.workers)
+            ]
+            for store in stores:
+                for generation in store.generations():
+                    os.unlink(store.path_for(generation))
+
+        return ParallelOutcome(
+            health=health,
+            records=records,
+            rows=emitter.next_emit,
+            quarantine_count=quarantine_count,
+            quarantine_path=quarantine_path,
+            accumulator=accumulator,
+            resumed_generation=resume_generation,
+            checkpoints_written=checkpoints_written,
+        )
+
+    def _consume_row(self, row: str, is_ad: bool, is_whitelisted: bool) -> None:
+        if self.durable:
+            assert self.sink is not None
+            self.sink.consume_row(row, is_ad, is_whitelisted)
+        elif self.on_row is not None:
+            self.on_row(row, is_ad, is_whitelisted)
+        if self.crash_injector is not None:
+            self.crash_injector.tick()
+
+    def _watch(self, processes, done: dict[int, dict], empty_polls: int) -> int:
+        """A dead worker that never said "done" is a failure, after a
+        short grace for its final messages to clear the queue pipe."""
+        dead = [
+            worker_id
+            for worker_id, process in enumerate(processes)
+            if worker_id not in done and process.exitcode is not None
+        ]
+        if not dead:
+            return 0
+        if empty_polls + 1 >= _DEAD_WORKER_GRACE_POLLS:
+            codes = ", ".join(
+                f"worker {worker_id} exit {processes[worker_id].exitcode}" for worker_id in dead
+            )
+            raise WorkerFailure(f"shard worker(s) died without reporting a result: {codes}")
+        return empty_polls + 1
+
+    def _save_parent_checkpoint(
+        self,
+        generation: int,
+        group: dict[int, dict],
+        emitter: OrderedRowEmitter,
+        merger: QuarantineMerger,
+        quarantine: QuarantineWriter | None,
+    ) -> None:
+        """Persist parent state once every shard's generation is durable.
+
+        Workers replicate the same stream, so their cut coordinates
+        must agree exactly — a mismatch means the replication invariant
+        broke and resuming would corrupt output.
+        """
+        cuts = {(message["line_no"], message["g"]) for message in group.values()}
+        if len(cuts) != 1:
+            raise WorkerFailure(
+                f"shard checkpoints disagree on the generation-{generation} cut: {sorted(cuts)}"
+            )
+        cut_line, _cut_g = cuts.pop()
+        quarantine_state: dict = {"pos": 0, "count": 0, "wrote_header": False}
+        if quarantine is not None:
+            # Everything at or below the cut line has arrived (workers
+            # flush before their marker), so it is safe — and necessary,
+            # for the recorded position to cover it — to flush now.
+            merger.release(cut_line)
+            quarantine.sync()
+            quarantine_state = quarantine.export_state()
+            quarantine_state["pos"] = quarantine.tell()
+        assert self.sink is not None and self.checkpoint_every is not None
+        state = {
+            "version": PARENT_STATE_VERSION,
+            "workers": self.workers,
+            "generation": generation,
+            "records": generation * self.checkpoint_every,
+            "next_emit": emitter.next_emit,
+            "sink": self.sink.export_state(),
+            "quarantine": quarantine_state,
+            "flushed_line": merger.flushed_line,
+        }
+        self.parent_store.save(state, generation=generation)
+        # Retention is the parent's call: shard stores never self-prune
+        # (they run ahead of the parent and would delete the very
+        # generations the resume rendezvous needs).  Prune them to the
+        # parent's retention window, leaving newer shard generations be.
+        for worker_id in range(self.workers):
+            CheckpointStore(self.shard_dir(worker_id), keep=self.keep).prune_through(generation)

@@ -1,0 +1,102 @@
+"""Deterministic merge primitives for the parallel runner (DESIGN.md §10).
+
+Workers finish records in shard-local order; these two small machines
+put the global order back:
+
+* :class:`OrderedRowEmitter` re-interleaves output rows by their global
+  ingest index, emitting exactly the contiguous prefix ``0, 1, 2, …``
+  as it becomes available — the serial emission order;
+* :class:`QuarantineMerger` re-interleaves rejected lines by line
+  number, releasing an entry only once every worker has read past its
+  line (so no smaller-numbered entry can still arrive).
+
+Both also implement the resume-side dedup: a durable parallel run may
+have published rows/entries *beyond* the last checkpoint cut (workers
+run ahead of the cut), and the replayed tail regenerates them
+byte-identically; skipping everything at or below the restored
+watermark is therefore lossless.
+
+The user-space hash itself lives in :func:`repro.http.log.shard_of`,
+next to the record schema it keys on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator
+
+from repro.http.log import claims_line, shard_of
+
+__all__ = ["shard_of", "claims_line", "OrderedRowEmitter", "QuarantineMerger"]
+
+
+class OrderedRowEmitter:
+    """Reorders ``(global_index, payload)`` pairs into index order.
+
+    ``next_emit`` is the next index owed to the output; rows below it
+    are duplicates of already-published output (resume replay) and are
+    dropped.  Rows run at most one fix-up window plus one row batch
+    ahead of the contiguous frontier, which bounds ``pending``.
+    """
+
+    def __init__(self, *, next_emit: int = 0) -> None:
+        self.next_emit = next_emit
+        self.pending: dict[int, tuple] = {}
+
+    def push(self, index: int, payload: tuple) -> None:
+        if index < self.next_emit:
+            return  # already published before the resumed checkpoint
+        self.pending[index] = payload
+
+    def drain(self) -> Iterator[tuple]:
+        """Yield payloads for the contiguous prefix available right now."""
+        while self.pending:
+            payload = self.pending.pop(self.next_emit, None)
+            if payload is None:
+                return
+            self.next_emit += 1
+            yield payload
+
+    def assert_empty(self) -> None:
+        if self.pending:
+            missing = self.next_emit
+            raise AssertionError(
+                f"row merge incomplete: index {missing} never arrived "
+                f"({len(self.pending)} rows stranded)"
+            )
+
+
+class QuarantineMerger:
+    """Line-number-ordered fold of rejected lines from all shards.
+
+    Entries are held in a min-heap until :meth:`release` learns that
+    every worker's reader has passed a given line; entries at or below
+    that watermark can no longer be preceded by an unseen one and are
+    flushed in line order.  ``flushed_line`` is the resume watermark:
+    entries at or below it are already in the sidecar ``.part`` file.
+    """
+
+    def __init__(self, write: Callable[[int, str, str], None], *, flushed_line: int = 0) -> None:
+        self._write = write
+        self._heap: list[tuple[int, str, str]] = []
+        self.flushed_line = flushed_line
+
+    def push(self, line_no: int, reason: str, raw: str) -> None:
+        if line_no <= self.flushed_line:
+            return  # already in the sidecar before the resumed checkpoint
+        heapq.heappush(self._heap, (line_no, reason, raw))
+
+    def release(self, through_line: int) -> None:
+        """Flush entries at or below ``through_line`` (a safe watermark)."""
+        while self._heap and self._heap[0][0] <= through_line:
+            line_no, reason, raw = heapq.heappop(self._heap)
+            self._write(line_no, reason, raw)
+        if through_line > self.flushed_line:
+            self.flushed_line = through_line
+
+    def finish(self) -> None:
+        """End of stream: every entry is safe to flush."""
+        while self._heap:
+            line_no, reason, raw = heapq.heappop(self._heap)
+            self._write(line_no, reason, raw)
+            self.flushed_line = max(self.flushed_line, line_no)

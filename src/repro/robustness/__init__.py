@@ -20,6 +20,7 @@ from repro.robustness.health import (
     EXIT_CLEAN,
     EXIT_DEGRADED,
     EXIT_MANIFEST_MISMATCH,
+    EXIT_MISSING_INPUT,
     EXIT_STRICT_ABORT,
     PipelineHealth,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "CRASH_EXIT_CODE",
     "EXIT_CLEAN",
     "EXIT_STRICT_ABORT",
+    "EXIT_MISSING_INPUT",
     "EXIT_DEGRADED",
     "EXIT_MANIFEST_MISMATCH",
 ]

@@ -62,11 +62,14 @@ class CheckpointStore:
         directory: checkpoint directory (created on first save).
         keep: retained generations; older ones are pruned after a
             successful save.  ``keep >= 2`` is what makes torn-newest
-            fallback possible.
+            fallback possible.  ``None`` disables save-time pruning —
+            used by shard-parallel workers, whose retention is owned by
+            the parent (it lags behind them and prunes via
+            :meth:`prune_through` once its own generation advances).
     """
 
-    def __init__(self, directory: str | os.PathLike, *, keep: int = 3):
-        if keep < 1:
+    def __init__(self, directory: str | os.PathLike, *, keep: int | None = 3):
+        if keep is not None and keep < 1:
             raise ValueError("keep must be >= 1")
         self.directory = os.fspath(directory)
         self.keep = keep
@@ -106,12 +109,20 @@ class CheckpointStore:
         return Checkpoint(generation=generation, payload=payload)
 
     def _prune(self, *, keep_from: int) -> None:
+        if self.keep is None:
+            return
         generations = [g for g in self.generations() if g <= keep_from]
         for stale in generations[: -self.keep]:
             try:
                 os.unlink(self.path_for(stale))
             except OSError:
                 pass  # pruning is housekeeping, never fatal
+
+    def prune_through(self, generation: int) -> None:
+        """Prune as if ``generation`` were the newest save: keep the
+        newest ``keep`` generations at or below it, leaving anything
+        newer untouched (a shard worker may already have run ahead)."""
+        self._prune(keep_from=generation)
 
     # -- read -------------------------------------------------------------
 
@@ -156,3 +167,21 @@ class CheckpointStore:
             except CheckpointError:
                 continue
         return None
+
+    def valid_generations(self) -> list[int]:
+        """Generation numbers that fully validate, ascending.
+
+        Shard-parallel resume (DESIGN.md §10) must restart every worker
+        from the *same* generation, so the rendezvous point is the
+        newest generation valid in the parent store and every shard
+        store at once — which needs the whole valid set, not just the
+        newest survivor that :meth:`latest` returns.
+        """
+        valid = []
+        for generation in self.generations():
+            try:
+                self.load(generation)
+            except CheckpointError:
+                continue
+            valid.append(generation)
+        return valid

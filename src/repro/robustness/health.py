@@ -15,16 +15,20 @@ __all__ = [
     "PipelineHealth",
     "EXIT_CLEAN",
     "EXIT_STRICT_ABORT",
+    "EXIT_MISSING_INPUT",
     "EXIT_DEGRADED",
     "EXIT_MANIFEST_MISMATCH",
 ]
 
 # CLI exit codes (README §CLI): 0 all records survived, 1 strict-mode
-# abort on the first bad line, 3 run completed but records were dropped,
-# 4 --resume refused because the run manifest does not match the current
-# config/filter-lists/input (DESIGN.md §8).
+# abort on the first bad line, 2 an input file does not exist (matches
+# argparse's usage-error code — both are "the invocation is wrong"),
+# 3 run completed but records were dropped, 4 --resume refused because
+# the run manifest does not match the current config/filter-lists/input
+# (DESIGN.md §8).
 EXIT_CLEAN = 0
 EXIT_STRICT_ABORT = 1
+EXIT_MISSING_INPUT = 2
 EXIT_DEGRADED = 3
 EXIT_MANIFEST_MISMATCH = 4
 
@@ -109,6 +113,26 @@ class PipelineHealth:
         }
         return health
 
+    def merge_state(self, state: dict) -> None:
+        """Fold an exported snapshot into this accounting.
+
+        The shard-parallel fold (DESIGN.md §10): every counter is a sum
+        over disjoint record sets, *including* ``peak_users`` — each
+        worker holds its shard's users simultaneously, so the pool's
+        peak memory is the sum of the per-shard peaks, not their max
+        (contrast :meth:`merge`, which combines alternative runs).
+        """
+        self.records_seen += state["records_seen"]
+        self.records_ok += state["records_ok"]
+        self.records_dropped += state["records_dropped"]
+        self.records_quarantined += state["records_quarantined"]
+        self.records_repaired += state["records_repaired"]
+        self.records_reordered += state["records_reordered"]
+        self.users_evicted += state["users_evicted"]
+        self.peak_users += state["peak_users"]
+        for stage, reasons in state["stage_errors"].items():
+            self.stage_errors.setdefault(stage, Counter()).update(reasons)
+
     def summary(self) -> str:
         lines = [
             "-- pipeline health --",
@@ -126,6 +150,11 @@ class PipelineHealth:
         if self.peak_users:
             lines.append(f"peak users held:   {self.peak_users}")
         for stage in sorted(self.stage_errors):
-            for reason, count in self.stage_errors[stage].most_common():
+            # Not Counter.most_common(): its ties break by insertion
+            # order, which differs between a serial run and a shard
+            # fold.  Sorting by (-count, reason) keeps the summary
+            # byte-identical across execution plans (DESIGN.md §10).
+            reasons = sorted(self.stage_errors[stage].items(), key=lambda kv: (-kv[1], kv[0]))
+            for reason, count in reasons:
                 lines.append(f"  {stage}/{reason}: {count}")
         return "\n".join(lines)

@@ -55,9 +55,31 @@ __all__ = [
     "ClassifySink",
     "UserStatsSink",
     "TrafficSink",
+    "classification_row",
     "fingerprint_params",
     "fingerprint_lists",
 ]
+
+
+def classification_row(entry: ClassifiedRequest) -> str:
+    """The one `repro classify` output row format (no trailing newline).
+
+    Every writer — the serial in-memory path, the durable sink, and the
+    shard-parallel workers — renders through this function, so "byte-
+    identical output across execution plans" (DESIGN.md §10) cannot
+    drift into three subtly different formatters.
+    """
+    return "\t".join(
+        [
+            str(entry.record.ts),
+            entry.record.client,
+            entry.record.url,
+            entry.page_url,
+            "1" if entry.is_ad else "0",
+            entry.blacklist_name or "-",
+            "1" if entry.is_whitelisted else "0",
+        ]
+    )
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
@@ -260,23 +282,17 @@ class ClassifySink(RunSink):
             self._file.seek(state["pos"])
 
     def consume(self, entry: ClassifiedRequest) -> None:
+        self.consume_row(classification_row(entry), entry.is_ad, entry.is_whitelisted)
+
+    def consume_row(self, row: str, is_ad: bool, is_whitelisted: bool) -> None:
+        """Append one pre-rendered row (the shard-parallel entry point —
+        workers render rows, the parent only interleaves and counts)."""
         self.total += 1
-        if entry.is_ad:
+        if is_ad:
             self.ads += 1
-        if entry.is_whitelisted:
+        if is_whitelisted:
             self.whitelisted += 1
         if self._file is not None:
-            row = "\t".join(
-                [
-                    str(entry.record.ts),
-                    entry.record.client,
-                    entry.record.url,
-                    entry.page_url,
-                    "1" if entry.is_ad else "0",
-                    entry.blacklist_name or "-",
-                    "1" if entry.is_whitelisted else "0",
-                ]
-            )
             self._file.write((row + "\n").encode("utf-8"))
 
     def export_state(self) -> dict:

@@ -301,6 +301,43 @@ class _RestoreScan(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _check_rc004_consumer(
+    ctx: _Context,
+    class_node: ast.ClassDef,
+    consumer: ast.FunctionDef,
+    export: ast.FunctionDef,
+    exported: set[str],
+) -> None:
+    """Check one state-consuming method against the export key set."""
+    if len(consumer.args.args) < 2:
+        return
+    scan = _RestoreScan(consumer.args.args[1].arg)
+    scan.visit(consumer)
+    consumed = scan.keys
+
+    missing = consumed - exported
+    if missing:
+        ctx.report(
+            "RC004",
+            f"{class_node.name}.{consumer.name} reads key(s) "
+            f"{sorted(missing)} that {class_node.name}.export_state never "
+            "writes — resume would crash or silently default",
+            consumer,
+            subject=f"{class_node.name}:{consumer.name}:{','.join(sorted(missing))}",
+        )
+    unconsumed = exported - consumed
+    if unconsumed and not scan.consumes_all:
+        ctx.report(
+            "RC004",
+            f"{class_node.name}.export_state writes key(s) "
+            f"{sorted(unconsumed)} that {class_node.name}.{consumer.name} "
+            "never reads — state is silently dropped on resume",
+            export,
+            subject=f"{class_node.name}:{consumer.name}:{','.join(sorted(unconsumed))}",
+            severity=Severity.WARNING,
+        )
+
+
 def _check_rc004(tree: ast.AST, ctx: _Context) -> None:
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
@@ -311,41 +348,21 @@ def _check_rc004(tree: ast.AST, ctx: _Context) -> None:
             if isinstance(item, ast.FunctionDef)
         }
         export = methods.get("export_state")
-        restore = next(
-            (methods[name] for name in _RESTORE_METHODS if name in methods), None
-        )
-        if export is None or restore is None:
+        if export is None:
             continue
         exported = _export_keys(export)
         if exported is None:
             continue  # delegation or dynamic construction: not checkable
-        if len(restore.args.args) < 2:
-            continue
-        scan = _RestoreScan(restore.args.args[1].arg)
-        scan.visit(restore)
-        consumed = scan.keys
-
-        missing = consumed - exported
-        if missing:
-            ctx.report(
-                "RC004",
-                f"{node.name}.{restore.name} reads key(s) "
-                f"{sorted(missing)} that {node.name}.export_state never "
-                "writes — resume would crash or silently default",
-                restore,
-                subject=f"{node.name}:{','.join(sorted(missing))}",
-            )
-        unconsumed = exported - consumed
-        if unconsumed and not scan.consumes_all:
-            ctx.report(
-                "RC004",
-                f"{node.name}.export_state writes key(s) "
-                f"{sorted(unconsumed)} that {node.name}.{restore.name} "
-                "never reads — state is silently dropped on resume",
-                export,
-                subject=f"{node.name}:{','.join(sorted(unconsumed))}",
-                severity=Severity.WARNING,
-            )
+        restore = next(
+            (methods[name] for name in _RESTORE_METHODS if name in methods), None
+        )
+        if restore is not None:
+            _check_rc004_consumer(ctx, node, restore, export, exported)
+        # merge_state (shard-parallel fold, DESIGN.md §10) consumes the
+        # same export payload, so it is held to the same drift gate.
+        merge = methods.get("merge_state")
+        if merge is not None:
+            _check_rc004_consumer(ctx, node, merge, export, exported)
 
 
 # -- entry points -----------------------------------------------------------

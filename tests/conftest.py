@@ -19,6 +19,15 @@ from repro.trace import RBNTraceGenerator, rbn2_config
 from repro.web import Ecosystem, EcosystemConfig
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/ expected outputs (never the trace)",
+    )
+
+
 @pytest.fixture(scope="session")
 def ecosystem() -> Ecosystem:
     return Ecosystem.generate(EcosystemConfig(n_publishers=120, seed=99))

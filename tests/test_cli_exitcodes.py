@@ -1,0 +1,130 @@
+"""Exit-code contract of the CLI, serial and parallel.
+
+The robustness layer reserves one exit code per failure class (see
+``repro.robustness.health``): 0 clean, 1 strict abort / usage errors,
+2 missing input, 3 degraded, 4 manifest mismatch, 87 injected crash.
+These subprocess tests pin the codes AND the stderr diagnostics, so a
+refactor cannot silently turn "input file not found" into a traceback
+— in particular on the ``--workers`` paths, where the error first
+surfaces inside a forked worker and must still come back out as the
+same clean diagnostic.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.robustness import EXIT_MISSING_INPUT
+from repro.robustness.health import EXIT_MANIFEST_MISMATCH, EXIT_STRICT_ABORT
+
+_ECO = ["--publishers", "80", "--eco-seed", "99"]
+
+
+def _cli(args, cwd):
+    env = dict(os.environ)
+    repo_src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (repo_src, env.get("PYTHONPATH")) if part
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=str(cwd), env=env, capture_output=True, text=True, timeout=600,
+    )
+
+
+@pytest.mark.parametrize("workers", [None, 2])
+@pytest.mark.parametrize("command", ["classify", "report"])
+def test_missing_input_exits_2(tmp_path, command, workers):
+    args = [command, *_ECO, "--trace", str(tmp_path / "absent.tsv")]
+    if command == "classify":
+        args += ["--out", str(tmp_path / "out.tsv")]
+    if workers is not None:
+        args += ["--workers", str(workers)]
+    proc = _cli(args, tmp_path)
+    assert proc.returncode == EXIT_MISSING_INPUT, proc.stderr
+    assert "error: input file not found" in proc.stderr
+    assert "absent.tsv" in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+def test_resume_without_manifest_exits_4(tmp_path, trace_file):
+    (tmp_path / "ckpt").mkdir()
+    proc = _cli(
+        ["classify", *_ECO, "--trace", str(trace_file),
+         "--out", str(tmp_path / "out.tsv"),
+         "--checkpoint-dir", str(tmp_path / "ckpt"), "--resume"],
+        tmp_path,
+    )
+    assert proc.returncode == EXIT_MANIFEST_MISMATCH, proc.stderr
+    assert "nothing to resume" in proc.stderr
+
+
+def test_workers_zero_is_a_usage_error(tmp_path, trace_file):
+    proc = _cli(
+        ["classify", *_ECO, "--trace", str(trace_file),
+         "--out", str(tmp_path / "out.tsv"), "--workers", "0"],
+        tmp_path,
+    )
+    assert proc.returncode == 1
+    assert "--workers" in proc.stderr
+
+
+def test_workers_refuses_max_users(tmp_path, trace_file):
+    proc = _cli(
+        ["classify", *_ECO, "--trace", str(trace_file),
+         "--out", str(tmp_path / "out.tsv"),
+         "--workers", "2", "--max-users", "10"],
+        tmp_path,
+    )
+    assert proc.returncode == 1
+    assert "--max-users" in proc.stderr
+    assert "--workers" in proc.stderr
+
+
+def test_report_refuses_durable_parallel(tmp_path, trace_file):
+    proc = _cli(
+        ["report", *_ECO, "--trace", str(trace_file),
+         "--workers", "2", "--checkpoint-dir", str(tmp_path / "ckpt")],
+        tmp_path,
+    )
+    assert proc.returncode == 1
+    assert "only supported for classify" in proc.stderr
+
+
+@pytest.mark.parametrize("workers", [None, 2])
+def test_strict_abort_exits_1_with_line_diagnostic(tmp_path, trace_file, workers):
+    dirty = tmp_path / "dirty.tsv"
+    proc = _cli(
+        ["corrupt", "--trace", str(trace_file), "--out", str(dirty),
+         "--rate", "0.05", "--seed", "3"],
+        tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    args = ["classify", *_ECO, "--trace", str(dirty),
+            "--out", str(tmp_path / "out.tsv"), "--on-error", "strict"]
+    if workers is not None:
+        args += ["--workers", str(workers)]
+    proc = _cli(args, tmp_path)
+    assert proc.returncode == EXIT_STRICT_ABORT, proc.stderr
+    assert "malformed input at" in proc.stderr
+    assert "--on-error skip|quarantine" in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("exitcodes")
+    path = tmp / "trace.tsv"
+    proc = _cli(
+        ["trace", *_ECO, "--preset", "rbn2", "--scale", "0.0001",
+         "--out", str(path)],
+        tmp,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return path

@@ -1,0 +1,304 @@
+"""Merge laws for every ``merge_state()`` (DESIGN.md §10).
+
+The shard-parallel fold rebuilds one global state from per-shard
+exports, so each ``merge_state`` must behave like a commutative,
+associative monoid action on exported snapshots — up to the orderings
+each class deliberately leaves unspecified (dict insertion order,
+users-list order), which the ``canon`` helpers quotient away.  The
+classifier itself is additionally checked against ground truth: shard
+a real trace, fold the shard classifiers, and the merged state must
+equal the serial classifier's state.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.traffic import TrafficAccumulator
+from repro.core.pipeline import StreamingClassifier
+from repro.core.referrer_map import ReferrerMap
+from repro.http.log import shard_of
+from repro.robustness.health import PipelineHealth
+from repro.robustness.quarantine import QuarantineWriter
+
+# ---------------------------------------------------------------------------
+# Strategies: exported-state snapshots, built from primitives
+
+
+counts = st.integers(min_value=0, max_value=10_000)
+names = st.text(alphabet="abcdefgh/.-", min_size=1, max_size=8)
+count_maps = st.dictionaries(names, st.integers(min_value=1, max_value=100), max_size=4)
+
+health_states = st.fixed_dictionaries(
+    {
+        "records_seen": counts,
+        "records_ok": counts,
+        "records_dropped": counts,
+        "records_quarantined": counts,
+        "records_repaired": counts,
+        "records_reordered": counts,
+        "users_evicted": counts,
+        "peak_users": counts,
+        "stage_errors": st.dictionaries(names, count_maps, max_size=3),
+    }
+)
+
+traffic_states = st.fixed_dictionaries(
+    {
+        "total_requests": counts,
+        "total_bytes": counts,
+        "ad_requests": counts,
+        "ad_bytes": counts,
+        "by_list": count_maps,
+        "ad_requests_by_mime": count_maps,
+        "ad_bytes_by_mime": count_maps,
+        "nonad_requests_by_mime": count_maps,
+        "nonad_bytes_by_mime": count_maps,
+    }
+)
+
+urls = st.text(alphabet="abcdef:/.", min_size=1, max_size=12)
+url_pairs = st.lists(st.tuples(urls, urls), max_size=6, unique_by=lambda p: p[0])
+
+referrer_states = st.fixed_dictionaries(
+    {
+        "page_root": url_pairs,
+        "pending_redirects": url_pairs,
+        "embedded": url_pairs,
+    }
+)
+
+quarantine_states = st.fixed_dictionaries(
+    {"count": counts, "wrote_header": st.booleans()}
+)
+
+
+def canon(value):
+    """Order-free view of an exported snapshot: dicts become sorted
+    item tuples, pair-lists are sorted (their order is insertion order,
+    which the fold deliberately leaves shard-dependent)."""
+    if isinstance(value, dict):
+        return tuple(sorted((key, canon(item)) for key, item in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(sorted((canon(item) for item in value), key=repr))
+    return value
+
+
+# ---------------------------------------------------------------------------
+# The generic laws, parameterized over (fresh-instance, export, merge)
+
+
+MERGEABLES = {
+    "health": (
+        PipelineHealth,
+        lambda obj: obj.export_state(),
+        health_states,
+    ),
+    "traffic": (
+        TrafficAccumulator,
+        lambda obj: obj.export_state(),
+        traffic_states,
+    ),
+    "referrer": (
+        ReferrerMap,
+        lambda obj: obj.export_state(),
+        referrer_states,
+    ),
+    "quarantine": (
+        lambda: QuarantineWriter(io.BytesIO()),
+        lambda obj: obj.export_state(),
+        quarantine_states,
+    ),
+}
+
+
+def _fold(fresh, states):
+    obj = fresh()
+    for state in states:
+        obj.merge_state(state)
+    return obj
+
+
+@pytest.mark.parametrize("kind", sorted(MERGEABLES))
+class TestMergeLaws:
+    def _bind(self, kind):
+        return MERGEABLES[kind]
+
+    def test_identity(self, kind):
+        fresh, export, strategy = self._bind(kind)
+
+        @settings(max_examples=50, deadline=None)
+        @given(state=strategy)
+        def law(state):
+            merged = _fold(fresh, [state])
+            assert canon(export(merged)) == canon(state)
+            # Folding a fresh instance's own export is a no-op.
+            merged.merge_state(export(fresh()))
+            assert canon(export(merged)) == canon(state)
+
+        law()
+
+    def test_commutativity(self, kind):
+        fresh, export, strategy = self._bind(kind)
+
+        @settings(max_examples=50, deadline=None)
+        @given(a=strategy, b=strategy)
+        def law(a, b):
+            assert canon(export(_fold(fresh, [a, b]))) == canon(
+                export(_fold(fresh, [b, a]))
+            )
+
+        law()
+
+    def test_associativity(self, kind):
+        fresh, export, strategy = self._bind(kind)
+
+        @settings(max_examples=50, deadline=None)
+        @given(a=strategy, b=strategy, c=strategy)
+        def law(a, b, c):
+            flat = _fold(fresh, [a, b, c])
+            nested = _fold(fresh, [export(_fold(fresh, [a, b])), c])
+            assert canon(export(flat)) == canon(export(nested))
+
+        law()
+
+
+# ---------------------------------------------------------------------------
+# Class-specific semantics the generic laws cannot express
+
+
+def test_health_peak_users_sums_across_shards():
+    """Disjoint shards hold their users simultaneously: the pool peak is
+    the *sum* of shard peaks (contrast merge(), which maxes)."""
+    total = PipelineHealth()
+    for peak in (3, 5, 2):
+        shard = PipelineHealth(peak_users=peak)
+        total.merge_state(shard.export_state())
+    assert total.peak_users == 10
+    alternative = PipelineHealth(peak_users=3)
+    alternative.merge(PipelineHealth(peak_users=5))
+    assert alternative.peak_users == 5
+
+
+def test_health_summary_is_fold_order_insensitive():
+    a = PipelineHealth()
+    a.record_error("read_log", "bad-value")
+    a.record_error("read_log", "field-count")
+    b = PipelineHealth()
+    b.record_error("read_log", "field-count")
+
+    ab = PipelineHealth()
+    ab.merge_state(a.export_state())
+    ab.merge_state(b.export_state())
+    ba = PipelineHealth()
+    ba.merge_state(b.export_state())
+    ba.merge_state(a.export_state())
+    assert ab.summary() == ba.summary()
+    # Equal counts tie-break by reason name, not insertion order.
+    assert ab.summary().index("bad-value") > ab.summary().index("field-count")
+
+
+def test_referrer_overlap_keeps_lexicographic_minimum():
+    left = ReferrerMap()
+    left.observe("http://x/ad", "http://page-b/", looks_like_document=False)
+    right = ReferrerMap()
+    right.observe("http://x/ad", "http://page-a/", looks_like_document=False)
+    merged = ReferrerMap()
+    merged.merge_state(left.export_state())
+    merged.merge_state(right.export_state())
+    assert merged.page_of("http://x/ad") == "http://page-a/"
+
+
+# ---------------------------------------------------------------------------
+# StreamingClassifier: the fold must reconstruct the serial state
+
+
+def _classifier_canon(state: dict) -> tuple:
+    """Classifier states compare equal up to users-list order (serial
+    order is first appearance; a fold appends shard by shard)."""
+    return canon(
+        {
+            "version": state["version"],
+            "next_index": state["next_index"],
+            "users": sorted(state["users"], key=lambda item: tuple(item[0])),
+            # Buffer order is part of the contract: release order.
+            "buffer_ordered": tuple(repr(row) for row in state["buffer"]),
+            "reorder": {
+                "heap": sorted(state["reorder"]["heap"]),
+                "seq": state["reorder"]["seq"],
+                "max_ts": state["reorder"]["max_ts"],
+            },
+        }
+    )
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+@pytest.mark.parametrize("fixup_window", [None, 8])
+def test_classifier_shard_fold_equals_serial_state(
+    pipeline, rbn_trace, workers, fixup_window
+):
+    records = rbn_trace.http[:600]
+
+    serial = StreamingClassifier(pipeline, fixup_window=fixup_window)
+    serial_released = []
+    for record in records:
+        serial_released.extend(serial.feed(record))
+
+    shards = [
+        StreamingClassifier(pipeline, fixup_window=fixup_window)
+        for _ in range(workers)
+    ]
+    released = []  # (index, entry) pairs from every shard
+    for index, record in enumerate(records):
+        owner = shard_of(record.client, record.user_agent or "", workers)
+        for shard_id, classifier in enumerate(shards):
+            if shard_id == owner:
+                released.extend(classifier.feed_at(record, index))
+            else:
+                released.extend(classifier.tick(index))
+
+    # Released entries re-interleave by index into the serial order.
+    released.sort(key=lambda pair: pair[0])
+    assert [entry.record.to_row() for _, entry in released] == [
+        entry.record.to_row() for entry in serial_released
+    ]
+
+    merged = StreamingClassifier(pipeline, fixup_window=fixup_window)
+    for classifier in shards:
+        merged.merge_state(classifier.export_state())
+    assert _classifier_canon(merged.export_state()) == _classifier_canon(
+        serial.export_state()
+    )
+
+
+def test_classifier_merge_is_shard_order_insensitive(pipeline, rbn_trace):
+    records = rbn_trace.http[:300]
+    shards = [StreamingClassifier(pipeline, fixup_window=None) for _ in range(3)]
+    for index, record in enumerate(records):
+        owner = shard_of(record.client, record.user_agent or "", 3)
+        shards[owner].feed_at(record, index)
+    states = [classifier.export_state() for classifier in shards]
+
+    forward = StreamingClassifier(pipeline, fixup_window=None)
+    for state in states:
+        forward.merge_state(state)
+    backward = StreamingClassifier(pipeline, fixup_window=None)
+    for state in reversed(states):
+        backward.merge_state(state)
+    assert _classifier_canon(forward.export_state()) == _classifier_canon(
+        backward.export_state()
+    )
+    # Buffer release order (index order) is identical, not just canon-equal.
+    assert [row[0] for row in forward.export_state()["buffer"]] == [
+        row[0] for row in backward.export_state()["buffer"]
+    ]
+
+
+def test_classifier_merge_rejects_unknown_version(pipeline):
+    classifier = StreamingClassifier(pipeline)
+    with pytest.raises(ValueError, match="state version"):
+        classifier.merge_state({"version": 99})

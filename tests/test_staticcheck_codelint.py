@@ -145,6 +145,35 @@ class TestRC004:
         assert len(errors) == 1 and errors[0].code == "RC004"
         assert "tally" in errors[0].message
 
+    def test_merge_state_is_held_to_the_same_gate(self):
+        # merge_state consumes the export payload too (DESIGN.md §10):
+        # reading a key export_state never produces is drift.
+        source = RC004_CLEAN + (
+            "\n"
+            "    def merge_state(self, state):\n"
+            '        self.count += state["tally"]\n'
+        )
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert len(errors) == 1 and errors[0].code == "RC004"
+        assert "merge_state" in errors[0].subject
+        assert "tally" in errors[0].message
+
+    def test_merge_state_leaving_a_key_unconsumed_warns(self):
+        source = RC004_DRIFT.replace("restore_state", "merge_state")
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        assert [diag.code for diag in diags] == ["RC004"]
+        assert diags[0].severity is Severity.WARNING
+        assert "seen" in diags[0].message
+
+    def test_clean_merge_state_passes(self):
+        source = RC004_CLEAN + (
+            "\n"
+            "    def merge_state(self, state):\n"
+            '        self.count += state["count"]\n'
+        )
+        assert _codes(source) == []
+
 
 class TestPragmas:
     def test_collects_codes_per_line(self):
