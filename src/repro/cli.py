@@ -133,6 +133,13 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
                              "serial path (DESIGN.md §10)")
 
 
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-decision-cache", action="store_true",
+                        help="disable the memoized decision layer (DESIGN.md §11); "
+                             "output is byte-identical either way — this is an "
+                             "escape hatch for benchmarking and debugging")
+
+
 def _check_parallel_args(args: argparse.Namespace) -> None:
     if args.workers is None:
         return
@@ -149,7 +156,32 @@ def _pipeline_factory(args: argparse.Namespace):
 
     from repro.parallel import build_ecosystem_pipeline
 
-    return functools.partial(build_ecosystem_pipeline, args.publishers, args.eco_seed)
+    return functools.partial(
+        build_ecosystem_pipeline,
+        args.publishers,
+        args.eco_seed,
+        not args.no_decision_cache,
+    )
+
+
+def _build_pipeline(args: argparse.Namespace, lists) -> AdClassificationPipeline:
+    """Serial-path pipeline honoring the decision-cache escape hatch."""
+    from repro.core.pipeline import PipelineConfig
+
+    config = PipelineConfig(use_decision_cache=not args.no_decision_cache)
+    return AdClassificationPipeline(lists, config)
+
+
+def _note_cache(health: PipelineHealth, pipeline: AdClassificationPipeline) -> None:
+    """Fold the pipeline's decision-cache counters into ``health``.
+
+    The counters are transient observability (never checkpointed or
+    merged — see ``PipelineHealth._TRANSIENT_STATE``); this is the one
+    place the serial CLI path copies them over for reporting.
+    """
+    stats = pipeline.decision_cache_stats
+    if stats is not None:
+        health.add_cache_stats(stats.hits, stats.misses, stats.evictions)
 
 
 def _quarantine_path(args: argparse.Namespace) -> str:
@@ -220,8 +252,18 @@ def _durable_run(
 
 
 def _finish(health: PipelineHealth, *, always_summarize: bool = False) -> int:
-    """Print the end-of-run health summary; map degradation to exit code."""
+    """Print the end-of-run health summary; map degradation to exit code.
+
+    The decision-cache block prints *before* the ``-- pipeline health --``
+    marker: tools (and this repo's tests) byte-compare everything from
+    the marker onward across execution plans, and cache counters
+    legitimately differ between serial/parallel/cached/uncached runs.
+    """
     if always_summarize or health.degraded:
+        cache_block = health.cache_summary()
+        if cache_block:
+            print()
+            print(cache_block)
         print()
         print(health.summary())
     return health.exit_code()
@@ -299,6 +341,9 @@ def _classify_params(args: argparse.Namespace) -> dict:
         "max_users": args.max_users,
         "reorder_window": args.reorder_window,
         "workers": args.workers,
+        # Pinned for hygiene even though cached and uncached runs are
+        # byte-identical: a resumed run should be the run you started.
+        "decision_cache": not args.no_decision_cache,
     }
 
 
@@ -393,7 +438,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         return _classify_parallel(args)
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
-    pipeline = AdClassificationPipeline(lists)
+    pipeline = _build_pipeline(args, lists)
 
     if args.checkpoint_dir:
         sink = ClassifySink(
@@ -414,6 +459,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         _classify_summary(sink.total, sink.ads, sink.whitelisted)
         if args.out:
             print(f"wrote classification to {args.out}")
+        _note_cache(result.health, pipeline)
         return _finish(result.health, always_summarize=True)
 
     health = PipelineHealth()
@@ -435,6 +481,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             for entry in entries:
                 stream.write(classification_row(entry) + "\n")
         print(f"wrote classification to {args.out}")
+    _note_cache(health, pipeline)
     return _finish(health, always_summarize=True)
 
 
@@ -450,7 +497,7 @@ def _cmd_usage(args: argparse.Namespace) -> int:
     _check_checkpoint_args(args)
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
-    pipeline = AdClassificationPipeline(lists)
+    pipeline = _build_pipeline(args, lists)
 
     if args.checkpoint_dir:
         sink = UserStatsSink()
@@ -499,6 +546,7 @@ def _cmd_usage(args: argparse.Namespace) -> int:
     print(render_table(rows, title="ad-blocker usage classes (paper Table 3)"))
     likely = sum(1 for usage in usages if usage.likely_adblock)
     print(f"likely Adblock Plus users: {likely}/{len(usages)} active browsers")
+    _note_cache(health, pipeline)
     return _finish(health)
 
 
@@ -571,7 +619,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
-    pipeline = AdClassificationPipeline(lists)
+    pipeline = _build_pipeline(args, lists)
 
     if args.checkpoint_dir:
         sink = TrafficSink()
@@ -597,6 +645,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         for entry in pipeline.iter_process(records, fixup_window=None, health=health):
             accumulator.add(entry)
 
+    _note_cache(health, pipeline)
     return _report_tables(accumulator, health)
 
 
@@ -731,6 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robustness_flags(p_classify)
     _add_checkpoint_flags(p_classify)
     _add_parallel_flags(p_classify)
+    _add_cache_flags(p_classify)
     p_classify.add_argument("--trace", required=True)
     p_classify.add_argument("--out", help="write per-request classification TSV")
     p_classify.add_argument("--max-users", type=int,
@@ -743,6 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ecosystem_flags(p_usage)
     _add_robustness_flags(p_usage)
     _add_checkpoint_flags(p_usage)
+    _add_cache_flags(p_usage)
     p_usage.add_argument("--trace", required=True)
     p_usage.add_argument("--tls", required=True)
     p_usage.add_argument("--threshold", type=float, default=0.05)
@@ -794,6 +845,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robustness_flags(p_report)
     _add_checkpoint_flags(p_report)
     _add_parallel_flags(p_report)
+    _add_cache_flags(p_report)
     p_report.add_argument("--trace", required=True)
     p_report.set_defaults(func=_cmd_report)
 

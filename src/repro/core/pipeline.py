@@ -27,10 +27,12 @@ from typing import Iterable, Iterator
 from repro.core.content_type import infer_content_type, type_from_mime
 from repro.core.normalize import ProtectedValues, collect_protected_values, normalize_url
 from repro.core.referrer_map import ReferrerMap
+from repro.filterlist.cache import DEFAULT_CACHE_SIZE, CacheStats, CachingEngine
 from repro.filterlist.engine import Classification, FilterEngine, RequestContext
 from repro.filterlist.lists import FilterList
 from repro.filterlist.options import ContentType
 from repro.http.log import HttpLogRecord
+from repro.http.url import split_url
 from repro.robustness import PipelineHealth
 
 __all__ = [
@@ -55,6 +57,11 @@ class PipelineConfig:
     redirect_type_fixup: bool = True
     extension_first: bool = True
     use_keyword_index: bool = True
+    # Memoized decision layer (DESIGN.md §11).  Pure memoization: results
+    # are byte-identical either way; the switch exists for benchmarking
+    # and as an escape hatch (`repro classify --no-decision-cache`).
+    use_decision_cache: bool = True
+    decision_cache_size: int = DEFAULT_CACHE_SIZE
 
 
 @dataclass(slots=True)
@@ -466,16 +473,27 @@ class AdClassificationPipeline:
     def __init__(self, lists: dict[str, FilterList], config: PipelineConfig | None = None):
         self.config = config or PipelineConfig()
         self.lists = lists
-        self._engine = FilterEngine(use_keyword_index=self.config.use_keyword_index)
+        engine: FilterEngine | CachingEngine
+        engine = FilterEngine(use_keyword_index=self.config.use_keyword_index)
         all_filters = []
         for name, filter_list in lists.items():
-            self._engine.add_filters(filter_list.filters, list_name=name)
+            engine.add_filters(filter_list.filters, list_name=name)
             all_filters.extend(filter_list.filters)
+        if self.config.use_decision_cache:
+            engine = CachingEngine(engine, maxsize=self.config.decision_cache_size)
+        self._engine = engine
         self._protected: ProtectedValues = collect_protected_values(all_filters)
 
     @property
-    def engine(self) -> FilterEngine:
+    def engine(self) -> FilterEngine | CachingEngine:
         return self._engine
+
+    @property
+    def decision_cache_stats(self) -> CacheStats | None:
+        """Live cache counters, or None when the cache is disabled."""
+        if isinstance(self._engine, CachingEngine):
+            return self._engine.stats
+        return None
 
     def process(self, records: Iterable[HttpLogRecord], **kwargs) -> list[ClassifiedRequest]:
         """Classify a time-ordered record stream into a list.
@@ -554,7 +572,11 @@ class AdClassificationPipeline:
 
     def _classify(self, entry: ClassifiedRequest) -> Classification:
         context = RequestContext(content_type=entry.content_type, page_url=entry.page_url)
-        return self._engine.classify(entry.normalized_url, context)
+        # Split once here; the engine would otherwise re-split per call.
+        request_host = split_url(entry.normalized_url).host
+        return self._engine.classify(
+            entry.normalized_url, context, request_host=request_host
+        )
 
     def classify_one(
         self,

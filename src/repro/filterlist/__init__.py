@@ -17,6 +17,12 @@ from repro.filterlist.easylist import (
     synthesize_easyprivacy,
     synthesize_language_derivative,
 )
+from repro.filterlist.cache import (
+    CacheStats,
+    CachingEngine,
+    DecisionCache,
+    EngineFingerprintMismatch,
+)
 from repro.filterlist.engine import (
     Classification,
     Decision,
@@ -41,6 +47,10 @@ from repro.filterlist.stats import ListStats, compare_lists, list_stats
 from repro.filterlist.parser import ParsedList, parse_expires, parse_list_text
 
 __all__ = [
+    "CacheStats",
+    "CachingEngine",
+    "DecisionCache",
+    "EngineFingerprintMismatch",
     "CombinedRegexEngine",
     "ChurnRates",
     "evolve",

@@ -32,12 +32,59 @@ from repro.filterlist.engine import Classification, FilterEngine, MatchResult, R
 from repro.filterlist.filter import Filter
 from repro.staticcheck.redos import scan_pattern_source
 
-__all__ = ["CombinedRegexEngine"]
+__all__ = ["CombinedRegexEngine", "CombinedAlternation"]
 
 
 def _pattern_regex_source(filter_: Filter) -> str:
     """The already-compiled single-filter regex, as a source fragment."""
     return f"(?:{filter_.regex.pattern})"
+
+
+# Bounds per compiled sub-pattern.  CPython's sre compiler has internal
+# limits (code-size overflow, 100-group caps for some constructs) that a
+# single 50k+-fragment alternation can trip; chunking keeps every
+# individual compile comfortably small while a scan stays O(#chunks).
+_MAX_CHUNK_FRAGMENTS = 1024
+_MAX_CHUNK_CHARS = 262144
+
+
+class CombinedAlternation:
+    """An alternation over many fragments, compiled in bounded chunks.
+
+    Semantically equivalent to ``re.compile("|".join(sources))`` but
+    never hands the :mod:`re` compiler more than
+    ``_MAX_CHUNK_FRAGMENTS`` fragments (or ``_MAX_CHUNK_CHARS`` of
+    source) at once, so pathological list sizes cannot hit the sre
+    compiler's internal limits.
+    """
+
+    def __init__(self, sources: list[str], flags: int = re.IGNORECASE) -> None:
+        self._patterns: list[re.Pattern[str]] = []
+        chunk: list[str] = []
+        chunk_chars = 0
+        for source in sources:
+            if chunk and (
+                len(chunk) >= _MAX_CHUNK_FRAGMENTS
+                or chunk_chars + len(source) > _MAX_CHUNK_CHARS
+            ):
+                self._patterns.append(re.compile("|".join(chunk), flags))
+                chunk, chunk_chars = [], 0
+            chunk.append(source)
+            chunk_chars += len(source) + 1
+        if chunk:
+            self._patterns.append(re.compile("|".join(chunk), flags))
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._patterns)
+
+    def search(self, text: str) -> re.Match[str] | None:
+        """First match in fragment order across all chunks, or None."""
+        for pattern in self._patterns:
+            match = pattern.search(text)
+            if match is not None:
+                return match
+        return None
 
 
 class CombinedRegexEngine:
@@ -56,8 +103,8 @@ class CombinedRegexEngine:
         self._redos_guard = redos_guard
         self._blocking_sources: list[str] = []
         self._exception_sources: list[str] = []
-        self._blocking_combined: re.Pattern[str] | None = None
-        self._exception_combined: re.Pattern[str] | None = None
+        self._blocking_combined: CombinedAlternation | None = None
+        self._exception_combined: CombinedAlternation | None = None
         # Filters whose fragment was quarantined from the alternation;
         # while present, the negative pre-filter cannot prove a miss.
         self._hazardous_blocking: list[Filter] = []
@@ -89,14 +136,27 @@ class CombinedRegexEngine:
         """Filters excluded from the alternation by the ReDoS guard."""
         return [*self._hazardous_blocking, *self._hazardous_exceptions]
 
-    def _combined(self, sources: list[str]) -> re.Pattern[str] | None:
+    def _combined(self, sources: list[str]) -> CombinedAlternation | None:
         if not sources:
             return None
-        return re.compile("|".join(sources), re.IGNORECASE)
+        return CombinedAlternation(sources)
 
     @property
     def filter_count(self) -> int:
         return self._inner.filter_count
+
+    @property
+    def list_names(self) -> list[str]:
+        return self._inner.list_names
+
+    @property
+    def fingerprint(self) -> str:
+        """Delegates to the inner engine so a decision cache composes."""
+        return self._inner.fingerprint
+
+    @property
+    def document_matching_needs_page_url(self) -> bool:
+        return self._inner.document_matching_needs_page_url
 
     def _ensure_built(self) -> None:
         if self._blocking_combined is None and self._blocking_sources:
@@ -104,12 +164,14 @@ class CombinedRegexEngine:
         if self._exception_combined is None and self._exception_sources:
             self._exception_combined = self._combined(self._exception_sources)
 
-    def match(self, url: str, context: RequestContext) -> MatchResult:
+    def match(
+        self, url: str, context: RequestContext, *, request_host: str | None = None
+    ) -> MatchResult:
         self._ensure_built()
         if self._hazardous_blocking or self._hazardous_exceptions:
             # Quarantined fragments are absent from the alternation, so
             # a combined miss proves nothing — confirm individually.
-            return self._inner.match(url, context)
+            return self._inner.match(url, context, request_host=request_host)
         if (
             self._blocking_combined is not None
             and self._blocking_combined.search(url) is None
@@ -121,12 +183,14 @@ class CombinedRegexEngine:
                 self._exception_combined.search(context.page_url) is None
             ):
                 return MatchResult(decision="none")
-        return self._inner.match(url, context)
+        return self._inner.match(url, context, request_host=request_host)
 
-    def classify(self, url: str, context: RequestContext) -> Classification:
+    def classify(
+        self, url: str, context: RequestContext, *, request_host: str | None = None
+    ) -> Classification:
         self._ensure_built()
         if self._hazardous_blocking or self._hazardous_exceptions:
-            return self._inner.classify(url, context)
+            return self._inner.classify(url, context, request_host=request_host)
         blocking_possible = (
             self._blocking_combined is not None
             and self._blocking_combined.search(url) is not None
@@ -137,7 +201,7 @@ class CombinedRegexEngine:
         )
         if not blocking_possible and not exception_possible:
             return Classification(blacklist_filter=None, whitelist_filter=None)
-        return self._inner.classify(url, context)
+        return self._inner.classify(url, context, request_host=request_host)
 
     def should_block(self, url: str, context: RequestContext) -> bool:
         return self.match(url, context).is_blocked

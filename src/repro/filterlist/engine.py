@@ -20,6 +20,7 @@ Matching strategy follows the ABP/adblock-rust matcher design:
 
 from __future__ import annotations
 
+import hashlib
 import re
 from collections import defaultdict
 from dataclasses import dataclass
@@ -27,7 +28,7 @@ from typing import Iterable
 
 from repro.filterlist.filter import Filter, FilterKind, extract_keywords
 from repro.filterlist.options import ContentType
-from repro.http.url import is_third_party, split_url
+from repro.http.url import is_third_party, registrable_domain, split_url
 
 __all__ = ["MatchResult", "Decision", "FilterEngine", "RequestContext", "Classification"]
 
@@ -108,17 +109,70 @@ def tokenize_url(url: str) -> list[str]:
     return _URL_TOKEN.findall(url.lower())
 
 
+# ``||host^`` / ``||host/…`` patterns whose anchor is a plain hostname.
+# The anchor must be immediately followed by ``^`` or ``/``: only then is
+# every matching URL guaranteed to have the anchor as a host suffix, so
+# the filter can be bucketed by registrable domain (see _host_bucket_key).
+_HOST_ANCHOR = re.compile(r"^\|\|([a-z0-9\-]+(?:\.[a-z0-9\-]+)+)[/^]")
+
+
+def _host_bucket_key(pattern: str) -> str | None:
+    """Registrable-domain bucket for a ``||domain^``-style pattern.
+
+    Returns ``None`` when the pattern cannot be soundly bucketed by the
+    request host's registrable domain: no clean host anchor, or the
+    anchor *is* (or sits inside) a public suffix, in which case hosts
+    with different registrable domains can still match the filter
+    (``||co.uk^`` matches every ``*.co.uk`` host).
+    """
+    match = _HOST_ANCHOR.match(pattern.lower())
+    if match is None:
+        return None
+    anchor = match.group(1)
+    domain = registrable_domain(anchor)
+    if registrable_domain("x." + anchor) != domain:
+        return None  # anchor is a public suffix or a single label
+    return domain
+
+
+# Doc-exception patterns whose outcome is a function of the page *host*
+# alone: a hostname anchor with nothing after it but an optional ``^``.
+# The domain-anchor regex confines such patterns to the netloc, and a
+# host-char-only literal cannot distinguish two netlocs that share a
+# host (ports are all-digit and colon-delimited), so page path/query
+# never influence the match.
+_HOST_ONLY_DOC = re.compile(r"^\|\|[a-z0-9.\-]+\^?$")
+
+
+def _document_is_host_only(filter_: Filter) -> bool:
+    if filter_.options.match_case:
+        return False  # raw page URLs may differ from the split host in case
+    return _HOST_ONLY_DOC.match(filter_.pattern.lower()) is not None
+
+
 class _FilterIndex:
-    """Keyword index over one kind of filters (blocking or exception)."""
+    """Keyword index over one kind of filters (blocking or exception).
+
+    Host-anchored filters (the bulk of EasyList-style lists) are kept in
+    a dedicated registrable-domain bucket map: a ``||domain^`` filter can
+    only ever match URLs whose host shares ``domain``'s registrable
+    domain, so one dict lookup on the request host replaces both the
+    keyword buckets and the keywordless linear tail for those filters.
+    """
 
     def __init__(self) -> None:
         self._by_keyword: dict[str, list[Filter]] = defaultdict(list)
+        self._by_host: dict[str, list[Filter]] = defaultdict(list)
         self._keywordless: list[Filter] = []
         self._count = 0
 
     def add(self, filter_: Filter, keyword_counts: dict[str, int]) -> None:
-        keywords = extract_keywords(filter_.pattern)
         self._count += 1
+        host_key = _host_bucket_key(filter_.pattern)
+        if host_key is not None:
+            self._by_host[host_key].append(filter_)
+            return
+        keywords = extract_keywords(filter_.pattern)
         if not keywords:
             self._keywordless.append(filter_)
             return
@@ -128,7 +182,18 @@ class _FilterIndex:
         keyword_counts[best] = keyword_counts.get(best, 0) + 1
         self._by_keyword[best].append(filter_)
 
-    def candidates(self, url_tokens: list[str]) -> Iterable[Filter]:
+    def candidates(self, url_tokens: list[str], request_host: str = "") -> Iterable[Filter]:
+        if self._by_host:
+            if "@" in request_host or ":" in request_host:
+                # Userinfo / non-numeric "port": the split host is not a
+                # clean hostname, so the registrable-domain shortcut is
+                # unsound — fall back to scanning every host bucket.
+                for bucket in self._by_host.values():
+                    yield from bucket
+            else:
+                bucket = self._by_host.get(registrable_domain(request_host))
+                if bucket:
+                    yield from bucket
         seen_buckets = set()
         for token in url_tokens:
             if token in self._by_keyword and token not in seen_buckets:
@@ -137,7 +202,10 @@ class _FilterIndex:
         yield from self._keywordless
 
     def all_filters(self) -> list[Filter]:
-        filters = list(self._keywordless)
+        filters: list[Filter] = []
+        for bucket in self._by_host.values():
+            filters.extend(bucket)
+        filters.extend(self._keywordless)
         for bucket in self._by_keyword.values():
             filters.extend(bucket)
         return filters
@@ -166,20 +234,30 @@ class FilterEngine:
         self._document_exceptions: list[Filter] = []
         self._keyword_counts: dict[str, int] = {}
         self._list_names: list[str] = []
+        self._fingerprint = hashlib.sha256(b"repro.filterlist.engine").hexdigest()
+        self._page_sensitive_documents = False
 
     def add_filters(self, filters: Iterable[Filter], list_name: str | None = None) -> None:
         """Register filters; ``list_name`` overrides their attribution."""
+        hasher = hashlib.sha256(self._fingerprint.encode("ascii"))
         for filter_ in filters:
             if list_name is not None and not filter_.list_name:
                 filter_.list_name = list_name
+            hasher.update(filter_.text.encode("utf-8", "replace"))
+            hasher.update(b"\x00")
+            hasher.update(filter_.list_name.encode("utf-8", "replace"))
+            hasher.update(b"\x00")
             if filter_.is_exception:
                 self._exceptions.add(filter_, self._keyword_counts)
                 if filter_.options.is_document_exception:
                     self._document_exceptions.append(filter_)
+                    if not _document_is_host_only(filter_):
+                        self._page_sensitive_documents = True
             else:
                 self._blocking.add(filter_, self._keyword_counts)
         if list_name is not None and list_name not in self._list_names:
             self._list_names.append(list_name)
+        self._fingerprint = hasher.hexdigest()
 
     @property
     def list_names(self) -> list[str]:
@@ -189,19 +267,47 @@ class FilterEngine:
     def filter_count(self) -> int:
         return len(self._blocking) + len(self._exceptions)
 
-    def _candidates(self, index: _FilterIndex, tokens: list[str]) -> Iterable[Filter]:
+    @property
+    def fingerprint(self) -> str:
+        """Hash chained over every (filter text, attribution) ever added.
+
+        Two engines with the same fingerprint produce identical
+        classifications; a decision cache keyed on it can therefore
+        never serve results computed against different filter state.
+        """
+        return self._fingerprint
+
+    @property
+    def document_matching_needs_page_url(self) -> bool:
+        """Whether classification can depend on the page URL's *path*.
+
+        ``$document`` exceptions are matched against the full page URL.
+        For the common ``@@||host^$document`` shape the outcome is a
+        function of the page host alone, so a decision cache may key on
+        ``page_host``; any other doc-exception pattern forces the full
+        page URL into the key.
+        """
+        return self._page_sensitive_documents
+
+    def _candidates(
+        self, index: _FilterIndex, tokens: list[str], request_host: str
+    ) -> Iterable[Filter]:
         if self._use_index:
-            return index.candidates(tokens)
+            return index.candidates(tokens, request_host)
         return index.all_filters()
 
-    def match(self, url: str, context: RequestContext) -> MatchResult:
+    def match(
+        self, url: str, context: RequestContext, *, request_host: str | None = None
+    ) -> MatchResult:
         """Classify one request.
 
         Implements ABP precedence: ``$document`` page exceptions first,
-        then blocking filters, then request exceptions.
+        then blocking filters, then request exceptions.  Callers that
+        already split the URL pass ``request_host`` to skip the re-split.
         """
         page_host = context.page_host
-        request_host = split_url(url).host
+        if request_host is None:
+            request_host = split_url(url).host
         third_party = is_third_party(request_host, page_host) if page_host else True
 
         for exception in self._document_exceptions:
@@ -214,14 +320,14 @@ class FilterEngine:
 
         tokens = tokenize_url(url)
         blocking_hit: Filter | None = None
-        for filter_ in self._candidates(self._blocking, tokens):
+        for filter_ in self._candidates(self._blocking, tokens, request_host):
             if filter_.matches(url, context.content_type, page_host, third_party=third_party):
                 blocking_hit = filter_
                 break
         if blocking_hit is None:
             return MatchResult(decision=Decision.NONE)
 
-        for exception in self._candidates(self._exceptions, tokens):
+        for exception in self._candidates(self._exceptions, tokens, request_host):
             if exception.options.is_document_exception:
                 continue  # handled above against the page URL
             if exception.matches(url, context.content_type, page_host, third_party=third_party):
@@ -236,7 +342,9 @@ class FilterEngine:
         """Convenience wrapper: would ABP prevent this request?"""
         return self.match(url, context).is_blocked
 
-    def classify(self, url: str, context: RequestContext) -> "Classification":
+    def classify(
+        self, url: str, context: RequestContext, *, request_host: str | None = None
+    ) -> "Classification":
         """Offline classification used by the passive methodology.
 
         Unlike :meth:`match` (runtime ABP semantics), the paper's
@@ -250,13 +358,14 @@ class FilterEngine:
         the paper.
         """
         page_host = context.page_host
-        request_host = split_url(url).host
+        if request_host is None:
+            request_host = split_url(url).host
         third_party = is_third_party(request_host, page_host) if page_host else True
         tokens = tokenize_url(url)
 
         blacklist_hit: Filter | None = None
         hit_lists: list[str] = []
-        for filter_ in self._candidates(self._blocking, tokens):
+        for filter_ in self._candidates(self._blocking, tokens, request_host):
             if filter_.list_name in hit_lists:
                 continue  # already know this list matches
             if filter_.matches(url, context.content_type, page_host, third_party=third_party):
@@ -267,7 +376,7 @@ class FilterEngine:
                     break
 
         whitelist_hit: Filter | None = None
-        for exception in self._candidates(self._exceptions, tokens):
+        for exception in self._candidates(self._exceptions, tokens, request_host):
             if exception.options.is_document_exception:
                 continue
             if exception.matches(url, context.content_type, page_host, third_party=third_party):

@@ -101,12 +101,18 @@ class SplitUrl:
         return join_url(self)
 
 
+@lru_cache(maxsize=16384)
 def split_url(url: str) -> SplitUrl:
     """Split ``url`` into :class:`SplitUrl` components.
 
     Accepts absolute (``http://…``), scheme-relative (``//host/…``) and
     wire-format request targets when prefixed with a host by the caller.
     Fragments are dropped; they never appear on the wire.
+
+    Results are memoized: traffic is massively repetitive (the same ad
+    and CDN URLs recur across users and pageviews) and the pipeline
+    historically re-split each URL at several layers.  :class:`SplitUrl`
+    is frozen, so sharing one instance across callers is safe.
     """
     scheme = ""
     rest = url

@@ -64,18 +64,25 @@ class WorkerFailure(Exception):
     """A shard worker died or reported an unexpected exception."""
 
 
-def build_ecosystem_pipeline(publishers: int, eco_seed: int) -> AdClassificationPipeline:
+def build_ecosystem_pipeline(
+    publishers: int, eco_seed: int, use_decision_cache: bool = True
+) -> AdClassificationPipeline:
     """Picklable pipeline factory for ecosystem-backed CLI runs.
 
     Each worker process rebuilds the ecosystem, filter lists and engine
     itself — the compiled engine is far bigger than the two integers
-    that determine it, and the rebuild is deterministic.
+    that determine it, and the rebuild is deterministic.  Each worker
+    therefore also gets its own decision cache (when enabled), which is
+    naturally coherent: sharding is per-user, and a cache is pure
+    memoization of a deterministic engine anyway.
     """
+    from repro.core.pipeline import PipelineConfig
     from repro.filterlist import build_lists
     from repro.web import Ecosystem, EcosystemConfig
 
     ecosystem = Ecosystem.generate(EcosystemConfig(n_publishers=publishers, seed=eco_seed))
-    return AdClassificationPipeline(build_lists(ecosystem.list_spec()))
+    config = PipelineConfig(use_decision_cache=use_decision_cache)
+    return AdClassificationPipeline(build_lists(ecosystem.list_spec()), config)
 
 
 @dataclass(slots=True)
@@ -339,6 +346,12 @@ class ParallelRun:
         health = PipelineHealth()
         for worker_id in range(self.workers):
             health.merge_state(done[worker_id]["health"])
+            # Cache counters travel outside the (checkpointable) health
+            # state; fold them into the parent's transient fields so the
+            # CLI can report pool-wide cache effectiveness.
+            cache_stats = done[worker_id].get("cache")
+            if cache_stats is not None:
+                health.add_cache_stats(*cache_stats)
         accumulator = None
         if self.emit == "fold":
             accumulator = TrafficAccumulator()

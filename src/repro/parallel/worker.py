@@ -262,10 +262,19 @@ class _ShardWorker:
         for index, entry in self.classifier.finish_indexed():
             self._emit(index, entry)
         self._flush()
+        cache_stats = self.pipeline.decision_cache_stats
         done = {
             "arrivals": self._arrivals,
             "health": self.health.export_state(),
             "fold": self.accumulator.export_state() if self.accumulator is not None else None,
+            # Transient observability, shipped OUTSIDE the health state:
+            # per-shard caches are process-local, so their counters must
+            # never enter the mergeable (checkpointable) health fields.
+            "cache": (
+                (cache_stats.hits, cache_stats.misses, cache_stats.evictions)
+                if cache_stats is not None
+                else None
+            ),
         }
         self._send((self.config.worker_id, "done", done))
 

@@ -35,7 +35,14 @@ EXIT_MANIFEST_MISMATCH = 4
 
 @dataclass
 class PipelineHealth:
-    """Counters for one ingestion→classification run."""
+    """Counters for one ingestion→classification run.
+
+    The ``cache_*`` counters are **transient** (see ``_TRANSIENT_STATE``):
+    they describe this process's decision-cache effectiveness, not the
+    run's output, so they are excluded from :meth:`export_state` /
+    :meth:`merge_state` / :meth:`summary` — a resumed run restarts them
+    at zero and cached vs uncached runs stay byte-identical end to end.
+    """
 
     records_seen: int = 0
     records_ok: int = 0
@@ -45,8 +52,18 @@ class PipelineHealth:
     records_reordered: int = 0
     users_evicted: int = 0
     peak_users: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
     # stage name -> Counter of error reasons
     stage_errors: dict[str, Counter] = field(default_factory=dict)
+
+    # Fields deliberately absent from the checkpoint wire form: pure
+    # process-local observability that must never survive a resume or
+    # flow through a shard fold.  The RC004 codebase gate reads this
+    # declaration and exempts exactly these fields from its
+    # export/restore drift check.
+    _TRANSIENT_STATE = ("cache_hits", "cache_misses", "cache_evictions")
 
     def record_ok(self) -> None:
         self.records_seen += 1
@@ -66,6 +83,12 @@ class PipelineHealth:
     def observe_users(self, active_users: int) -> None:
         if active_users > self.peak_users:
             self.peak_users = active_users
+
+    def add_cache_stats(self, hits: int, misses: int, evictions: int) -> None:
+        """Fold decision-cache counters (one engine's or one shard's)."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_evictions += evictions
 
     @property
     def degraded(self) -> bool:
@@ -132,6 +155,30 @@ class PipelineHealth:
         self.peak_users += state["peak_users"]
         for stage, reasons in state["stage_errors"].items():
             self.stage_errors.setdefault(stage, Counter()).update(reasons)
+
+    def cache_summary(self) -> str:
+        """Decision-cache effectiveness block, or ``""`` when unused.
+
+        Kept out of :meth:`summary` on purpose: the health summary is
+        byte-compared across execution plans (serial vs shards, cached
+        vs uncached, fresh vs resumed), and cache counters legitimately
+        differ between all of those.  The CLI prints this block
+        *before* the ``-- pipeline health --`` marker so marker-anchored
+        comparisons never see it.
+        """
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return ""
+        rate = 100.0 * self.cache_hits / lookups
+        return "\n".join(
+            [
+                "-- decision cache --",
+                f"lookups:           {lookups}",
+                f"hits:              {self.cache_hits} ({rate:.1f}%)",
+                f"misses:            {self.cache_misses}",
+                f"evictions:         {self.cache_evictions}",
+            ]
+        )
 
     def summary(self) -> str:
         lines = [

@@ -19,7 +19,12 @@ them (DESIGN.md §9.4):
 * **RC004** — a class whose ``export_state`` returns a dict literal
   and whose ``restore_state`` / ``from_state`` consumes a *different*
   key set.  Such drift produces checkpoints that crash (or silently
-  lose fields) only on resume — the worst possible time.
+  lose fields) only on resume — the worst possible time.  For
+  dataclasses the check also covers the field surface itself: every
+  public field must either appear in the export dict or be declared
+  process-local in a ``_TRANSIENT_STATE`` tuple (e.g. decision-cache
+  counters), so forgetting to checkpoint a new field is caught at lint
+  time instead of after a crash.
 
 Deliberate exemptions are annotated in source with a pragma on the
 offending line::
@@ -338,6 +343,107 @@ def _check_rc004_consumer(
         )
 
 
+def _is_dataclass(class_node: ast.ClassDef) -> bool:
+    for decorator in class_node.decorator_list:
+        name = decorator
+        if isinstance(name, ast.Call):
+            name = name.func
+        if isinstance(name, ast.Attribute) and name.attr == "dataclass":
+            return True
+        if isinstance(name, ast.Name) and name.id == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_field_names(class_node: ast.ClassDef) -> set[str]:
+    """Public annotated fields of a dataclass body (its state surface)."""
+    fields: set[str] = set()
+    for item in class_node.body:
+        if not isinstance(item, ast.AnnAssign) or not isinstance(item.target, ast.Name):
+            continue
+        annotation = item.annotation
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            if isinstance(base, ast.Name) and base.id == "ClassVar":
+                continue
+        name = item.target.id
+        if not name.startswith("_"):
+            fields.add(name)
+    return fields
+
+
+def _transient_declaration(class_node: ast.ClassDef) -> tuple[set[str], ast.AST | None]:
+    """Names listed in a ``_TRANSIENT_STATE`` class attribute, if any."""
+    for item in class_node.body:
+        if not isinstance(item, ast.Assign) or len(item.targets) != 1:
+            continue
+        target = item.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "_TRANSIENT_STATE"):
+            continue
+        names: set[str] = set()
+        if isinstance(item.value, (ast.Tuple, ast.List, ast.Set)):
+            for element in item.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    names.add(element.value)
+        return names, item
+    return set(), None
+
+
+def _check_rc004_fields(
+    ctx: _Context,
+    class_node: ast.ClassDef,
+    export: ast.FunctionDef,
+    exported: set[str],
+) -> None:
+    """Dataclass fields must be exported or *declared* transient.
+
+    A field added to a checkpointable dataclass but forgotten in
+    ``export_state`` silently resets on resume.  Genuinely process-local
+    fields (e.g. cache effectiveness counters) opt out explicitly via a
+    ``_TRANSIENT_STATE`` tuple, which makes the exemption reviewable —
+    and contradictions (declared transient yet exported) are errors.
+    """
+    if not _is_dataclass(class_node):
+        return  # attribute surface not statically enumerable
+    fields = _dataclass_field_names(class_node)
+    if not fields:
+        return
+    transient, declaration = _transient_declaration(class_node)
+    contradictions = transient & exported
+    if contradictions and declaration is not None:
+        ctx.report(
+            "RC004",
+            f"{class_node.name}._TRANSIENT_STATE declares "
+            f"{sorted(contradictions)} transient, but export_state writes "
+            "them — pick one: checkpointed state or transient observability",
+            declaration,
+            subject=f"{class_node.name}:transient-exported:"
+            f"{','.join(sorted(contradictions))}",
+        )
+    phantom = transient - fields
+    if phantom and declaration is not None:
+        ctx.report(
+            "RC004",
+            f"{class_node.name}._TRANSIENT_STATE names "
+            f"{sorted(phantom)} which are not fields of the dataclass — "
+            "stale declaration",
+            declaration,
+            subject=f"{class_node.name}:transient-phantom:{','.join(sorted(phantom))}",
+            severity=Severity.WARNING,
+        )
+    uncovered = fields - exported - transient
+    if uncovered:
+        ctx.report(
+            "RC004",
+            f"{class_node.name} field(s) {sorted(uncovered)} are neither "
+            "written by export_state nor declared in _TRANSIENT_STATE — "
+            "they would silently reset on resume",
+            export,
+            subject=f"{class_node.name}:unexported:{','.join(sorted(uncovered))}",
+            severity=Severity.WARNING,
+        )
+
+
 def _check_rc004(tree: ast.AST, ctx: _Context) -> None:
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
@@ -363,6 +469,7 @@ def _check_rc004(tree: ast.AST, ctx: _Context) -> None:
         merge = methods.get("merge_state")
         if merge is not None:
             _check_rc004_consumer(ctx, node, merge, export, exported)
+        _check_rc004_fields(ctx, node, export, exported)
 
 
 # -- entry points -----------------------------------------------------------

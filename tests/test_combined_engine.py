@@ -8,7 +8,7 @@ import string
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.filterlist.combined import CombinedRegexEngine
+from repro.filterlist.combined import CombinedAlternation, CombinedRegexEngine
 from repro.filterlist.engine import FilterEngine, RequestContext
 from repro.filterlist.filter import Filter
 from repro.filterlist.options import ContentType
@@ -99,6 +99,66 @@ class TestEquivalence:
         context = RequestContext(ContentType.IMAGE, "http://news.example/")
         assert combined.should_block("http://ads.example/creative/1.gif", context)
         assert not combined.should_block("http://clean.example/", context)
+
+
+class TestChunkedAlternation:
+    """Oversized lists must chunk instead of feeding sre one huge pattern."""
+
+    def test_small_alternation_is_one_chunk(self):
+        import re
+
+        alternation = CombinedAlternation([re.escape("ads.example")])
+        assert alternation.chunk_count == 1
+
+    def test_oversized_alternation_chunks_and_matches_identically(self):
+        import re
+
+        sources = [re.escape(f"frag{i:05d}.example/path") for i in range(2600)]
+        alternation = CombinedAlternation(sources)
+        single = re.compile("|".join(sources), re.IGNORECASE)
+        assert alternation.chunk_count >= 3  # 2600 fragments / 1024 per chunk
+        for probe in (
+            "http://frag00000.example/path/a.gif",   # first chunk
+            "http://frag01500.example/path/a.gif",   # middle chunk
+            "http://FRAG02599.EXAMPLE/PATH/a.gif",   # last chunk, case folded
+            "http://clean.example/index.html",       # no match
+        ):
+            ours = alternation.search(probe)
+            theirs = single.search(probe)
+            assert (ours is None) == (theirs is None), probe
+            if ours is not None:
+                assert ours.group(0).lower() == theirs.group(0).lower(), probe
+
+    def test_char_budget_also_forces_chunking(self):
+        import re
+
+        # Few fragments, each large: the character budget, not the
+        # fragment count, must trigger the split.
+        sources = [re.escape("x" * 70000 + f"{i}.example") for i in range(8)]
+        alternation = CombinedAlternation(sources)
+        assert alternation.chunk_count > 1
+        assert alternation.search("http://" + "x" * 70000 + "5.example/") is not None
+
+    def test_engine_with_oversized_list_still_matches(self):
+        indexed = FilterEngine()
+        combined = CombinedRegexEngine()
+        filters = [Filter.parse(f"||bulk{i:05d}.example^") for i in range(1500)]
+        filters.append(Filter.parse("||ads.example^"))
+        for engine in (indexed, combined):
+            engine.add_filters(
+                [Filter.parse(f.text) for f in filters], list_name="easylist"
+            )
+        context = RequestContext(ContentType.IMAGE, "http://news.example/")
+        for url in (
+            "http://bulk00000.example/a.gif",
+            "http://bulk01499.example/a.gif",
+            "http://ads.example/creative/1.gif",
+            "http://clean.example/index.html",
+        ):
+            assert (
+                indexed.match(url, context).decision
+                == combined.match(url, context).decision
+            ), url
 
 
 _URL_CHARS = string.ascii_lowercase + string.digits + "/.-_?=&"

@@ -239,6 +239,22 @@ class TestPoolCrashRecoveryCli:
         assert (tmp_path / "out.tsv.quarantine").read_bytes() == golden[1]
         assert _health_summary(proc.stdout) == golden[2]
 
+    @pytest.mark.parametrize("workers", [None, 4])
+    def test_no_decision_cache_matches_cached_golden(
+        self, tmp_path, pool_trace, golden, workers
+    ):
+        """--no-decision-cache changes speed, never bytes (DESIGN.md §11)."""
+        out = tmp_path / "out.tsv"
+        extra = ["--no-decision-cache"]
+        if workers is not None:
+            extra += ["--workers", str(workers)]
+        proc = _cli(_classify_args(pool_trace, out, tmp_path / "ckpt", *extra), tmp_path)
+        assert proc.returncode in (0, 3), proc.stderr
+        assert out.read_bytes() == golden[0]
+        assert (tmp_path / "out.tsv.quarantine").read_bytes() == golden[1]
+        assert _health_summary(proc.stdout) == golden[2]
+        assert "-- decision cache --" not in proc.stdout
+
     @pytest.mark.parametrize("crash_after", [3000, 9000])
     def test_hard_kill_and_resume_with_4_workers(
         self, tmp_path, pool_trace, golden, crash_after

@@ -175,6 +175,72 @@ class TestRC004:
         assert _codes(source) == []
 
 
+RC004_TRANSIENT = """\
+from dataclasses import dataclass
+
+@dataclass
+class Thing:
+    count: int = 0
+    cache_hits: int = 0
+
+    _TRANSIENT_STATE = ("cache_hits",)
+
+    def export_state(self):
+        return {"count": self.count}
+
+    def restore_state(self, state):
+        self.count = state["count"]
+"""
+
+
+class TestRC004Transient:
+    """Dataclass field surface vs export_state (_TRANSIENT_STATE rule)."""
+
+    def test_declared_transient_field_passes(self):
+        assert _codes(RC004_TRANSIENT) == []
+
+    def test_undeclared_field_warns(self):
+        source = RC004_TRANSIENT.replace('    _TRANSIENT_STATE = ("cache_hits",)\n', "")
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        assert [diag.code for diag in diags] == ["RC004"]
+        assert diags[0].severity is Severity.WARNING
+        assert "cache_hits" in diags[0].message
+        assert "silently reset" in diags[0].message
+
+    def test_transient_yet_exported_is_error(self):
+        source = RC004_TRANSIENT.replace(
+            'return {"count": self.count}',
+            'return {"count": self.count, "cache_hits": self.cache_hits}',
+        )
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert len(errors) == 1 and errors[0].code == "RC004"
+        assert "cache_hits" in errors[0].message
+
+    def test_phantom_transient_name_warns(self):
+        source = RC004_TRANSIENT.replace(
+            '("cache_hits",)', '("cache_hits", "ghost_field")'
+        )
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        warnings = [d for d in diags if d.code == "RC004"]
+        assert len(warnings) == 1
+        assert warnings[0].severity is Severity.WARNING
+        assert "ghost_field" in warnings[0].message
+
+    def test_plain_class_field_surface_is_not_checked(self):
+        # Without @dataclass the attribute surface is not statically
+        # enumerable; only the export/restore key drift applies.
+        source = RC004_TRANSIENT.replace("@dataclass\n", "")
+        assert _codes(source) == []
+
+    def test_classvar_annotations_are_ignored(self):
+        source = RC004_TRANSIENT.replace(
+            "    count: int = 0\n",
+            "    count: int = 0\n    kind: ClassVar[str] = \"thing\"\n",
+        )
+        assert _codes(source) == []
+
+
 class TestPragmas:
     def test_collects_codes_per_line(self):
         source = "x = 1  # staticcheck: ok[RC001,RC003] reason\n"
