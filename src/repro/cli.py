@@ -16,8 +16,11 @@ and analyses run offline):
 
 Commands that read logs take ``--on-error {strict,skip,quarantine}``;
 exit codes are 0 (clean), 1 (strict-mode abort on the first bad line),
-3 (completed with dropped records), 4 (``--resume`` refused on a run
-manifest mismatch) — see DESIGN.md §7–§8.
+3 (completed degraded: dropped records, or shards lost under
+``--on-worker-failure degrade``), 4 (``--resume`` refused on a run
+manifest mismatch), 5 (a shard worker failed terminally and the run
+aborted), 130 (interrupted by SIGINT/SIGTERM; durable state is kept
+for ``--resume``) — see DESIGN.md §7–§8, §12.
 
 ``classify``/``usage``/``report`` become *durable* with
 ``--checkpoint-dir``: progress is checkpointed every
@@ -45,10 +48,13 @@ from repro.core import AdClassificationPipeline
 from repro.filterlist import build_lists
 from repro.filterlist.stats import compare_lists
 from repro.http.log import read_log, write_log
+from repro.parallel.supervision import RunInterrupted, WorkerFailure
 from repro.robustness import (
+    EXIT_INTERRUPTED,
     EXIT_MANIFEST_MISMATCH,
     EXIT_MISSING_INPUT,
     EXIT_STRICT_ABORT,
+    EXIT_WORKER_FAILURE,
     CrashInjector,
     ErrorPolicy,
     LogParseError,
@@ -131,6 +137,23 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
                         help="shard classification by user across N worker "
                              "processes; output is byte-identical to the "
                              "serial path (DESIGN.md §10)")
+    parser.add_argument("--worker-timeout", type=float, default=30.0, metavar="S",
+                        help="seconds of worker silence before the supervisor "
+                             "declares it hung and kills it (default 30; "
+                             "0 disables hang detection and heartbeats)")
+    parser.add_argument("--worker-retries", type=int, default=2, metavar="N",
+                        help="times a crashed or hung shard is respawned from "
+                             "its last checkpoint before the failure is "
+                             "terminal (default 2; 0 disables recovery)")
+    parser.add_argument("--on-worker-failure", choices=("abort", "degrade"),
+                        default="abort",
+                        help="after retries are exhausted: abort the whole run "
+                             "(exit 5) or finish the surviving shards and "
+                             "report the gap honestly (exit 3; default abort)")
+    # Testing hook for the chaos harness (tests/test_supervision.py):
+    # inject worker faults, e.g. "crash-hard:worker=1:after=500".  The
+    # REPRO_CHAOS environment variable is an equivalent spelling.
+    parser.add_argument("--chaos", metavar="SPEC", help=argparse.SUPPRESS)
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -145,9 +168,30 @@ def _check_parallel_args(args: argparse.Namespace) -> None:
         return
     if args.workers < 1:
         raise SystemExit("error: --workers must be >= 1")
+    if args.worker_timeout < 0:
+        raise SystemExit("error: --worker-timeout must be >= 0")
+    if args.worker_retries < 0:
+        raise SystemExit("error: --worker-retries must be >= 0")
     if getattr(args, "max_users", None) is not None:
         raise SystemExit("error: --workers is incompatible with --max-users "
                          "(the LRU eviction order is global, not shardable)")
+
+
+def _supervision_kwargs(args: argparse.Namespace) -> dict:
+    """Map the supervision flags onto ParallelRun keyword arguments."""
+    from repro.robustness.retry import RetryPolicy
+
+    retry = None
+    if args.worker_retries:
+        # N retries = N + 1 incarnations; keep the default backoff shape.
+        retry = RetryPolicy(max_attempts=args.worker_retries + 1,
+                            base_delay_s=0.1, multiplier=2.0, max_delay_s=5.0)
+    return {
+        "worker_timeout": args.worker_timeout or None,
+        "retry": retry,
+        "on_worker_failure": args.on_worker_failure,
+        "chaos": args.chaos,
+    }
 
 
 def _pipeline_factory(args: argparse.Namespace):
@@ -383,11 +427,12 @@ def _classify_parallel(args: argparse.Namespace) -> int:
             resume=args.resume,
             crash_injector=CrashInjector(args.crash_after) if args.crash_after else None,
             log=print,
+            **_supervision_kwargs(args),
         ).run()
         if outcome.quarantine_count:
             print(f"quarantined {outcome.quarantine_count} lines to {outcome.quarantine_path}")
         _classify_summary(sink.total, sink.ads, sink.whitelisted)
-        if args.out:
+        if args.out and not outcome.degraded_shards:
             print(f"wrote classification to {args.out}")
         return _finish(outcome.health, always_summarize=True)
 
@@ -415,6 +460,7 @@ def _classify_parallel(args: argparse.Namespace) -> int:
             reorder_window=args.reorder_window,
             on_row=on_row,
             quarantine=quarantine,
+            **_supervision_kwargs(args),
         ).run()
     finally:
         if quarantine is not None:
@@ -423,11 +469,15 @@ def _classify_parallel(args: argparse.Namespace) -> int:
         print(f"quarantined {quarantine.count} lines to {quarantine_path}")
     _classify_summary(len(rows), counts["ads"], counts["whitelisted"])
     if args.out:
-        with atomic_writer(args.out) as stream:
-            stream.write(ClassifySink.HEADER)
-            for row in rows:
-                stream.write(row + "\n")
-        print(f"wrote classification to {args.out}")
+        if outcome.degraded_shards:
+            print(f"not writing {args.out}: output is a partial prefix "
+                  f"(shards {outcome.degraded_shards} lost)")
+        else:
+            with atomic_writer(args.out) as stream:
+                stream.write(ClassifySink.HEADER)
+                for row in rows:
+                    stream.write(row + "\n")
+            print(f"wrote classification to {args.out}")
     return _finish(outcome.health, always_summarize=True)
 
 
@@ -606,6 +656,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 on_error=policy,
                 emit="fold",
                 quarantine=quarantine,
+                **_supervision_kwargs(args),
             ).run()
         finally:
             if quarantine is not None:
@@ -867,6 +918,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: input file not found: {exc.filename}", file=sys.stderr)
         return EXIT_MISSING_INPUT
+    except WorkerFailure as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_WORKER_FAILURE
+    except RunInterrupted as exc:
+        print(f"interrupted: {exc}; durable state kept for --resume", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

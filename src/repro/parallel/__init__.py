@@ -12,16 +12,21 @@ per-shard durable-run extension.
 from repro.parallel.runner import (
     ParallelOutcome,
     ParallelRun,
+    RunInterrupted,
     WorkerFailure,
     build_ecosystem_pipeline,
 )
 from repro.parallel.sharding import OrderedRowEmitter, QuarantineMerger, claims_line, shard_of
+from repro.parallel.supervision import ShardSlot, WorkerSupervisor
 from repro.parallel.worker import WorkerConfig, run_worker
 
 __all__ = [
     "ParallelOutcome",
     "ParallelRun",
+    "RunInterrupted",
     "WorkerFailure",
+    "WorkerSupervisor",
+    "ShardSlot",
     "build_ecosystem_pipeline",
     "OrderedRowEmitter",
     "QuarantineMerger",

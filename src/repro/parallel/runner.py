@@ -17,6 +17,14 @@ restarts every worker from the newest generation valid in the parent
 store *and* every shard store; output published beyond that cut is
 deduplicated by the emit frontier, which is lossless because the
 replayed tail regenerates it byte-identically.
+
+Worker *supervision* (DESIGN.md §12) rides on the same message stream:
+every message doubles as a heartbeat, a
+:class:`~repro.parallel.supervision.WorkerSupervisor` kills and
+respawns crashed or silent shards within a
+:class:`~repro.robustness.retry.RetryPolicy` budget, and terminal
+failures either abort the run (:class:`WorkerFailure`) or degrade it —
+finish the surviving shards and report the gap honestly.
 """
 
 from __future__ import annotations
@@ -24,24 +32,29 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import signal
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.analysis.traffic import TrafficAccumulator
 from repro.core.pipeline import AdClassificationPipeline
 from repro.parallel.sharding import OrderedRowEmitter, QuarantineMerger
-from repro.parallel.worker import WorkerConfig, run_worker
+from repro.parallel.supervision import RunInterrupted, WorkerFailure, WorkerSupervisor
+from repro.parallel.worker import GARBAGE_KIND, WorkerConfig, run_worker
 from repro.robustness.atomic import replace_atomic
 from repro.robustness.checkpoint import CheckpointStore
-from repro.robustness.crash import CrashInjector
+from repro.robustness.crash import CHAOS_ENV, CrashInjector
 from repro.robustness.health import PipelineHealth
 from repro.robustness.policy import ErrorPolicy, LogParseError
 from repro.robustness.quarantine import QuarantineWriter
+from repro.robustness.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.robustness.runstate import ClassifySink, ManifestMismatch, RunManifest
 
 __all__ = [
     "ParallelOutcome",
     "ParallelRun",
+    "RunInterrupted",
     "WorkerFailure",
     "build_ecosystem_pipeline",
 ]
@@ -55,13 +68,9 @@ DURABLE_FIXUP_WINDOW = 1024
 
 _QUEUE_SLOTS_PER_WORKER = 4
 _POLL_TIMEOUT_S = 1.0
-# Consecutive empty polls with a dead, done-less worker before giving
-# up (its final messages may still be in flight through the queue pipe).
-_DEAD_WORKER_GRACE_POLLS = 3
-
-
-class WorkerFailure(Exception):
-    """A shard worker died or reported an unexpected exception."""
+# How long finished workers get to exit before being reported as
+# stragglers (and then terminated by the cleanup path).
+_STRAGGLER_GRACE_S = 10.0
 
 
 def build_ecosystem_pipeline(
@@ -98,6 +107,8 @@ class ParallelOutcome:
     resumed_generation: int | None
     checkpoints_written: int
     output_paths: list[str] = field(default_factory=list)
+    degraded_shards: list[int] = field(default_factory=list)
+    worker_restarts: int = 0
 
 
 class ParallelRun:
@@ -132,10 +143,16 @@ class ParallelRun:
         keep: int = 3,
         resume: bool = False,
         crash_injector: CrashInjector | None = None,
+        worker_timeout: float | None = 30.0,
+        retry: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+        on_worker_failure: str = "abort",
+        chaos: str | None = None,
         log: "Callable[[str], None]" = lambda message: None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if on_worker_failure not in ("abort", "degrade"):
+            raise ValueError("on_worker_failure must be 'abort' or 'degrade'")
         self.workers = workers
         self.input_path = input_path
         self.pipeline_factory = pipeline_factory
@@ -151,6 +168,18 @@ class ParallelRun:
         self.keep = keep
         self.resume = resume
         self.crash_injector = crash_injector
+        self.worker_timeout = worker_timeout
+        self.retry = retry
+        self.on_worker_failure = on_worker_failure
+        # Progress-driven heartbeats: workers beat from their run loop
+        # (so a hung loop goes silent), several times per timeout window
+        # but at most once per second on the fast path.
+        self.heartbeat_interval_s = (
+            None if worker_timeout is None else min(1.0, worker_timeout / 4.0)
+        )
+        self.chaos = chaos if chaos is not None else os.environ.get(CHAOS_ENV) or None
+        self._interrupt: int | None = None
+        self._last_parent_generation = 0
         self.log = log
         if self.durable:
             if manifest is None or sink is None:
@@ -237,29 +266,80 @@ class ParallelRun:
             writer.restore_state(payload["quarantine"])
         return writer
 
-    def _spawn(self, context, out_queue, resume_generation: int | None):
-        processes = []
-        for worker_id in range(self.workers):
-            config = WorkerConfig(
-                worker_id=worker_id,
-                workers=self.workers,
-                input_path=self.input_path,
-                on_error=self.on_error.value,
-                fixup_window=DURABLE_FIXUP_WINDOW if self.durable else None,
-                reorder_window=self.reorder_window,
-                emit=self.emit,
-                checkpoint_dir=self.shard_dir(worker_id) if self.durable else None,
-                checkpoint_every=self.checkpoint_every if self.durable else None,
-                resume_generation=resume_generation,
-            )
-            process = context.Process(
-                target=run_worker,
-                args=(config, self.pipeline_factory, out_queue),
-                daemon=True,
-            )
-            process.start()
-            processes.append(process)
-        return processes
+    def _spawn_worker(
+        self, context, out_queue, worker_id: int, attempt: int, rendezvous: int | None
+    ):
+        """Start one shard incarnation (the supervisor's spawn callback).
+
+        The first incarnation resumes from the pool-wide rendezvous
+        generation; a *respawn* resumes from the parent's last *saved*
+        generation.  Not the shard's own newest checkpoint: a worker
+        saves to disk before its marker message clears the queue pipe,
+        so its newest generation can run *ahead* of what the parent has
+        folded — resuming there would silently skip the in-flight rows
+        that died with the old incarnation.  The parent generation is
+        at or behind its fold frontier for every shard, so the replayed
+        tail regenerates everything missing (and re-sends some rows the
+        parent already holds, which the idempotent merge structures
+        absorb).  Non-durable respawns replay the whole shard from
+        scratch for the same reason.
+        """
+        if attempt == 0:
+            resume_generation = rendezvous
+        elif self.durable:
+            resume_generation = self._last_parent_generation or None
+        else:
+            resume_generation = None
+        config = WorkerConfig(
+            worker_id=worker_id,
+            workers=self.workers,
+            input_path=self.input_path,
+            on_error=self.on_error.value,
+            fixup_window=DURABLE_FIXUP_WINDOW if self.durable else None,
+            reorder_window=self.reorder_window,
+            emit=self.emit,
+            checkpoint_dir=self.shard_dir(worker_id) if self.durable else None,
+            checkpoint_every=self.checkpoint_every if self.durable else None,
+            resume_generation=resume_generation,
+            attempt=attempt,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            chaos=self.chaos,
+        )
+        process = context.Process(
+            target=run_worker,
+            args=(config, self.pipeline_factory, out_queue),
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    # -- signals -----------------------------------------------------------
+
+    def _install_signal_handlers(self) -> dict[int, Any] | None:
+        """SIGINT/SIGTERM set a flag; the run loop raises RunInterrupted.
+
+        Handlers can only be installed from the main thread; elsewhere
+        (tests driving runs from threads) interruption stays with the
+        caller.  Workers ignore SIGINT themselves, so a terminal ^C
+        reaches only the parent, which shuts the pool down cleanly.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def _flag(signum: int, frame: Any) -> None:
+            self._interrupt = signum
+
+        return {
+            signum: signal.signal(signum, _flag)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
+
+    @staticmethod
+    def _restore_signal_handlers(previous: dict[int, Any] | None) -> None:
+        if previous is None:
+            return
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
     # -- the fold ---------------------------------------------------------
 
@@ -283,20 +363,50 @@ class ParallelRun:
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
         out_queue = context.Queue(maxsize=_QUEUE_SLOTS_PER_WORKER * self.workers + 8)
-        processes = self._spawn(context, out_queue, resume_generation)
+        supervisor = WorkerSupervisor(
+            workers=self.workers,
+            spawn=lambda worker_id, attempt: self._spawn_worker(
+                context, out_queue, worker_id, attempt, resume_generation
+            ),
+            retry=self.retry,
+            worker_timeout=self.worker_timeout,
+            on_failure=self.on_worker_failure,
+            log=self.log,
+        )
 
         done: dict[int, dict] = {}
         markers: dict[int, dict[int, dict]] = {}
         checkpoints_written = 0
-        empty_polls_with_dead = 0
+        # Doubles as the respawn resume point and the guard against
+        # replayed markers (a respawned shard re-walks cuts the parent
+        # may already have made durable).
+        self._last_parent_generation = resume_generation or 0
+        self._interrupt = None
+        previous_handlers = self._install_signal_handlers()
+        completed = False
         try:
-            while len(done) < self.workers:
+            supervisor.start()
+            while not supervisor.finished:
+                if self._interrupt is not None:
+                    raise RunInterrupted(self._interrupt)
                 try:
-                    worker_id, kind, message = out_queue.get(timeout=_POLL_TIMEOUT_S)
+                    item = out_queue.get(timeout=_POLL_TIMEOUT_S)
                 except queue_module.Empty:
-                    empty_polls_with_dead = self._watch(processes, done, empty_polls_with_dead)
+                    supervisor.poll()
                     continue
-                empty_polls_with_dead = 0
+                try:
+                    worker_id, attempt, kind, message = item
+                except (TypeError, ValueError):
+                    self.log(f"discarding malformed result-queue item: {item!r}")
+                    supervisor.poll()
+                    continue
+                if not isinstance(worker_id, int) or not isinstance(attempt, int):
+                    self.log(f"discarding malformed result-queue item: {item!r}")
+                    supervisor.poll()
+                    continue
+                if not supervisor.accept(worker_id, attempt, kind):
+                    supervisor.poll()
+                    continue
                 if kind == "batch":
                     for index, row, is_ad, is_whitelisted in message["rows"]:
                         emitter.push(index, (row, is_ad, is_whitelisted))
@@ -304,79 +414,135 @@ class ParallelRun:
                         self._consume_row(row, is_ad, is_whitelisted)
                     for line_no, reason, raw in message["quarantine"]:
                         merger.push(line_no, reason, raw)
+                elif kind == "hb":
+                    pass  # pure liveness evidence; accept() already credited it
                 elif kind == "ckpt":
                     generation = message["generation"]
-                    group = markers.setdefault(generation, {})
-                    group[worker_id] = message
-                    if len(group) == self.workers:
-                        del markers[generation]
-                        self._save_parent_checkpoint(
-                            generation, group, emitter, merger, quarantine
-                        )
-                        checkpoints_written += 1
+                    if generation > self._last_parent_generation:
+                        group = markers.setdefault(generation, {})
+                        group[worker_id] = message
+                        if len(group) == self.workers:
+                            del markers[generation]
+                            self._save_parent_checkpoint(
+                                generation, group, emitter, merger, quarantine
+                            )
+                            checkpoints_written += 1
+                            self._last_parent_generation = generation
                 elif kind == "done":
                     done[worker_id] = message
+                    supervisor.mark_done(worker_id)
                 elif kind == "parse_error":
                     line_no, reason, line = message
                     raise LogParseError(line_no, reason, line)
+                elif kind == "error":
+                    supervisor.fault(worker_id, f"failed:\n{message}")
                 else:
-                    raise WorkerFailure(f"worker {worker_id} failed:\n{message}")
-            for process in processes:
-                process.join(timeout=10.0)
+                    # GARBAGE_KIND or anything else unintelligible: this
+                    # incarnation's stream can no longer be trusted.
+                    supervisor.fault(worker_id, "sent garbage on the result queue")
+                supervisor.poll()
+            stragglers = supervisor.join_all(_STRAGGLER_GRACE_S)
+            if stragglers:
+                self.log(
+                    "worker(s) "
+                    + ", ".join(str(worker_id) for worker_id in stragglers)
+                    + f" still running {_STRAGGLER_GRACE_S:g}s after the pool "
+                    "finished; terminating them"
+                )
+            completed = True
         finally:
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-            for process in processes:
-                process.join(timeout=5.0)
+            self._restore_signal_handlers(previous_handlers)
+            supervisor.terminate_all()
             out_queue.close()
+            if not completed and self.durable:
+                # Interrupted or failed mid-run: keep output.part, the
+                # sidecar and every checkpoint for a later --resume, but
+                # close the streams cleanly (no finalize, no publish).
+                assert self.sink is not None
+                self.sink.close()
+                if quarantine is not None:
+                    quarantine.sync()
+                    quarantine.close()
 
+        degraded_shards = supervisor.failed_ids
         for row, is_ad, is_whitelisted in emitter.drain():
             self._consume_row(row, is_ad, is_whitelisted)
-        records = done[0]["arrivals"]
-        if self.emit == "rows":
-            if emitter.next_emit != records:
-                emitter.assert_empty()
-                raise WorkerFailure(
-                    f"row merge lost rows: emitted {emitter.next_emit} of {records}"
+        if degraded_shards:
+            for worker_id in degraded_shards:
+                self.log(f"shard {worker_id} lost: {supervisor.slots[worker_id].fail_reason}")
+            if emitter.pending:
+                # Rows from surviving shards past the dead shard's emit
+                # frontier can never become contiguous; the published
+                # output is the exact serial prefix up to the gap.
+                self.log(
+                    f"discarding {len(emitter.pending)} buffered rows stranded "
+                    "past the missing shard's frontier"
                 )
-            emitter.assert_empty()
-        merger.finish()
+                emitter.pending.clear()
+            records = next(iter(done.values()))["arrivals"] if done else 0
+        else:
+            records = done[0]["arrivals"]
+            if self.emit == "rows":
+                if emitter.next_emit != records:
+                    emitter.assert_empty()
+                    raise WorkerFailure(
+                        f"row merge lost rows: emitted {emitter.next_emit} of {records}"
+                    )
+                emitter.assert_empty()
+        if not (degraded_shards and self.durable):
+            merger.finish()
 
         health = PipelineHealth()
-        for worker_id in range(self.workers):
-            health.merge_state(done[worker_id]["health"])
+        for _worker_id, message in sorted(done.items()):
+            health.merge_state(message["health"])
             # Cache counters travel outside the (checkpointable) health
             # state; fold them into the parent's transient fields so the
             # CLI can report pool-wide cache effectiveness.
-            cache_stats = done[worker_id].get("cache")
+            cache_stats = message.get("cache")
             if cache_stats is not None:
                 health.add_cache_stats(*cache_stats)
+        health.worker_restarts += supervisor.restarts
+        health.heartbeat_gaps += supervisor.heartbeat_gaps
+        health.shards_degraded += len(degraded_shards)
         accumulator = None
         if self.emit == "fold":
             accumulator = TrafficAccumulator()
-            for worker_id in range(self.workers):
-                accumulator.merge_state(done[worker_id]["fold"])
+            for _worker_id, message in sorted(done.items()):
+                accumulator.merge_state(message["fold"])
 
         output_paths: list[str] = []
         quarantine_path: str | None = None
         quarantine_count = quarantine.count if quarantine is not None else 0
         if self.durable:
             assert self.sink is not None and self.manifest is not None
-            output_paths = list(self.sink.finalize())
-            self.sink.close()
-            if quarantine is not None:
-                quarantine.sync()
-                quarantine.close()
-                quarantine_path = self.manifest.quarantine_path
-                assert quarantine_path is not None
-                replace_atomic(self.quarantine_part, quarantine_path)
-            stores = [self.parent_store] + [
-                CheckpointStore(self.shard_dir(worker_id)) for worker_id in range(self.workers)
-            ]
-            for store in stores:
-                for generation in store.generations():
-                    os.unlink(store.path_for(generation))
+            if degraded_shards:
+                # Honest partial result: withhold finalize so the .part
+                # outputs and every checkpoint survive for a --resume
+                # once whatever killed the shard is fixed.
+                self.sink.close()
+                if quarantine is not None:
+                    quarantine.sync()
+                    quarantine.close()
+                self.log(
+                    "degraded run: outputs left unpublished as .part files under "
+                    f"{self.directory} (fix the fault and --resume to complete them)"
+                )
+            else:
+                output_paths = list(self.sink.finalize())
+                self.sink.close()
+                if quarantine is not None:
+                    quarantine.sync()
+                    quarantine.close()
+                    quarantine_path = self.manifest.quarantine_path
+                    assert quarantine_path is not None
+                    replace_atomic(self.quarantine_part, quarantine_path)
+                stores = [self.parent_store] + [
+                    CheckpointStore(self.shard_dir(worker_id))
+                    for worker_id in range(self.workers)
+                ]
+                for store in stores:
+                    for generation in store.generations():
+                        os.unlink(store.path_for(generation))
 
         return ParallelOutcome(
             health=health,
@@ -387,6 +553,8 @@ class ParallelRun:
             accumulator=accumulator,
             resumed_generation=resume_generation,
             checkpoints_written=checkpoints_written,
+            degraded_shards=degraded_shards,
+            worker_restarts=supervisor.restarts,
         )
 
     def _consume_row(self, row: str, is_ad: bool, is_whitelisted: bool) -> None:
@@ -397,23 +565,6 @@ class ParallelRun:
             self.on_row(row, is_ad, is_whitelisted)
         if self.crash_injector is not None:
             self.crash_injector.tick()
-
-    def _watch(self, processes, done: dict[int, dict], empty_polls: int) -> int:
-        """A dead worker that never said "done" is a failure, after a
-        short grace for its final messages to clear the queue pipe."""
-        dead = [
-            worker_id
-            for worker_id, process in enumerate(processes)
-            if worker_id not in done and process.exitcode is not None
-        ]
-        if not dead:
-            return 0
-        if empty_polls + 1 >= _DEAD_WORKER_GRACE_POLLS:
-            codes = ", ".join(
-                f"worker {worker_id} exit {processes[worker_id].exitcode}" for worker_id in dead
-            )
-            raise WorkerFailure(f"shard worker(s) died without reporting a result: {codes}")
-        return empty_polls + 1
 
     def _save_parent_checkpoint(
         self,

@@ -14,7 +14,12 @@ Both also implement the resume-side dedup: a durable parallel run may
 have published rows/entries *beyond* the last checkpoint cut (workers
 run ahead of the cut), and the replayed tail regenerates them
 byte-identically; skipping everything at or below the restored
-watermark is therefore lossless.
+watermark is therefore lossless.  The same idempotence is what makes
+supervised shard *respawn* (DESIGN.md §12) safe: a restarted worker
+replays its stream from its last checkpoint (or from scratch) and
+re-sends rows and rejected lines the parent may already hold — rows
+overwrite identical pending payloads, rejected lines dedup by line
+number, so one incarnation or five produce the same fold.
 
 The user-space hash itself lives in :func:`repro.http.log.shard_of`,
 next to the record schema it keys on.
@@ -22,7 +27,6 @@ next to the record schema it keys on.
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Iterator
 
 from repro.http.log import claims_line, shard_of
@@ -69,34 +73,40 @@ class OrderedRowEmitter:
 class QuarantineMerger:
     """Line-number-ordered fold of rejected lines from all shards.
 
-    Entries are held in a min-heap until :meth:`release` learns that
-    every worker's reader has passed a given line; entries at or below
-    that watermark can no longer be preceded by an unseen one and are
-    flushed in line order.  ``flushed_line`` is the resume watermark:
-    entries at or below it are already in the sidecar ``.part`` file.
+    Entries are held (keyed by line number, which is globally unique —
+    each raw line is rejected at most once, by exactly one shard) until
+    :meth:`release` learns that every worker's reader has passed a
+    given line; entries at or below that watermark can no longer be
+    preceded by an unseen one and are flushed in line order.  Keying by
+    line number makes :meth:`push` idempotent, so a respawned shard
+    re-sending lines already held is harmless.  ``flushed_line`` is the
+    resume watermark: entries at or below it are already in the sidecar
+    ``.part`` file.
     """
 
     def __init__(self, write: Callable[[int, str, str], None], *, flushed_line: int = 0) -> None:
         self._write = write
-        self._heap: list[tuple[int, str, str]] = []
+        self._pending: dict[int, tuple[str, str]] = {}
         self.flushed_line = flushed_line
 
     def push(self, line_no: int, reason: str, raw: str) -> None:
         if line_no <= self.flushed_line:
             return  # already in the sidecar before the resumed checkpoint
-        heapq.heappush(self._heap, (line_no, reason, raw))
+        self._pending[line_no] = (reason, raw)
+
+    def _flush(self, line_numbers: list[int]) -> None:
+        for line_no in sorted(line_numbers):
+            reason, raw = self._pending.pop(line_no)
+            self._write(line_no, reason, raw)
 
     def release(self, through_line: int) -> None:
         """Flush entries at or below ``through_line`` (a safe watermark)."""
-        while self._heap and self._heap[0][0] <= through_line:
-            line_no, reason, raw = heapq.heappop(self._heap)
-            self._write(line_no, reason, raw)
+        self._flush([line_no for line_no in self._pending if line_no <= through_line])
         if through_line > self.flushed_line:
             self.flushed_line = through_line
 
     def finish(self) -> None:
         """End of stream: every entry is safe to flush."""
-        while self._heap:
-            line_no, reason, raw = heapq.heappop(self._heap)
-            self._write(line_no, reason, raw)
-            self.flushed_line = max(self.flushed_line, line_no)
+        if self._pending:
+            self.flushed_line = max(self.flushed_line, max(self._pending))
+        self._flush(list(self._pending))

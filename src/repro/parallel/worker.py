@@ -18,6 +18,17 @@ Released entries leave the worker as pre-rendered output rows tagged
 with their global index; the parent merely interleaves shards back
 into index order, which is what makes parallel output byte-identical
 to the serial path.
+
+Supervision (DESIGN.md §12) adds three obligations on this side:
+
+* every message is stamped with the worker's incarnation ``attempt``
+  so the parent can drop the last gasps of a killed predecessor;
+* the run loop emits periodic ``hb`` heartbeats — progress-driven, not
+  thread-driven, so a loop stuck inside one record goes silent and the
+  parent's hang detector actually fires;
+* an optional :class:`~repro.robustness.crash.WorkerFaultInjector`
+  (armed by the ``REPRO_CHAOS`` spec) fires crash/hang/slow/garbage
+  faults at exact record counts, for the chaos equivalence tests.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ import heapq
 import io
 import os
 import queue
+import signal
 import threading
 import time
 import traceback
@@ -36,6 +48,7 @@ from repro.analysis.traffic import TrafficAccumulator
 from repro.core.pipeline import AdClassificationPipeline, StreamingClassifier
 from repro.http.log import HttpLogRecord, SeekableLogReader
 from repro.robustness.checkpoint import CheckpointStore
+from repro.robustness.crash import CRASH_EXIT_CODE, FaultAction, WorkerFaultInjector
 from repro.robustness.health import PipelineHealth
 from repro.robustness.policy import ErrorPolicy, LogParseError
 from repro.robustness.quarantine import QuarantineWriter
@@ -56,6 +69,18 @@ _PUT_TIMEOUT_S = 2.0
 # Orphan-watchdog poll interval.
 _ORPHAN_POLL_S = 1.0
 
+# Exit code for a worker that died politely to SIGTERM (shell convention
+# for "terminated by signal 15": 128 + 15).
+_TERM_EXIT_CODE = 143
+
+# Backstop for the SIGTERM flush: if the feeder cannot drain (parent
+# wedged or gone), die anyway rather than hang the kill escalation.
+_TERM_FLUSH_CAP_S = 4.0
+
+# The payload a garbage-message fault puts on the wire: a recognizable
+# nonsense kind, exercising the parent's unknown-message handling.
+GARBAGE_KIND = "\x00garbage\x00"
+
 
 @dataclass(slots=True)
 class WorkerConfig:
@@ -71,6 +96,9 @@ class WorkerConfig:
     checkpoint_dir: str | None = None  # this shard's own store
     checkpoint_every: int | None = None
     resume_generation: int | None = None
+    attempt: int = 0  # incarnation number, stamped on every message
+    heartbeat_interval_s: float | None = None  # None = no heartbeats
+    chaos: str | None = None  # fault-injection spec (crash.parse_chaos)
 
 
 class _QuarantineBuffer(QuarantineWriter):
@@ -107,13 +135,57 @@ def run_worker(
     """
     parent_pid = os.getppid()
     worker_id = config.worker_id
+    attempt = config.attempt
+    # Shutdown is the parent's job: on Ctrl-C it catches the signal,
+    # terminates the pool and exits 130.  A worker that also received
+    # the terminal's SIGINT (same process group) must not race it with
+    # a KeyboardInterrupt traceback of its own.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, _make_term_handler(out_queue))
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
     _start_orphan_watchdog(parent_pid)
     try:
+        # First heartbeat before the (potentially slow) engine rebuild,
+        # so the supervisor's silence clock starts from a real signal.
+        if config.heartbeat_interval_s is not None:
+            _put(out_queue, parent_pid, (worker_id, attempt, "hb", {"arrivals": 0}))
         _ShardWorker(config, pipeline_factory(), out_queue, parent_pid).run()
     except LogParseError as exc:
-        _put(out_queue, parent_pid, (worker_id, "parse_error", (exc.line_no, exc.reason, exc.line)))
+        _put(
+            out_queue,
+            parent_pid,
+            (worker_id, attempt, "parse_error", (exc.line_no, exc.reason, exc.line)),
+        )
     except BaseException:  # staticcheck: ok[RC002] shipped to the parent verbatim and re-raised there
-        _put(out_queue, parent_pid, (worker_id, "error", traceback.format_exc()))
+        _put(out_queue, parent_pid, (worker_id, attempt, "error", traceback.format_exc()))
+
+
+def _make_term_handler(out_queue: Any) -> "Callable[[int, Any], None]":
+    """SIGTERM = die *politely*: flush the queue feeder, then exit.
+
+    The supervisor's kill escalation starts with SIGTERM precisely so
+    that a worker never dies while its queue feeder thread is halfway
+    through a pipe write — a truncated frame would block the parent's
+    next ``get`` forever (it reads a length header, then waits for
+    bytes that never come).  The flush needs the parent to keep
+    draining the pipe, which the supervisor guarantees by never
+    blocking on the kill; the cap below covers the case where the
+    parent is itself wedged or gone.
+    """
+
+    def handle(signum: int, frame: Any) -> None:
+        def backstop() -> None:
+            time.sleep(_TERM_FLUSH_CAP_S)
+            os._exit(_TERM_EXIT_CODE)
+
+        threading.Thread(target=backstop, name="term-backstop", daemon=True).start()
+        out_queue.close()
+        out_queue.join_thread()
+        os._exit(_TERM_EXIT_CODE)
+
+    return handle
 
 
 def _start_orphan_watchdog(parent_pid: int) -> None:
@@ -188,6 +260,14 @@ class _ShardWorker:
         )
         self.classifier: StreamingClassifier | None = None
         self.reader: SeekableLogReader | None = None
+        # Supervision plumbing (DESIGN.md §12).
+        self.injector = WorkerFaultInjector.for_worker(
+            config.chaos, config.worker_id, config.attempt
+        )
+        self._hb_interval = config.heartbeat_interval_s
+        self._next_beat = (
+            time.monotonic() + self._hb_interval if self._hb_interval is not None else 0.0
+        )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -256,6 +336,31 @@ class _ShardWorker:
                 self._arrive(record, owned)
             if self.store is not None and every and self._arrivals % every == 0:
                 self._checkpoint()
+            # Supervision duties, after this record's effects (rows,
+            # checkpoint) have been applied — so an injected crash at
+            # record N dies with exactly N records processed, and a
+            # heartbeat always vouches for completed work.
+            if self.injector is not None:
+                action = self.injector.tick()
+                if action is FaultAction.CRASH:
+                    # Flush the queue feeder first: dying while it holds
+                    # the shared write lock would block every other
+                    # worker's put (a multiprocessing.Queue hazard the
+                    # harness must not trip on purpose).
+                    self.out_queue.close()
+                    self.out_queue.join_thread()
+                    os._exit(CRASH_EXIT_CODE)
+                elif action is FaultAction.GARBAGE:
+                    self._send(GARBAGE_KIND, b"\xde\xad\xbe\xef")
+                    # A worker whose stream has degenerated to garbage
+                    # is not meaningfully continuing; quiescing also
+                    # makes the parent's kill safe (feeder drained).
+                    self.injector.nap()
+            if self._hb_interval is not None:
+                now = time.monotonic()
+                if now >= self._next_beat:
+                    self._send("hb", {"arrivals": self._arrivals})
+                    self._next_beat = now + self._hb_interval
         while self._heap:
             self._advance(heapq.heappop(self._heap)[2])
         assert self.classifier is not None
@@ -276,7 +381,7 @@ class _ShardWorker:
                 else None
             ),
         }
-        self._send((self.config.worker_id, "done", done))
+        self._send("done", done)
 
     def _arrive(self, record: HttpLogRecord, owned: bool) -> None:
         """Replicate the serial reorder buffer over the *full* stream.
@@ -323,10 +428,14 @@ class _ShardWorker:
         rejected = self.quarantine.drain()
         if not rows and not rejected:
             return
-        self._send((self.config.worker_id, "batch", {"rows": rows, "quarantine": rejected}))
+        self._send("batch", {"rows": rows, "quarantine": rejected})
 
-    def _send(self, message: tuple) -> None:
-        _put(self.out_queue, self.parent_pid, message)
+    def _send(self, kind: str, message: Any) -> None:
+        _put(
+            self.out_queue,
+            self.parent_pid,
+            (self.config.worker_id, self.config.attempt, kind, message),
+        )
 
     # -- checkpoints ------------------------------------------------------
 
@@ -370,9 +479,6 @@ class _ShardWorker:
         }
         self.store.save(payload, generation=generation)
         self._send(
-            (
-                self.config.worker_id,
-                "ckpt",
-                {"generation": generation, "line_no": self.reader.line_no, "g": self._g},
-            )
+            "ckpt",
+            {"generation": generation, "line_no": self.reader.line_no, "g": self._g},
         )

@@ -19,9 +19,11 @@ driver; imported directly to avoid import cycles with the pipeline).
 from repro.robustness.health import (
     EXIT_CLEAN,
     EXIT_DEGRADED,
+    EXIT_INTERRUPTED,
     EXIT_MANIFEST_MISMATCH,
     EXIT_MISSING_INPUT,
     EXIT_STRICT_ABORT,
+    EXIT_WORKER_FAILURE,
     PipelineHealth,
 )
 from repro.robustness.policy import ErrorPolicy, LogParseError
@@ -34,11 +36,19 @@ from repro.robustness.checkpoint import (
     CheckpointStore,
 )
 from repro.robustness.crash import (
+    CHAOS_ENV,
     CRASH_EXIT_CODE,
+    ChaosSpecError,
     CrashInjector,
     CrashMode,
+    FaultAction,
     InjectedCrash,
+    WorkerFault,
+    WorkerFaultInjector,
+    WorkerFaultMode,
+    parse_chaos,
 )
+from repro.robustness.retry import DEFAULT_RETRY_POLICY, RetryExhausted, RetryPolicy
 
 __all__ = [
     "ErrorPolicy",
@@ -57,9 +67,21 @@ __all__ = [
     "CrashMode",
     "InjectedCrash",
     "CRASH_EXIT_CODE",
+    "CHAOS_ENV",
+    "ChaosSpecError",
+    "FaultAction",
+    "WorkerFault",
+    "WorkerFaultInjector",
+    "WorkerFaultMode",
+    "parse_chaos",
+    "RetryPolicy",
+    "RetryExhausted",
+    "DEFAULT_RETRY_POLICY",
     "EXIT_CLEAN",
     "EXIT_STRICT_ABORT",
     "EXIT_MISSING_INPUT",
     "EXIT_DEGRADED",
     "EXIT_MANIFEST_MISMATCH",
+    "EXIT_WORKER_FAILURE",
+    "EXIT_INTERRUPTED",
 ]

@@ -168,6 +168,19 @@ class CheckpointStore:
                 continue
         return None
 
+    def newest_valid_generation(self) -> int | None:
+        """Generation number of :meth:`latest`, or ``None``.
+
+        A store-level "how far did this run get" probe (used by tests
+        and tooling); note that shard-respawn deliberately does *not*
+        resume from here — a shard's own newest generation can run
+        ahead of the parent's fold frontier, so the supervisor resumes
+        replacements from the parent's last saved generation instead
+        (see ``ParallelRun._spawn_worker``).
+        """
+        newest = self.latest()
+        return newest.generation if newest is not None else None
+
     def valid_generations(self) -> list[int]:
         """Generation numbers that fully validate, ascending.
 

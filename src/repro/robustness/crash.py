@@ -1,4 +1,4 @@
-"""Crash injection for the durable-runs equivalence tests.
+"""Crash and fault injection for the resilience equivalence tests.
 
 The checkpoint subsystem's correctness claim — *a run killed anywhere
 and resumed is byte-identical to an uninterrupted run* — is only
@@ -12,15 +12,45 @@ in-process stand-in for a SIGKILL/OOM kill, and the mode the
 subprocess test driver and the CI crash matrix use.  ``RAISE`` mode
 raises :class:`InjectedCrash` instead, for in-process tests that want
 to observe state after the "crash".
+
+The *worker* fault layer (DESIGN.md §12) extends the same idea to the
+shard pool: :class:`WorkerFaultInjector` arms per-worker faults parsed
+from a chaos spec (the ``REPRO_CHAOS`` env var or ``--chaos``) and
+fires them inside the worker run loop, so the supervision tests can
+prove that a run with injected worker faults and retries enabled
+produces output byte-identical to a fault-free run.  Spec grammar —
+semicolon-separated faults, colon-separated ``key=value`` params::
+
+    crash-hard:worker=1:after=2500;hang:worker=2:after=4000
+    hang:worker=0:after=100:attempt=any        # fires on every respawn
+    slow:worker=3:after=0:delay=0.01:for=500   # stays alive, just slow
+
+``attempt`` defaults to 0 (first incarnation only), so a respawned
+shard replays clean — which is exactly what the headline equivalence
+property needs; ``attempt=any`` makes the fault permanent, for the
+retries-exhausted / degrade paths.
 """
 
 from __future__ import annotations
 
 import enum
 import os
+import time
 from dataclasses import dataclass, field
 
-__all__ = ["CrashInjector", "CrashMode", "InjectedCrash", "CRASH_EXIT_CODE"]
+__all__ = [
+    "CrashInjector",
+    "CrashMode",
+    "InjectedCrash",
+    "CRASH_EXIT_CODE",
+    "CHAOS_ENV",
+    "ChaosSpecError",
+    "FaultAction",
+    "WorkerFault",
+    "WorkerFaultInjector",
+    "WorkerFaultMode",
+    "parse_chaos",
+]
 
 # Distinctive exit code for an injected hard crash, so test drivers can
 # tell "crashed as planned" (87) from real failures (1/2/tracebacks).
@@ -60,3 +90,164 @@ class CrashInjector:
             if self.mode is CrashMode.HARD:
                 os._exit(CRASH_EXIT_CODE)
             raise InjectedCrash(f"injected crash after {self.seen} records")
+
+
+# ---------------------------------------------------------------------------
+# Worker fault modes (DESIGN.md §12)
+
+
+# Environment variable the shard workers read their chaos spec from
+# (the CLI's hidden --chaos flag sets the same spec explicitly).
+CHAOS_ENV = "REPRO_CHAOS"
+
+# `attempt=any`: the fault re-arms on every incarnation of the shard.
+ANY_ATTEMPT = -1
+
+_SLOW_DEFAULT_DELAY_S = 0.02
+_SLOW_DEFAULT_RECORDS = 200
+_HANG_NAP_S = 60.0
+
+
+class ChaosSpecError(ValueError):
+    """A chaos spec string failed to parse."""
+
+
+class WorkerFaultMode(str, enum.Enum):
+    CRASH_HARD = "crash-hard"  # os._exit mid-shard, like an OOM kill
+    HANG = "hang"  # stop making progress (and heartbeating) forever
+    SLOW = "slow"  # stay alive and correct, just pathologically slow
+    GARBAGE = "garbage-message"  # emit an unintelligible queue message
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class FaultAction(enum.Enum):
+    """What the worker run loop must do on behalf of the injector.
+
+    Hang and slow execute inside :meth:`WorkerFaultInjector.tick`
+    itself; crash and garbage need the worker's queue plumbing — a
+    producer must never die while its queue feeder thread may hold the
+    shared write lock (that would silently block every other worker's
+    ``put``), so the worker flushes the feeder before ``os._exit`` and
+    quiesces after emitting garbage.
+    """
+
+    CRASH = "crash"
+    GARBAGE = "garbage"
+
+
+@dataclass(slots=True)
+class WorkerFault:
+    """One armed fault: fire ``mode`` in ``worker`` after ``after`` records."""
+
+    mode: WorkerFaultMode
+    worker: int
+    after: int = 0
+    attempt: int = 0  # which incarnation fires; ANY_ATTEMPT = all of them
+    delay_s: float = _SLOW_DEFAULT_DELAY_S  # slow: per-record stall
+    records: int = _SLOW_DEFAULT_RECORDS  # slow: how many records stay slow
+
+    def arms(self, worker_id: int, attempt: int) -> bool:
+        return self.worker == worker_id and (
+            self.attempt == ANY_ATTEMPT or self.attempt == attempt
+        )
+
+
+def parse_chaos(spec: str) -> list[WorkerFault]:
+    """Parse a chaos spec string (see module docstring for the grammar)."""
+    faults = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        head, _, tail = clause.partition(":")
+        try:
+            mode = WorkerFaultMode(head.strip())
+        except ValueError:
+            raise ChaosSpecError(
+                f"unknown fault mode {head.strip()!r} (expected one of "
+                f"{', '.join(m.value for m in WorkerFaultMode)})"
+            ) from None
+        params: dict[str, str] = {}
+        if tail:
+            for pair in tail.split(":"):
+                key, sep, value = pair.partition("=")
+                if not sep:
+                    raise ChaosSpecError(f"malformed fault param {pair!r} in {clause!r}")
+                params[key.strip()] = value.strip()
+        if "worker" not in params:
+            raise ChaosSpecError(f"fault {clause!r} needs worker=<id>")
+        try:
+            attempt_raw = params.pop("attempt", "0")
+            fault = WorkerFault(
+                mode=mode,
+                worker=int(params.pop("worker")),
+                after=int(params.pop("after", "0")),
+                attempt=ANY_ATTEMPT if attempt_raw == "any" else int(attempt_raw),
+                delay_s=float(params.pop("delay", str(_SLOW_DEFAULT_DELAY_S))),
+                records=int(params.pop("for", str(_SLOW_DEFAULT_RECORDS))),
+            )
+        except ValueError as exc:
+            raise ChaosSpecError(f"bad fault param in {clause!r}: {exc}") from None
+        if params:
+            raise ChaosSpecError(
+                f"unknown fault param(s) {sorted(params)} in {clause!r}"
+            )
+        faults.append(fault)
+    return faults
+
+
+class WorkerFaultInjector:
+    """Fires armed faults from inside a shard worker's run loop.
+
+    The worker calls :meth:`tick` once per parsed record.  Hang
+    executes here (deliberately stopping the heartbeat clock along with
+    everything else); slow stalls each of the next ``records`` ticks by
+    ``delay_s``; crash returns :data:`FaultAction.CRASH` and garbage
+    returns :data:`FaultAction.GARBAGE` exactly once, because both need
+    the worker's own queue plumbing (see :class:`FaultAction`).
+    """
+
+    def __init__(self, faults: list[WorkerFault]) -> None:
+        self.faults = faults
+        self.seen = 0
+        self._slow_until: int | None = None
+        self._slow_delay = 0.0
+        self._garbage_sent = False
+
+    @classmethod
+    def for_worker(
+        cls, spec: str | None, worker_id: int, attempt: int
+    ) -> "WorkerFaultInjector | None":
+        """The injector for one worker incarnation, or ``None`` if no
+        fault in ``spec`` arms for it."""
+        if not spec:
+            return None
+        armed = [fault for fault in parse_chaos(spec) if fault.arms(worker_id, attempt)]
+        return cls(armed) if armed else None
+
+    def tick(self) -> FaultAction | None:
+        self.seen += 1
+        if self._slow_until is not None and self.seen <= self._slow_until:
+            time.sleep(self._slow_delay)
+        for fault in self.faults:
+            if self.seen != max(1, fault.after):
+                continue
+            if fault.mode is WorkerFaultMode.CRASH_HARD:
+                return FaultAction.CRASH
+            if fault.mode is WorkerFaultMode.HANG:
+                self.nap()
+            if fault.mode is WorkerFaultMode.SLOW:
+                self._slow_until = self.seen + fault.records
+                self._slow_delay = fault.delay_s
+            elif fault.mode is WorkerFaultMode.GARBAGE and not self._garbage_sent:
+                self._garbage_sent = True
+                return FaultAction.GARBAGE
+        return None
+
+    @staticmethod
+    def nap() -> None:
+        """Stop making progress — and heartbeating — forever."""
+        while True:
+            time.sleep(_HANG_NAP_S)

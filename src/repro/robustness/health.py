@@ -18,19 +18,26 @@ __all__ = [
     "EXIT_MISSING_INPUT",
     "EXIT_DEGRADED",
     "EXIT_MANIFEST_MISMATCH",
+    "EXIT_WORKER_FAILURE",
+    "EXIT_INTERRUPTED",
 ]
 
 # CLI exit codes (README §CLI): 0 all records survived, 1 strict-mode
 # abort on the first bad line, 2 an input file does not exist (matches
 # argparse's usage-error code — both are "the invocation is wrong"),
-# 3 run completed but records were dropped, 4 --resume refused because
-# the run manifest does not match the current config/filter-lists/input
-# (DESIGN.md §8).
+# 3 run completed but records were dropped — including shards lost to a
+# degraded pool run, 4 --resume refused because the run manifest does
+# not match the current config/filter-lists/input (DESIGN.md §8),
+# 5 a shard worker failed terminally with --on-worker-failure=abort
+# (DESIGN.md §12), 130 the run was interrupted by SIGINT/SIGTERM after
+# a clean shutdown of the pool.
 EXIT_CLEAN = 0
 EXIT_STRICT_ABORT = 1
 EXIT_MISSING_INPUT = 2
 EXIT_DEGRADED = 3
 EXIT_MANIFEST_MISMATCH = 4
+EXIT_WORKER_FAILURE = 5
+EXIT_INTERRUPTED = 130
 
 
 @dataclass
@@ -55,6 +62,9 @@ class PipelineHealth:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    worker_restarts: int = 0
+    shards_degraded: int = 0
+    heartbeat_gaps: int = 0
     # stage name -> Counter of error reasons
     stage_errors: dict[str, Counter] = field(default_factory=dict)
 
@@ -62,8 +72,20 @@ class PipelineHealth:
     # process-local observability that must never survive a resume or
     # flow through a shard fold.  The RC004 codebase gate reads this
     # declaration and exempts exactly these fields from its
-    # export/restore drift check.
-    _TRANSIENT_STATE = ("cache_hits", "cache_misses", "cache_evictions")
+    # export/restore drift check.  The supervision counters
+    # (DESIGN.md §12) are parent-side: worker restarts and heartbeat
+    # gaps describe *this* process's pool run, not the output — a
+    # resumed run legitimately restarts them at zero, and a fault-free
+    # run keeps them at zero, which is what preserves serial-vs-parallel
+    # and fresh-vs-resumed summary byte-identity.
+    _TRANSIENT_STATE = (
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "worker_restarts",
+        "shards_degraded",
+        "heartbeat_gaps",
+    )
 
     def record_ok(self) -> None:
         self.records_seen += 1
@@ -90,9 +112,17 @@ class PipelineHealth:
         self.cache_misses += misses
         self.cache_evictions += evictions
 
+    def record_worker_restart(self) -> None:
+        """One shard worker was respawned by the supervisor (§12)."""
+        self.worker_restarts += 1
+
+    def record_heartbeat_gap(self) -> None:
+        """One hung worker was detected (no heartbeat within timeout)."""
+        self.heartbeat_gaps += 1
+
     @property
     def degraded(self) -> bool:
-        return self.records_dropped > 0
+        return self.records_dropped > 0 or self.shards_degraded > 0
 
     def exit_code(self) -> int:
         return EXIT_DEGRADED if self.degraded else EXIT_CLEAN
@@ -196,6 +226,16 @@ class PipelineHealth:
             lines.append(f"users evicted:     {self.users_evicted}")
         if self.peak_users:
             lines.append(f"peak users held:   {self.peak_users}")
+        # Supervision counters (transient, parent-side): zero — and
+        # therefore absent — in any fault-free run, so serial/parallel/
+        # resumed summaries stay byte-identical unless faults actually
+        # happened, in which case honesty wins over comparability.
+        if self.worker_restarts:
+            lines.append(f"worker restarts:   {self.worker_restarts}")
+        if self.heartbeat_gaps:
+            lines.append(f"heartbeat gaps:    {self.heartbeat_gaps}")
+        if self.shards_degraded:
+            lines.append(f"shards degraded:   {self.shards_degraded} (output incomplete)")
         for stage in sorted(self.stage_errors):
             # Not Counter.most_common(): its ties break by insertion
             # order, which differs between a serial run and a shard
