@@ -1,0 +1,176 @@
+"""Serving bench: daemon throughput/latency and reload-under-load cost.
+
+Measures the tentpole's operating envelope (DESIGN.md §13):
+
+* request throughput and p50/p99 latency through the full stack —
+  socket, HTTP/1.1 parse, admission queue, engine classify, JSON
+  response — at the two queue depths named in the acceptance criteria
+  (64 and 1024); the depth should *not* matter on the clean path,
+  because a queue that never fills costs only its bookkeeping;
+* the same flood with hot reloads being fired continuously, reporting
+  the throughput overhead of rebuilding+swapping engines under load —
+  drain-free reload is the point of the design, so the flood must not
+  stall while the off-thread build runs.
+
+Everything runs in-process over real sockets with keep-alive clients,
+the same transport the serve tests drive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from conftest import write_result
+
+from repro.serve import EngineHolder, EngineSource, ServeApp, ServeConfig
+
+_CLIENTS = 8
+_REQUESTS_PER_CLIENT = 250
+_DEPTHS = (64, 1024)
+_RELOADS = 10
+_PUBLISHERS = 120
+
+LIST_V1 = "||ads.bench.example^\n/banner/*\n@@||good.bench.example^\n"
+LIST_V2 = LIST_V1 + "||tracker.bench.example^\n"
+
+_URLS = [
+    "http://ads.bench.example/spot.gif",
+    "http://tracker.bench.example/pixel.js",
+    "http://good.bench.example/banner/x.png",
+    "http://plain.bench.example/article.html",
+    "http://cdn.bench.example/lib.js",
+    "http://media.bench.example/clip.mp4",
+]
+
+
+async def _client_loop(port: int, count: int, latencies: list[float]) -> None:
+    """One keep-alive connection issuing ``count`` classifications."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for i in range(count):
+            body = json.dumps({"url": _URLS[i % len(_URLS)]}).encode()
+            head = (
+                f"POST /classify HTTP/1.1\r\nHost: b\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            )
+            started = time.perf_counter()
+            writer.write(head.encode() + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            assert b"200" in status_line, status_line
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n"):
+                    break
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":")[1])
+            await reader.readexactly(length)
+            latencies.append(time.perf_counter() - started)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _flood(app: ServeApp, port: int) -> list[float]:
+    latencies: list[float] = []
+    await asyncio.gather(
+        *(
+            _client_loop(port, _REQUESTS_PER_CLIENT, latencies)
+            for _ in range(_CLIENTS)
+        )
+    )
+    return latencies
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _run_flood(depth: int, *, list_dir=None, reloads: int = 0):
+    """One measured arm; returns (elapsed_s, latencies, app)."""
+
+    async def scenario():
+        if list_dir is not None:
+            path = list_dir / "bench-list.txt"
+            path.write_text(LIST_V1)
+            source = EngineSource(list_paths=[str(path)])
+        else:
+            source = EngineSource(publishers=_PUBLISHERS)
+        holder = EngineHolder(await asyncio.to_thread(source.build), cache_size=65536)
+        app = ServeApp(
+            holder, source, ServeConfig(port=0, queue_depth=depth, concurrency=4)
+        )
+        port = await app.start()
+
+        async def reload_loop():
+            for i in range(reloads):
+                # Alternate contents so every reload genuinely swaps.
+                path.write_text(LIST_V2 if i % 2 == 0 else LIST_V1)
+                outcome = await app._reload("bench")
+                assert outcome.status == "swapped", outcome.to_dict()
+
+        started = time.perf_counter()
+        reload_task = asyncio.ensure_future(reload_loop()) if reloads else None
+        latencies = await _flood(app, port)
+        elapsed = time.perf_counter() - started
+        if reload_task is not None:
+            await reload_task
+        app.begin_shutdown(0)
+        await app.drain()
+        metrics = app.metrics
+        assert metrics.requests == _CLIENTS * _REQUESTS_PER_CLIENT
+        assert metrics.served == metrics.requests  # clean path: nothing shed
+        return elapsed, latencies, metrics
+
+    return asyncio.run(scenario())
+
+
+def test_serve_throughput_and_reload_overhead(benchmark, results_dir, tmp_path):
+    total = _CLIENTS * _REQUESTS_PER_CLIENT
+    lines = [
+        "serve daemon throughput/latency (DESIGN.md §13)",
+        f"clients: {_CLIENTS} keep-alive, requests: {total}, "
+        f"engine: {_PUBLISHERS}-publisher ecosystem lists, concurrency: 4",
+        "",
+    ]
+    for depth in _DEPTHS:
+        elapsed, latencies, _metrics = _run_flood(depth)
+        latencies.sort()
+        lines.append(
+            f"queue depth {depth:5d}: {total / elapsed:8.0f} req/s   "
+            f"p50 {1e3 * _percentile(latencies, 0.50):6.2f} ms   "
+            f"p99 {1e3 * _percentile(latencies, 0.99):6.2f} ms"
+        )
+
+    clean_elapsed, _, _ = _run_flood(_DEPTHS[1], list_dir=tmp_path)
+    reload_elapsed, reload_latencies, reload_metrics = _run_flood(
+        _DEPTHS[1], list_dir=tmp_path, reloads=_RELOADS
+    )
+    reload_latencies.sort()
+    overhead_pct = 100.0 * (reload_elapsed - clean_elapsed) / clean_elapsed
+    lines += [
+        "",
+        f"reload under load ({_RELOADS} engine swaps mid-flood, file lists):",
+        f"  without reloads: {total / clean_elapsed:8.0f} req/s",
+        f"  with reloads:    {total / reload_elapsed:8.0f} req/s   "
+        f"p99 {1e3 * _percentile(reload_latencies, 0.99):6.2f} ms",
+        f"  throughput overhead: {overhead_pct:+.1f}%",
+        f"  swaps completed: {reload_metrics.reloads_succeeded}/{_RELOADS}, "
+        f"requests served: {reload_metrics.served}/{total} (zero shed/lost)",
+    ]
+
+    text = "\n".join(lines) + "\n"
+    print()
+    print(text)
+    write_result(results_dir, "bench_serve.txt", text)
+
+    benchmark.pedantic(
+        _run_flood, args=(_DEPTHS[1],), rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -13,6 +13,9 @@ and analyses run offline):
 * ``repro corrupt`` — seeded fault injection into a stored log (testing).
 * ``repro lint`` — static analysis: filter-list lint (FL001-FL008) and,
   with ``--self``, the repo-invariant codebase gate (RC001-RC004).
+* ``repro serve`` — the long-lived classification daemon: bounded
+  admission with backpressure, graceful drain on SIGTERM/SIGINT, hot
+  filter-list reload on SIGHUP / ``POST /-/reload`` (DESIGN.md §13).
 
 Commands that read logs take ``--on-error {strict,skip,quarantine}``;
 exit codes are 0 (clean), 1 (strict-mode abort on the first bad line),
@@ -107,6 +110,10 @@ def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quarantine-out",
                         help="sidecar path for rejected lines "
                              "(default <trace>.quarantine)")
+    parser.add_argument("--health-format", choices=("text", "json"), default="text",
+                        help="end-of-run health summary format (default text); "
+                             "json emits the same document `repro serve` exposes "
+                             "at /metrics under \"health\"")
 
 
 def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
@@ -295,15 +302,26 @@ def _durable_run(
     return result
 
 
-def _finish(health: PipelineHealth, *, always_summarize: bool = False) -> int:
+def _finish(
+    health: PipelineHealth, *, always_summarize: bool = False, fmt: str = "text"
+) -> int:
     """Print the end-of-run health summary; map degradation to exit code.
 
-    The decision-cache block prints *before* the ``-- pipeline health --``
-    marker: tools (and this repo's tests) byte-compare everything from
-    the marker onward across execution plans, and cache counters
-    legitimately differ between serial/parallel/cached/uncached runs.
+    ``fmt="json"`` emits :meth:`PipelineHealth.summary_dict` — the same
+    document ``repro serve`` exposes under ``/metrics``'s ``health`` key
+    — and always emits it (asking for JSON *is* asking for the summary).
+
+    In text mode the decision-cache block prints *before* the
+    ``-- pipeline health --`` marker: tools (and this repo's tests)
+    byte-compare everything from the marker onward across execution
+    plans, and cache counters legitimately differ between
+    serial/parallel/cached/uncached runs.
     """
-    if always_summarize or health.degraded:
+    if fmt == "json":
+        import json as _json
+
+        print(_json.dumps(health.summary_dict(), indent=2))
+    elif always_summarize or health.degraded:
         cache_block = health.cache_summary()
         if cache_block:
             print()
@@ -434,7 +452,7 @@ def _classify_parallel(args: argparse.Namespace) -> int:
         _classify_summary(sink.total, sink.ads, sink.whitelisted)
         if args.out and not outcome.degraded_shards:
             print(f"wrote classification to {args.out}")
-        return _finish(outcome.health, always_summarize=True)
+        return _finish(outcome.health, always_summarize=True, fmt=args.health_format)
 
     quarantine = None
     quarantine_path = None
@@ -478,7 +496,7 @@ def _classify_parallel(args: argparse.Namespace) -> int:
                 for row in rows:
                     stream.write(row + "\n")
             print(f"wrote classification to {args.out}")
-    return _finish(outcome.health, always_summarize=True)
+    return _finish(outcome.health, always_summarize=True, fmt=args.health_format)
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -510,7 +528,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         if args.out:
             print(f"wrote classification to {args.out}")
         _note_cache(result.health, pipeline)
-        return _finish(result.health, always_summarize=True)
+        return _finish(result.health, always_summarize=True, fmt=args.health_format)
 
     health = PipelineHealth()
     records = _load_http_records(args, health)
@@ -532,7 +550,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
                 stream.write(classification_row(entry) + "\n")
         print(f"wrote classification to {args.out}")
     _note_cache(health, pipeline)
-    return _finish(health, always_summarize=True)
+    return _finish(health, always_summarize=True, fmt=args.health_format)
 
 
 def _cmd_usage(args: argparse.Namespace) -> int:
@@ -666,7 +684,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         health = outcome.health
         accumulator = outcome.accumulator
         assert accumulator is not None
-        return _report_tables(accumulator, health)
+        return _report_tables(accumulator, health, fmt=args.health_format)
 
     ecosystem = _ecosystem_from(args)
     lists = build_lists(ecosystem.list_spec())
@@ -697,10 +715,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
             accumulator.add(entry)
 
     _note_cache(health, pipeline)
-    return _report_tables(accumulator, health)
+    return _report_tables(accumulator, health, fmt=args.health_format)
 
 
-def _report_tables(accumulator: "TrafficAccumulator", health: PipelineHealth) -> int:
+def _report_tables(
+    accumulator: "TrafficAccumulator", health: PipelineHealth, *, fmt: str = "text"
+) -> int:
     summary = accumulator.summary()
     print(f"requests: {summary.total_requests}; ad share "
           f"{summary.ad_request_share:.2%} of requests / "
@@ -719,7 +739,44 @@ def _report_tables(accumulator: "TrafficAccumulator", health: PipelineHealth) ->
         for row in accumulator.content_type_rows()
     ]
     print(render_table(rows, title="traffic by Content-Type (paper Table 4)"))
-    return _finish(health)
+    return _finish(health, fmt=fmt)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.filterlist.cache import DEFAULT_CACHE_SIZE
+    from repro.robustness.crash import CHAOS_ENV
+    from repro.serve import EngineHolder, EngineSource, ServeApp, ServeConfig
+
+    source = EngineSource(
+        list_paths=args.lists,
+        publishers=args.publishers,
+        eco_seed=args.eco_seed,
+        lint=args.lint,
+    )
+    try:
+        engine = source.build()
+    except FileNotFoundError:
+        raise  # main() maps this to EXIT_MISSING_INPUT
+    except (OSError, ValueError) as exc:
+        print(f"error: could not build engine: {exc}", file=sys.stderr)
+        return EXIT_STRICT_ABORT
+    holder = EngineHolder(
+        engine,
+        cache_size=None if args.no_decision_cache else DEFAULT_CACHE_SIZE,
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        timeout_s=args.timeout,
+        concurrency=args.concurrency,
+        drain_timeout_s=args.drain_timeout,
+        chaos=args.chaos or os.environ.get(CHAOS_ENV),
+    )
+    app = ServeApp(holder, source, config, log=lambda message: print(message, flush=True))
+    return asyncio.run(app.serve_forever())
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -900,6 +957,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--trace", required=True)
     p_report.set_defaults(func=_cmd_report)
 
+    p_serve = sub.add_parser(
+        "serve", help="long-lived classification daemon (DESIGN.md §13)"
+    )
+    _add_ecosystem_flags(p_serve)
+    _add_cache_flags(p_serve)
+    p_serve.add_argument("--lists", nargs="+", metavar="FILE",
+                         help="filter-list files to serve (re-read on reload); "
+                              "omit to serve the synthetic ecosystem's lists")
+    p_serve.add_argument("--lint", choices=("off", "refuse", "quarantine"),
+                         default="refuse",
+                         help="filter-list lint gate applied on load and on every "
+                              "reload (default refuse; DESIGN.md §9.4)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8400,
+                         help="listen port (default 8400; 0 picks a free port)")
+    p_serve.add_argument("--queue-depth", type=int, default=1024,
+                         help="bounded admission queue depth; beyond it requests "
+                              "are shed with 429 + Retry-After (default 1024)")
+    p_serve.add_argument("--timeout", type=float, default=5.0, metavar="S",
+                         help="per-request deadline; admitted requests not "
+                              "answered in time get 503 (default 5)")
+    p_serve.add_argument("--concurrency", type=int, default=8,
+                         help="classification workers draining the queue "
+                              "(default 8)")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0, metavar="S",
+                         help="seconds a shutdown signal waits for accepted "
+                              "requests before deadlining them (default 10)")
+    # Testing hook for the serve chaos harness, e.g.
+    # "slow-handler:after=10:delay=0.2;reload-storm:every=5".  The
+    # REPRO_CHAOS environment variable is an equivalent spelling.
+    p_serve.add_argument("--chaos", metavar="SPEC", help=argparse.SUPPRESS)
+    p_serve.set_defaults(func=_cmd_serve)
+
     return parser
 
 
@@ -923,6 +1013,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return EXIT_WORKER_FAILURE
     except RunInterrupted as exc:
         print(f"interrupted: {exc}; durable state kept for --resume", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        # Non-durable serial path: no checkpoint to keep, but the exit
+        # code contract (130 = interrupted) holds everywhere.
+        print("interrupted", file=sys.stderr)
         return EXIT_INTERRUPTED
 
 

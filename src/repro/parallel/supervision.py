@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.robustness.policy import RunInterrupted
 from repro.robustness.retry import RetryPolicy
 
 __all__ = ["ShardSlot", "WorkerFailure", "RunInterrupted", "WorkerSupervisor"]
@@ -59,14 +60,6 @@ _TERMINATE_GRACE_S = 5.0
 
 class WorkerFailure(Exception):
     """A shard worker failed terminally (retries exhausted or disabled)."""
-
-
-class RunInterrupted(Exception):
-    """The parent received SIGINT/SIGTERM; the pool was shut down cleanly."""
-
-    def __init__(self, signum: int) -> None:
-        super().__init__(f"interrupted by signal {signum}")
-        self.signum = signum
 
 
 @dataclass(slots=True)

@@ -26,7 +26,7 @@ from repro.robustness.health import (
     EXIT_WORKER_FAILURE,
     PipelineHealth,
 )
-from repro.robustness.policy import ErrorPolicy, LogParseError
+from repro.robustness.policy import ErrorPolicy, LogParseError, RunInterrupted
 from repro.robustness.quarantine import QuarantineWriter, read_quarantine
 from repro.robustness.atomic import atomic_writer, fsync_dir, replace_atomic
 from repro.robustness.checkpoint import (
@@ -43,16 +43,21 @@ from repro.robustness.crash import (
     CrashMode,
     FaultAction,
     InjectedCrash,
+    ServeFault,
+    ServeFaultInjector,
+    ServeFaultMode,
     WorkerFault,
     WorkerFaultInjector,
     WorkerFaultMode,
     parse_chaos,
+    parse_serve_chaos,
 )
 from repro.robustness.retry import DEFAULT_RETRY_POLICY, RetryExhausted, RetryPolicy
 
 __all__ = [
     "ErrorPolicy",
     "LogParseError",
+    "RunInterrupted",
     "PipelineHealth",
     "QuarantineWriter",
     "read_quarantine",
@@ -74,6 +79,10 @@ __all__ = [
     "WorkerFaultInjector",
     "WorkerFaultMode",
     "parse_chaos",
+    "ServeFault",
+    "ServeFaultInjector",
+    "ServeFaultMode",
+    "parse_serve_chaos",
     "RetryPolicy",
     "RetryExhausted",
     "DEFAULT_RETRY_POLICY",

@@ -46,10 +46,15 @@ __all__ = [
     "CHAOS_ENV",
     "ChaosSpecError",
     "FaultAction",
+    "ServeActions",
+    "ServeFault",
+    "ServeFaultInjector",
+    "ServeFaultMode",
     "WorkerFault",
     "WorkerFaultInjector",
     "WorkerFaultMode",
     "parse_chaos",
+    "parse_serve_chaos",
 ]
 
 # Distinctive exit code for an injected hard crash, so test drivers can
@@ -154,21 +159,14 @@ class WorkerFault:
         )
 
 
-def parse_chaos(spec: str) -> list[WorkerFault]:
-    """Parse a chaos spec string (see module docstring for the grammar)."""
-    faults = []
+def _split_clauses(spec: str) -> list[tuple[str, dict[str, str], str]]:
+    """Shared grammar front end: ``mode:key=value:...;...`` clauses."""
+    clauses = []
     for clause in spec.split(";"):
         clause = clause.strip()
         if not clause:
             continue
         head, _, tail = clause.partition(":")
-        try:
-            mode = WorkerFaultMode(head.strip())
-        except ValueError:
-            raise ChaosSpecError(
-                f"unknown fault mode {head.strip()!r} (expected one of "
-                f"{', '.join(m.value for m in WorkerFaultMode)})"
-            ) from None
         params: dict[str, str] = {}
         if tail:
             for pair in tail.split(":"):
@@ -176,6 +174,21 @@ def parse_chaos(spec: str) -> list[WorkerFault]:
                 if not sep:
                     raise ChaosSpecError(f"malformed fault param {pair!r} in {clause!r}")
                 params[key.strip()] = value.strip()
+        clauses.append((head.strip(), params, clause))
+    return clauses
+
+
+def parse_chaos(spec: str) -> list[WorkerFault]:
+    """Parse a chaos spec string (see module docstring for the grammar)."""
+    faults = []
+    for head, params, clause in _split_clauses(spec):
+        try:
+            mode = WorkerFaultMode(head)
+        except ValueError:
+            raise ChaosSpecError(
+                f"unknown fault mode {head!r} (expected one of "
+                f"{', '.join(m.value for m in WorkerFaultMode)})"
+            ) from None
         if "worker" not in params:
             raise ChaosSpecError(f"fault {clause!r} needs worker=<id>")
         try:
@@ -251,3 +264,137 @@ class WorkerFaultInjector:
         """Stop making progress — and heartbeating — forever."""
         while True:
             time.sleep(_HANG_NAP_S)
+
+
+# ---------------------------------------------------------------------------
+# Serve-path fault modes (DESIGN.md §13)
+
+
+class ServeFaultMode(str, enum.Enum):
+    """Faults the ``repro serve`` daemon injects into its own request path.
+
+    Same ``REPRO_CHAOS`` grammar as the worker faults, different modes::
+
+        slow-handler:after=0:delay=0.05:for=100   # stall each classify
+        reload-storm:after=10:every=5:for=20      # reload every 5 requests
+        malformed-body:after=3:every=7:for=10     # corrupt request bodies
+
+    ``slow-handler`` drives the admission queue into backpressure and
+    deadline territory; ``reload-storm`` exercises engine swap under
+    load; ``malformed-body`` proves client-error accounting stays exact.
+    """
+
+    SLOW_HANDLER = "slow-handler"
+    RELOAD_STORM = "reload-storm"
+    MALFORMED_BODY = "malformed-body"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_SERVE_SLOW_DEFAULT_DELAY_S = 0.05
+_SERVE_DEFAULT_RECORDS = 100
+
+
+@dataclass(slots=True)
+class ServeFault:
+    """One armed serve fault, counted in admitted classify requests.
+
+    ``slow-handler`` is active for requests ``after < n <= after+records``;
+    the periodic modes fire on every ``every``-th request in that window.
+    """
+
+    mode: ServeFaultMode
+    after: int = 0
+    every: int = 1
+    delay_s: float = _SERVE_SLOW_DEFAULT_DELAY_S
+    records: int = _SERVE_DEFAULT_RECORDS
+
+    def active(self, seen: int) -> bool:
+        if not self.after < seen <= self.after + self.records:
+            return False
+        if self.mode is ServeFaultMode.SLOW_HANDLER:
+            return True
+        return (seen - self.after) % max(1, self.every) == 0
+
+
+@dataclass(slots=True)
+class ServeActions:
+    """What the request path must do on behalf of the injector."""
+
+    delay_s: float = 0.0
+    reload: bool = False
+    mangle_body: bool = False
+
+
+def parse_serve_chaos(spec: str) -> list[ServeFault]:
+    """Parse a serve chaos spec (see :class:`ServeFaultMode`)."""
+    faults = []
+    for head, params, clause in _split_clauses(spec):
+        try:
+            mode = ServeFaultMode(head)
+        except ValueError:
+            raise ChaosSpecError(
+                f"unknown serve fault mode {head!r} (expected one of "
+                f"{', '.join(m.value for m in ServeFaultMode)})"
+            ) from None
+        try:
+            fault = ServeFault(
+                mode=mode,
+                after=int(params.pop("after", "0")),
+                every=int(params.pop("every", "1")),
+                delay_s=float(params.pop("delay", str(_SERVE_SLOW_DEFAULT_DELAY_S))),
+                records=int(params.pop("for", str(_SERVE_DEFAULT_RECORDS))),
+            )
+        except ValueError as exc:
+            raise ChaosSpecError(f"bad fault param in {clause!r}: {exc}") from None
+        if params:
+            raise ChaosSpecError(
+                f"unknown fault param(s) {sorted(params)} in {clause!r}"
+            )
+        if fault.every < 1 or fault.records < 1:
+            raise ChaosSpecError(f"every/for must be >= 1 in {clause!r}")
+        faults.append(fault)
+    return faults
+
+
+class ServeFaultInjector:
+    """Fires armed serve faults from the daemon's admission path.
+
+    The app calls :meth:`observe` once per admitted classify request
+    (before the body is parsed) and applies the returned actions: sleep
+    ``delay_s`` inside the handler, schedule an engine reload, corrupt
+    the request body before JSON decoding.  Unlike the worker injector
+    this never kills anything — the serve robustness claim is about
+    exact accounting, not crash recovery.
+    """
+
+    def __init__(self, faults: list[ServeFault]) -> None:
+        self.faults = faults
+        self.seen = 0
+
+    @classmethod
+    def from_spec(cls, spec: str | None) -> "ServeFaultInjector | None":
+        if not spec:
+            return None
+        faults = parse_serve_chaos(spec)
+        return cls(faults) if faults else None
+
+    def observe(self) -> ServeActions:
+        self.seen += 1
+        actions = ServeActions()
+        for fault in self.faults:
+            if not fault.active(self.seen):
+                continue
+            if fault.mode is ServeFaultMode.SLOW_HANDLER:
+                actions.delay_s += fault.delay_s
+            elif fault.mode is ServeFaultMode.RELOAD_STORM:
+                actions.reload = True
+            elif fault.mode is ServeFaultMode.MALFORMED_BODY:
+                actions.mangle_body = True
+        return actions
+
+    @staticmethod
+    def mangle(body: bytes) -> bytes:
+        """Deterministically corrupt a request body (drives the 400 path)."""
+        return b"\xff\x00<not-json>" + body[: len(body) // 2]

@@ -210,6 +210,53 @@ class PipelineHealth:
             ]
         )
 
+    def summary_dict(self, *, transient: bool = True) -> dict:
+        """Machine-readable counterpart of :meth:`summary` (+ cache block).
+
+        The durable counters mirror :meth:`export_state`; ``stage_errors``
+        reasons are ordered ``(-count, reason)`` like the text summary so
+        JSON output is deterministic across execution plans.  With
+        ``transient=True`` the process-local observability counters
+        (decision cache, supervision) ride along under their own keys —
+        ``repro serve``'s ``/metrics`` and ``--health-format=json`` both
+        consume this instead of scraping the text block.
+        """
+        data: dict = {
+            "records_seen": self.records_seen,
+            "records_ok": self.records_ok,
+            "records_dropped": self.records_dropped,
+            "records_quarantined": self.records_quarantined,
+            "records_repaired": self.records_repaired,
+            "records_reordered": self.records_reordered,
+            "users_evicted": self.users_evicted,
+            "peak_users": self.peak_users,
+            "degraded": self.degraded,
+            "stage_errors": {
+                stage: {
+                    reason: count
+                    for reason, count in sorted(
+                        self.stage_errors[stage].items(), key=lambda kv: (-kv[1], kv[0])
+                    )
+                }
+                for stage in sorted(self.stage_errors)
+            },
+        }
+        if transient:
+            lookups = self.cache_hits + self.cache_misses
+            data["cache"] = {
+                "lookups": lookups,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
+                "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            }
+            data["supervision"] = {
+                "worker_restarts": self.worker_restarts,
+                "heartbeat_gaps": self.heartbeat_gaps,
+                "shards_degraded": self.shards_degraded,
+            }
+        return data
+
     def summary(self) -> str:
         lines = [
             "-- pipeline health --",

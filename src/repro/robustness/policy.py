@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["ErrorPolicy", "LogParseError"]
+__all__ = ["ErrorPolicy", "LogParseError", "RunInterrupted"]
 
 
 class ErrorPolicy(str, enum.Enum):
@@ -44,3 +44,19 @@ class LogParseError(ValueError):
         self.reason = reason
         self.line = line
         super().__init__(f"line {line_no}: {reason}")
+
+
+class RunInterrupted(Exception):
+    """The run received SIGINT/SIGTERM and shut down cleanly (exit 130).
+
+    Raised by any run driver — the parallel pool supervisor, the serial
+    :class:`~repro.robustness.runstate.DurableRun` loop, and the
+    ``repro serve`` daemon's drain path — after durable state has been
+    left in a resumable condition.  Lives here (not in ``parallel``) so
+    the serial and serving paths don't import the pool machinery just to
+    signal an interruption.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum

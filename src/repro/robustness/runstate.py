@@ -28,8 +28,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import signal
+import threading
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core.pipeline import (
     AdClassificationPipeline,
@@ -42,7 +44,7 @@ from repro.robustness.atomic import atomic_writer, replace_atomic
 from repro.robustness.checkpoint import CheckpointStore
 from repro.robustness.crash import CrashInjector
 from repro.robustness.health import PipelineHealth
-from repro.robustness.policy import ErrorPolicy
+from repro.robustness.policy import ErrorPolicy, RunInterrupted
 from repro.robustness.quarantine import QuarantineWriter
 
 __all__ = [
@@ -519,6 +521,35 @@ class DurableRun:
             "quarantine": quarantine_state,
         }
 
+    # -- signals (DESIGN.md §12's contract, serial edition) ----------------
+
+    def _install_signal_handlers(self) -> dict[int, Any] | None:
+        """SIGINT/SIGTERM set a flag; the run loop raises RunInterrupted.
+
+        Same contract as the parallel pool (DESIGN.md §12): the signal
+        lands between records, a final checkpoint is cut, durable state
+        stays resumable, and the CLI exits 130.  Handlers can only be
+        installed from the main thread; elsewhere (tests driving runs
+        from threads) interruption stays with the caller.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def _flag(signum: int, frame: Any) -> None:
+            self._interrupt = signum
+
+        return {
+            signum: signal.signal(signum, _flag)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
+
+    @staticmethod
+    def _restore_signal_handlers(previous: dict[int, Any] | None) -> None:
+        if previous is None:
+            return
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
     def run(self) -> RunResult:
         checkpoint = self._prepare()
         health = (
@@ -551,6 +582,8 @@ class DurableRun:
             self.sink.begin(fresh=True, state=None)
 
         checkpoints_written = 0
+        self._interrupt: int | None = None
+        previous_handlers = self._install_signal_handlers()
         try:
             for record in reader:
                 for entry in classifier.feed(record):
@@ -567,6 +600,22 @@ class DurableRun:
                         )
                     )
                     checkpoints_written += 1
+                if self._interrupt is not None:
+                    # Between records is the one consistent cut point:
+                    # checkpoint here so the interrupted tail costs zero
+                    # replay, keep .part outputs and the sidecar, and
+                    # let the CLI map this to exit 130.
+                    self.store.save(
+                        self._checkpoint_payload(
+                            records_fed=records_fed,
+                            reader=reader,
+                            classifier=classifier,
+                            health=health,
+                            quarantine=quarantine,
+                        )
+                    )
+                    self.log("interrupted between records; checkpoint saved")
+                    raise RunInterrupted(self._interrupt)
                 if self.crash_injector is not None:
                     self.crash_injector.tick()
             for entry in classifier.finish():
@@ -584,6 +633,7 @@ class DurableRun:
             for generation in self.store.generations():
                 os.unlink(self.store.path_for(generation))
         finally:
+            self._restore_signal_handlers(previous_handlers)
             reader.close()
             self.sink.close()
             if quarantine is not None:

@@ -1,0 +1,264 @@
+"""Minimal asyncio HTTP/1.1 transport for the classification daemon.
+
+The serving layers above this (admission, reload, metrics, routing) are
+transport-agnostic; this module exists because the daemon must run on a
+bare python toolchain — aiohttp is deliberately *not* a dependency.  It
+implements exactly the subset the daemon needs and the robustness the
+serve tests exercise:
+
+* request-line + header + ``Content-Length`` body parsing with hard
+  caps (header block and body size) — oversized or malformed input is
+  answered with 400/413/431 and the connection closed, never an
+  unhandled exception;
+* keep-alive with an idle timeout, so load generators and the chaos
+  harness can reuse connections;
+* connection tracking, so graceful drain can wait for in-flight
+  responses to flush before the process exits.
+
+No TLS, no chunked encoding, no pipelining guarantees beyond
+read-one/answer-one: the daemon sits behind an operator's reverse
+proxy in any real deployment, exactly like the paper's collection
+infrastructure sat behind the ISP's capture path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+__all__ = ["HttpError", "HttpServer", "Request", "Response"]
+
+# Hard caps: one header line / the whole header block / the body.
+MAX_LINE = 8192
+MAX_HEADERS = 64
+MAX_BODY = 1 << 20  # 1 MiB
+
+# Keep-alive connections idle longer than this are closed.
+IDLE_TIMEOUT_S = 30.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that could not be parsed; maps to a 4xx and a close."""
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+
+@dataclass(slots=True)
+class Response:
+    """One response to serialize; ``headers`` are extra headers."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def encode(self, *, close: bool) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + self.body
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; ``None`` on clean EOF before a request line."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise HttpError(431, "request line too long") from exc
+    if not line:
+        return None
+    if len(line) > MAX_LINE:
+        raise HttpError(431, "request line too long")
+    parts = line.decode("latin-1", "replace").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HttpError(400, "malformed request line")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as exc:
+            raise HttpError(431, "header line too long") from exc
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise HttpError(400, "truncated header block")
+        if len(line) > MAX_LINE:
+            raise HttpError(431, "header line too long")
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(431, "too many header fields")
+        name, sep, value = line.decode("latin-1", "replace").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {name.strip()!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {raw_length!r}") from None
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length {raw_length!r}")
+    if length > MAX_BODY:
+        raise HttpError(413, f"body of {length} bytes exceeds {MAX_BODY}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated body") from exc
+    return Request(method=method, path=target, headers=headers, body=body)
+
+
+class HttpServer:
+    """One listening socket dispatching requests to an async handler.
+
+    The handler owns all application semantics (routing, drain
+    refusals, accounting); the server guarantees only that every parsed
+    request gets exactly one response and that malformed input gets a
+    4xx instead of a stack trace.
+    """
+
+    def __init__(
+        self,
+        handler: Handler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout_s: float = IDLE_TIMEOUT_S,
+    ) -> None:
+        self._handler = handler
+        self._host = host
+        self._port = port
+        self._idle_timeout_s = idle_timeout_s
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task[None]] = set()
+        self.closing = False
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        assert self._server is not None, "server not started"
+        sockets = self._server.sockets
+        assert sockets
+        return int(sockets[0].getsockname()[1])
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._connections)
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port, limit=MAX_LINE * 2
+        )
+        return self.port
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except (ConnectionError, asyncio.TimeoutError):
+            pass  # peer vanished or idled out: nothing to answer
+        except Exception:  # staticcheck: ok[RC002] a connection handler must never kill the daemon
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    _read_request(reader), timeout=self._idle_timeout_s
+                )
+            except HttpError as exc:
+                response = Response(
+                    status=exc.status,
+                    body=json.dumps({"error": exc.reason}).encode(),
+                )
+                writer.write(response.encode(close=True))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            response = await self._handler(request)
+            # Drain semantics: once the server is closing, every response
+            # carries ``Connection: close`` so keep-alive clients migrate
+            # off before the socket disappears.
+            close = self.closing or request.headers.get("connection", "") == "close"
+            writer.write(response.encode(close=close))
+            await writer.drain()
+            if close:
+                return
+
+    async def stop_accepting(self) -> None:
+        """Close the listening socket; existing connections keep going.
+
+        Also flips :attr:`closing`, so every subsequent response carries
+        ``Connection: close`` — the first half of graceful drain.
+        """
+        self.closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def wait_connections(self, *, grace_s: float = 5.0) -> None:
+        """Wait (bounded) for open connections to finish, then cut them."""
+        if self._connections:
+            await asyncio.wait(tuple(self._connections), timeout=grace_s)
+        for task in tuple(self._connections):
+            task.cancel()
+
+    async def close(self, *, grace_s: float = 5.0) -> None:
+        """Stop accepting, then wait (bounded) for open connections."""
+        await self.stop_accepting()
+        await self.wait_connections(grace_s=grace_s)
