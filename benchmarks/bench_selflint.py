@@ -1,0 +1,53 @@
+"""Self-lint latency bench (DESIGN.md §14).
+
+The RC gate runs on every CI push (the ``selflint`` job) and is meant
+to be cheap enough to run habitually before committing, so the full
+package pass — parse every module once, per-file RC checks, call-graph
+construction, RC005–RC012 — carries a hard latency bar: **under 5
+seconds** for the whole package.  The graph layer must stay roughly
+linear in module count (one parse + two passes per module); this bench
+is the regression tripwire for anyone tempted to add a quadratic
+whole-program pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+import repro
+from repro.staticcheck import lint_package
+
+
+def _package_roots() -> tuple[str, str]:
+    package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    return package_root, os.path.dirname(package_root)
+
+
+def test_selflint_full_pass(benchmark, results_dir):
+    package_root, source_root = _package_roots()
+    n_modules = sum(
+        len([f for f in files if f.endswith(".py")])
+        for root, dirs, files in os.walk(package_root)
+        if "__pycache__" not in root
+    )
+
+    findings = benchmark.pedantic(
+        lambda: lint_package(package_root, source_root=source_root),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    stats = benchmark.stats.stats
+    from conftest import write_result
+
+    write_result(
+        results_dir,
+        "bench_selflint.txt",
+        f"self-lint over {n_modules} modules: {stats.mean * 1000:.0f}ms mean "
+        f"({n_modules / stats.mean:,.0f} modules/s), "
+        f"{len(findings)} findings\n",
+    )
+    # The gate must stay clean (the acceptance bar) and fast enough to
+    # run on every push without anyone noticing.
+    assert findings == []
+    assert stats.mean < 5.0, f"self-lint took {stats.mean:.2f}s (bar: 5s)"

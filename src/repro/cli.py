@@ -805,19 +805,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         diagnostics.extend(lint_paths(paths))
     if args.self:
         import repro
-        from repro.staticcheck import lint_source_file
+        from repro.staticcheck import lint_package
 
         package_root = os.path.dirname(os.path.abspath(repro.__file__))
         source_root = os.path.dirname(package_root)
-        for dirpath, dirnames, filenames in os.walk(package_root):
-            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
-            for filename in sorted(filenames):
-                if filename.endswith(".py"):
-                    diagnostics.extend(
-                        lint_source_file(
-                            os.path.join(dirpath, filename), root=source_root
-                        )
-                    )
+        diagnostics.extend(lint_package(package_root, source_root=source_root))
 
     if args.write_baseline:
         count = write_baseline(args.write_baseline, diagnostics)

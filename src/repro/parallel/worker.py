@@ -46,6 +46,7 @@ from typing import Any, Callable
 
 from repro.analysis.traffic import TrafficAccumulator
 from repro.core.pipeline import AdClassificationPipeline, StreamingClassifier
+from repro.exitcodes import EXIT_WORKER_ORPHANED, EXIT_WORKER_TERMINATED
 from repro.http.log import HttpLogRecord, SeekableLogReader
 from repro.robustness.checkpoint import CheckpointStore
 from repro.robustness.crash import CRASH_EXIT_CODE, FaultAction, WorkerFaultInjector
@@ -68,10 +69,6 @@ _PUT_TIMEOUT_S = 2.0
 
 # Orphan-watchdog poll interval.
 _ORPHAN_POLL_S = 1.0
-
-# Exit code for a worker that died politely to SIGTERM (shell convention
-# for "terminated by signal 15": 128 + 15).
-_TERM_EXIT_CODE = 143
 
 # Backstop for the SIGTERM flush: if the feeder cannot drain (parent
 # wedged or gone), die anyway rather than hang the kill escalation.
@@ -175,15 +172,16 @@ def _make_term_handler(out_queue: Any) -> "Callable[[int, Any], None]":
     parent is itself wedged or gone.
     """
 
+    # staticcheck: ok[RC008] deliberate: SIGTERM must flush the queue feeder before dying (docstring above) — a truncated frame wedges the parent
     def handle(signum: int, frame: Any) -> None:
         def backstop() -> None:
             time.sleep(_TERM_FLUSH_CAP_S)
-            os._exit(_TERM_EXIT_CODE)
+            os._exit(EXIT_WORKER_TERMINATED)
 
         threading.Thread(target=backstop, name="term-backstop", daemon=True).start()
         out_queue.close()
         out_queue.join_thread()
-        os._exit(_TERM_EXIT_CODE)
+        os._exit(EXIT_WORKER_TERMINATED)
 
     return handle
 
@@ -206,7 +204,7 @@ def _start_orphan_watchdog(parent_pid: int) -> None:
         while True:
             time.sleep(_ORPHAN_POLL_S)
             if os.getppid() != parent_pid:
-                os._exit(1)
+                os._exit(EXIT_WORKER_ORPHANED)
 
     threading.Thread(target=watch, name="orphan-watchdog", daemon=True).start()
 
@@ -219,7 +217,7 @@ def _put(out_queue: Any, parent_pid: int, message: tuple) -> None:
             return
         except queue.Full:
             if os.getppid() != parent_pid:
-                os._exit(1)  # orphaned: nobody will ever drain the queue
+                os._exit(EXIT_WORKER_ORPHANED)  # orphaned: nobody will ever drain the queue
 
 
 class _ShardWorker:

@@ -59,7 +59,8 @@ __all__ = [
 
 # Distinctive exit code for an injected hard crash, so test drivers can
 # tell "crashed as planned" (87) from real failures (1/2/tracebacks).
-CRASH_EXIT_CODE = 87
+# Registered centrally; this module's historical name is a re-export.
+from repro.exitcodes import EXIT_CHAOS_CRASH as CRASH_EXIT_CODE
 
 
 class InjectedCrash(RuntimeError):

@@ -22,22 +22,21 @@ __all__ = [
     "EXIT_INTERRUPTED",
 ]
 
-# CLI exit codes (README §CLI): 0 all records survived, 1 strict-mode
-# abort on the first bad line, 2 an input file does not exist (matches
-# argparse's usage-error code — both are "the invocation is wrong"),
-# 3 run completed but records were dropped — including shards lost to a
-# degraded pool run, 4 --resume refused because the run manifest does
-# not match the current config/filter-lists/input (DESIGN.md §8),
-# 5 a shard worker failed terminally with --on-worker-failure=abort
-# (DESIGN.md §12), 130 the run was interrupted by SIGINT/SIGTERM after
-# a clean shutdown of the pool.
-EXIT_CLEAN = 0
-EXIT_STRICT_ABORT = 1
-EXIT_MISSING_INPUT = 2
-EXIT_DEGRADED = 3
-EXIT_MANIFEST_MISMATCH = 4
-EXIT_WORKER_FAILURE = 5
-EXIT_INTERRUPTED = 130
+# CLI exit codes: re-exported from the central registry
+# (:mod:`repro.exitcodes`) — these names predate it and the whole tree
+# imports them from here, so they stay.  New code should import from
+# ``repro.exitcodes`` directly; the registry's docstrings and the
+# README table are the normative meanings, and the RC010 gate keeps
+# both in sync.
+from repro.exitcodes import (  # noqa: F401  (re-export)
+    EXIT_CLEAN,
+    EXIT_DEGRADED,
+    EXIT_INTERRUPTED,
+    EXIT_MANIFEST_MISMATCH,
+    EXIT_MISSING_INPUT,
+    EXIT_STRICT_ABORT,
+    EXIT_WORKER_FAILURE,
+)
 
 
 @dataclass

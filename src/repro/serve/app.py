@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.content_type import infer_content_type, type_from_mime
+from repro.exitcodes import EXIT_CLEAN as EXIT_OK
+from repro.exitcodes import EXIT_INTERRUPTED
 from repro.filterlist.cache import DEFAULT_CACHE_SIZE
 from repro.filterlist.engine import RequestContext
 from repro.filterlist.options import ContentType
@@ -53,10 +55,6 @@ from repro.serve.reload import (
 )
 
 __all__ = ["ServeApp", "ServeConfig"]
-
-# Exit codes, matching the CLI convention (README table).
-EXIT_OK = 0
-EXIT_INTERRUPTED = 130
 
 # Readiness: the queue is "high water" above this fraction of its depth.
 DEFAULT_READY_HIGH_WATER = 0.8

@@ -6,8 +6,12 @@ Two targets behind one diagnostic model (DESIGN.md §9):
   over Adblock-Plus-style filter lists (:mod:`.filterlint`), built on
   pattern containment (:mod:`.containment`) and static ReDoS analysis
   (:mod:`.redos`);
-* ``repro lint --self`` — AST-based repo-invariant checks RC001–RC004
-  over ``src/repro/`` (:mod:`.codelint`).
+* ``repro lint --self`` — AST-based repo-invariant checks RC001–RC012
+  over ``src/repro/``: per-file invariants (:mod:`.codelint`), a
+  project call graph with async-context propagation (:mod:`.callgraph`)
+  feeding the flow-sensitive concurrency checks (:mod:`.asynccheck`),
+  and cross-file contract checks — worker wire protocol, exit-code
+  registry/README, metric key schema (:mod:`.protocol`).
 
 Findings are :class:`~repro.staticcheck.diagnostics.Diagnostic`
 objects with stable codes, rendered as text or JSON and baselined via
@@ -22,6 +26,7 @@ from repro.staticcheck.containment import (
     pattern_contains,
 )
 from repro.staticcheck.codelint import lint_file as lint_source_file
+from repro.staticcheck.codelint import lint_package
 from repro.staticcheck.diagnostics import (
     CODES,
     Diagnostic,
@@ -53,6 +58,7 @@ __all__ = [
     "pattern_contains",
     "lint_paths",
     "lint_texts",
+    "lint_package",
     "lint_source_file",
     "rule_local_diagnostics",
     "render_json",

@@ -1,0 +1,404 @@
+"""Flow-sensitive concurrency checks for the async serving layer.
+
+These are the codebase-gate checks that need the project call graph
+(:mod:`repro.staticcheck.callgraph`) rather than a per-file AST walk
+(DESIGN.md §14):
+
+* **RC005** — a blocking call (``time.sleep``, ``open``, socket or
+  subprocess ops, ``.result()``, ``.join()``) reachable from an
+  ``async def`` through sync call edges.  The event loop runs one
+  callback at a time; a blocking call anywhere under it stalls *every*
+  in-flight request, which is exactly the tail-latency failure the
+  admission queue exists to prevent.  Executor hops
+  (``asyncio.to_thread``, ``run_in_executor``) pass the function as an
+  argument rather than calling it, so they terminate reachability by
+  construction.
+* **RC006** — a coroutine created and dropped: a bare expression
+  statement calling an ``async def`` (never awaited, never runs), or a
+  ``create_task``/``ensure_future`` whose task handle is discarded
+  (the event loop holds only a weak reference; a GC pass can cancel
+  the task mid-flight).  The repo convention is the
+  ``ServeApp._background`` pattern: keep the handle, discard on done.
+* **RC007** — a lock or semaphore held across an ``await`` while the
+  attributes it guards are also touched outside the lock.  Awaiting
+  inside a critical section is legitimate single-flight design (the
+  reload manager does it deliberately), but only if *every* access to
+  the guarded state takes the lock — an unguarded touch can interleave
+  at the suspension point.  ``__init__`` is exempt: construction
+  precedes sharing.
+* **RC008** — a signal handler that does real work.  Handlers run at
+  arbitrary interrupt points (``signal.signal``) or as loop callbacks
+  (``add_signal_handler``); either way the repo contract is: set a
+  flag or event, hand off to a coroutine, or die — nothing else.  The
+  check resolves the handler expression (function, method, factory
+  return) and walks its body against a small allowlist.
+
+All four report through the shared :class:`CheckContext`, so the
+``# staticcheck: ok[RC00x] reason`` pragma convention applies
+unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Mapping
+
+from repro.staticcheck.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    ModuleInfo,
+    own_nodes,
+)
+from repro.staticcheck.codelint import CheckContext
+
+__all__ = ["check_graph"]
+
+
+# -- RC005: blocking calls reachable from async context ---------------------
+
+
+def _chain(witness: Mapping[str, tuple[str, ast.AST | None]], qualname: str) -> list[str]:
+    """Reconstruct the async-root → function call chain for a message."""
+    names = [qualname]
+    current = qualname
+    while True:
+        caller, _node = witness[current]
+        if caller == current:
+            break
+        names.append(caller)
+        current = caller
+    return list(reversed(names))
+
+
+def _check_rc005(graph: CallGraph, contexts: dict[str, CheckContext]) -> None:
+    witness = graph.async_reachable()
+    for qualname, function in graph.functions.items():
+        if qualname not in witness or not function.blocking:
+            continue
+        ctx = contexts[function.rel_path]
+        chain = _chain(witness, qualname)
+        for op in function.blocking:
+            if function.is_async:
+                route = "directly in an async def"
+            else:
+                route = "reachable from async context via " + " -> ".join(
+                    name.split(":")[-1] for name in chain
+                )
+            ctx.report(
+                "RC005",
+                f"{op.label} blocks the event loop ({op.detail}); {route} — "
+                "hop through asyncio.to_thread()/run_in_executor() instead",
+                op.node,
+                subject=f"{qualname}:{op.label}",
+            )
+
+
+# -- RC006: dropped coroutines and task handles -----------------------------
+
+_SPAWN_NAMES = frozenset({"create_task", "ensure_future"})
+
+
+def _check_rc006(graph: CallGraph, contexts: dict[str, CheckContext]) -> None:
+    for module in graph.modules.values():
+        ctx = contexts[module.rel_path]
+        for function in module.functions.values():
+            for node in own_nodes(function.node):
+                if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                    continue
+                call = node.value
+                func = call.func
+                spawn = (
+                    isinstance(func, ast.Attribute) and func.attr in _SPAWN_NAMES
+                ) or (isinstance(func, ast.Name) and func.id in _SPAWN_NAMES)
+                if spawn:
+                    ctx.report(
+                        "RC006",
+                        "task handle dropped: the loop keeps only a weak "
+                        "reference, so the task can be garbage-collected "
+                        "mid-flight — keep the handle and discard on done "
+                        "(the ServeApp._background pattern)",
+                        node,
+                        subject=f"{function.qualname}:dropped-task",
+                    )
+                    continue
+                target = graph.resolve_call(module, function, call)
+                if target is not None and target.is_async:
+                    ctx.report(
+                        "RC006",
+                        f"coroutine {target.name}() is never awaited — the "
+                        "call builds a coroutine object and drops it; the "
+                        "body never runs",
+                        node,
+                        subject=f"{function.qualname}:unawaited:{target.name}",
+                    )
+
+
+# -- RC007: lock held across await with unguarded access --------------------
+
+
+def _is_lock_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` where the attr smells like a lock/semaphore."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        lowered = node.attr.lower()
+        if "lock" in lowered or "sem" in lowered or "mutex" in lowered:
+            return node.attr
+    return None
+
+
+def _lock_blocks(
+    function: FunctionInfo,
+) -> list[tuple[ast.With | ast.AsyncWith, str]]:
+    blocks = []
+    for node in own_nodes(function.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                lock = _is_lock_attr(item.context_expr)
+                if lock is not None:
+                    blocks.append((node, lock))
+                    break
+    return blocks
+
+
+def _self_attr_accesses(nodes: Iterable[ast.AST]) -> list[ast.Attribute]:
+    out = []
+    for node in nodes:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            out.append(node)
+    return out
+
+
+def _block_nodes(block: ast.With | ast.AsyncWith) -> Iterator[ast.AST]:
+    stack = list(block.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_rc007(graph: CallGraph, contexts: dict[str, CheckContext]) -> None:
+    for module in graph.modules.values():
+        ctx = contexts[module.rel_path]
+        for cls in module.classes.values():
+            # Pass 1: per method, which attrs are written under a lock
+            # that is held across an await, and where each lock block is.
+            guarded: dict[str, tuple[str, int]] = {}  # attr -> (lock, line)
+            covered: dict[str, set[int]] = {}  # attr -> lines inside ANY lock block
+            for method in cls.methods.values():
+                for block, lock in _lock_blocks(method):
+                    body = list(_block_nodes(block))
+                    has_await = any(isinstance(node, ast.Await) for node in body)
+                    for attr in _self_attr_accesses(body):
+                        if attr.attr == lock:
+                            continue
+                        lines = covered.setdefault(attr.attr, set())
+                        lines.add(attr.lineno)
+                        if has_await and isinstance(attr.ctx, ast.Store):
+                            guarded.setdefault(attr.attr, (lock, block.lineno))
+            if not guarded:
+                continue
+            # Pass 2: any touch of a guarded attr outside every lock
+            # block (and outside __init__) can interleave at the await.
+            for method in cls.methods.values():
+                if method.name == "__init__":
+                    continue
+                for attr in _self_attr_accesses(own_nodes(method.node)):
+                    if attr.attr not in guarded:
+                        continue
+                    if attr.lineno in covered.get(attr.attr, ()):
+                        continue
+                    lock, lock_line = guarded[attr.attr]
+                    ctx.report(
+                        "RC007",
+                        f"self.{attr.attr} is written under self.{lock} held "
+                        f"across an await (line {lock_line}), but touched "
+                        f"here without the lock — another coroutine can "
+                        "interleave at the suspension point",
+                        attr,
+                        subject=f"{cls.name}.{attr.attr}:unguarded",
+                    )
+
+
+# -- RC008: signal handlers doing real work ---------------------------------
+
+# Method calls a handler may make: event/flag manipulation, task
+# bookkeeping, and loop hand-off.  Everything else — I/O, joins, thread
+# spawns, queue flushes — is real work at interrupt time.
+_SAFE_ATTR_CALLS = frozenset(
+    {
+        "set",
+        "clear",
+        "is_set",
+        "cancel",
+        "add",
+        "discard",
+        "add_done_callback",
+        "call_soon_threadsafe",
+    }
+)
+# Module-level calls a handler may make: re-arming, loop hand-off, and
+# dying on purpose.
+_SAFE_MODULE_CALLS = frozenset(
+    {
+        ("os", "_exit"),
+        ("sys", "exit"),
+        ("signal", "signal"),
+        ("asyncio", "ensure_future"),
+        ("asyncio", "create_task"),
+    }
+)
+_IGNORED_HANDLERS = frozenset({"SIG_IGN", "SIG_DFL"})
+
+
+def _nested_function(
+    scope: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name == name:
+            return node
+    return None
+
+
+def _resolve_handler(
+    graph: CallGraph,
+    module: ModuleInfo,
+    function: FunctionInfo,
+    expr: ast.expr,
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The handler function a registration expression names, if findable."""
+    if isinstance(expr, ast.Attribute) and expr.attr in _IGNORED_HANDLERS:
+        return None
+    if isinstance(expr, ast.Name):
+        nested = _nested_function(function.node, expr.id)
+        if nested is not None and nested.name != function.name:
+            return nested
+        local = module.functions.get(expr.id)
+        return local.node if local is not None else None
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and function.class_name is not None
+    ):
+        cls = module.classes.get(function.class_name)
+        if cls is not None and expr.attr in cls.methods:
+            return cls.methods[expr.attr].node
+        return None
+    if isinstance(expr, ast.Call):
+        # Factory pattern: signal.signal(SIGTERM, make_handler(queue)).
+        factory = _resolve_handler(graph, module, function, expr.func)
+        if factory is None:
+            return None
+        for node in ast.walk(factory):
+            if isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+                return _nested_function(factory, node.value.id)
+        return None
+    return None
+
+
+def _handler_registrations(function: FunctionInfo) -> Iterator[ast.expr]:
+    """Yield handler expressions from signal-registration calls."""
+    for node in ast.walk(function.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "signal"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "signal"
+            and len(node.args) >= 2
+        ):
+            yield node.args[1]
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "add_signal_handler"
+            and len(node.args) >= 2
+        ):
+            yield node.args[1]
+
+
+def _call_label(func: ast.expr) -> str:
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)) or "<call>"
+
+
+def _unsafe_handler_calls(
+    graph: CallGraph,
+    module: ModuleInfo,
+    function: FunctionInfo,
+    handler: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[str]:
+    unsafe = []
+    for node in own_nodes(handler):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SAFE_ATTR_CALLS:
+                continue
+            if (
+                isinstance(func.value, ast.Name)
+                and (func.value.id, func.attr) in _SAFE_MODULE_CALLS
+            ):
+                continue
+        target = graph.resolve_call(module, function, node)
+        if target is not None and target.is_async:
+            continue  # building a coroutine object runs nothing
+        unsafe.append(_call_label(func))
+    return unsafe
+
+
+def _check_rc008(graph: CallGraph, contexts: dict[str, CheckContext]) -> None:
+    seen: set[int] = set()  # handler node ids: one finding per handler
+    for module in graph.modules.values():
+        ctx = contexts[module.rel_path]
+        for function in module.functions.values():
+            for expr in _handler_registrations(function):
+                handler = _resolve_handler(graph, module, function, expr)
+                if handler is None or id(handler) in seen:
+                    continue
+                seen.add(id(handler))
+                unsafe = _unsafe_handler_calls(graph, module, function, handler)
+                if unsafe:
+                    ctx.report(
+                        "RC008",
+                        f"signal handler {handler.name}() does real work: "
+                        f"{', '.join(sorted(set(unsafe)))} — a handler may "
+                        "only set flags/events or hand off to the loop "
+                        "(it runs at arbitrary interrupt points)",
+                        handler,
+                        subject=f"{module.module}:{handler.name}:"
+                        f"{','.join(sorted(set(unsafe)))}",
+                    )
+
+
+# -- entry point ------------------------------------------------------------
+
+
+def check_graph(graph: CallGraph, contexts: dict[str, CheckContext]) -> None:
+    """Run RC005–RC008 over a built call graph.
+
+    ``contexts`` maps each module's ``rel_path`` to its
+    :class:`CheckContext` (pragmas pre-collected), so findings land in
+    the right file's list and per-line waivers apply.
+    """
+    _check_rc005(graph, contexts)
+    _check_rc006(graph, contexts)
+    _check_rc007(graph, contexts)
+    _check_rc008(graph, contexts)

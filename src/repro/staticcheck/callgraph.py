@@ -1,0 +1,493 @@
+"""A lightweight project call graph with async-context propagation.
+
+The flow-sensitive codebase checks (RC005–RC008, DESIGN.md §14) need to
+answer questions no per-file AST walk can: *"is this blocking call
+reachable from an ``async def`` without an executor hop?"* requires
+following calls across functions, methods and modules.  This module
+builds the minimal graph that makes those questions answerable:
+
+* every module under the package root is parsed once and indexed:
+  top-level functions, classes, methods, imports;
+* call edges are resolved **conservatively** — an edge exists only when
+  the target is provably a project function.  Unresolvable calls
+  (stdlib, dynamic dispatch, stored callables) produce *no* edge, so
+  the graph under-approximates reachability: like the FL002 containment
+  engine, false negatives are acceptable, false positives are not;
+* resolution covers the shapes this codebase actually uses: bare names
+  (module-local and ``from x import y``), ``module.func`` through
+  ``import``/``from``-aliases, ``self.method`` / ``cls.method`` within
+  a class (including project base classes), ``ClassName(...)``
+  constructor calls, and one level of typed attribute indirection —
+  ``self.holder.adopt(...)`` resolves because ``__init__`` assigned
+  ``self.holder = EngineHolder(...)`` (or annotated it with a project
+  class);
+* **async context** propagates along the edges: a sync function called
+  (transitively) from any ``async def`` body runs on the event loop.
+  Function *references* passed as arguments — ``asyncio.to_thread(fn)``,
+  ``loop.run_in_executor(None, fn)``, ``Thread(target=fn)`` — are not
+  calls, so an executor hop naturally terminates propagation.
+
+The graph deliberately ignores decorators, metaclasses, and multiple
+assignment of the same attribute to different classes (the last
+assignment wins); each would add precision this repo does not need yet.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "BlockingOp",
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "build_graph",
+    "module_name_for",
+    "own_nodes",
+]
+
+# Calls that block the calling thread (the RC005 primitive set): the
+# event loop must never execute one outside an executor hop.
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"): "time.sleep() blocks the event loop",
+    ("socket", "socket"): "socket.socket() does blocking network I/O",
+    ("socket", "create_connection"): "socket.create_connection() blocks",
+    ("socket", "getaddrinfo"): "socket.getaddrinfo() does blocking DNS",
+    ("socket", "gethostbyname"): "socket.gethostbyname() does blocking DNS",
+    ("subprocess", "run"): "subprocess.run() blocks until the child exits",
+    ("subprocess", "call"): "subprocess.call() blocks until the child exits",
+    ("subprocess", "check_call"): "subprocess.check_call() blocks",
+    ("subprocess", "check_output"): "subprocess.check_output() blocks",
+    ("subprocess", "Popen"): "subprocess.Popen() forks synchronously",
+    ("os", "system"): "os.system() blocks until the shell exits",
+    ("os", "popen"): "os.popen() does blocking pipe I/O",
+    ("os", "wait"): "os.wait() blocks on child processes",
+    ("os", "waitpid"): "os.waitpid() blocks on child processes",
+}
+
+# Blocking method calls recognized by attribute name alone.  ``.join``
+# is only blocking with zero positional arguments (``thread.join()`` /
+# ``proc.join(timeout=...)``) — ``"sep".join(parts)`` always passes the
+# iterable positionally, so requiring zero positional args excludes the
+# string method without type inference.
+_BLOCKING_ATTR_CALLS = {
+    "result": ".result() blocks on a concurrent future",
+    "join": ".join() blocks on a thread/process",
+}
+
+
+@dataclass(slots=True)
+class BlockingOp:
+    """One blocking primitive found inside a function body."""
+
+    node: ast.Call
+    label: str  # e.g. "open" / "time.sleep"
+    detail: str  # human explanation for the diagnostic
+
+
+@dataclass(slots=True)
+class CallSite:
+    """One resolved project-internal call edge."""
+
+    callee: str  # qualname of the target FunctionInfo
+    node: ast.Call
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str  # "repro.serve.app:ServeApp._route"
+    module: str  # dotted module name
+    rel_path: str
+    name: str
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    calls: list[CallSite] = field(default_factory=list)
+    blocking: list[BlockingOp] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class _ClassInfo:
+    name: str
+    bases: list[str]  # raw base-name expressions (dotted text)
+    methods: dict[str, FunctionInfo]
+    attr_types: dict[str, str]  # self.attr -> dotted class text
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Everything the checks need to know about one parsed module."""
+
+    module: str
+    rel_path: str
+    tree: ast.Module
+    source: str
+    # alias -> dotted target ("from repro.serve import reload as r" maps
+    # "r" -> "repro.serve.reload"; "import os" maps "os" -> "os").
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, _ClassInfo] = field(default_factory=dict)
+
+
+def module_name_for(rel_path: str) -> str:
+    """``repro/serve/app.py`` → ``repro.serve.app``."""
+    trimmed = rel_path[:-3] if rel_path.endswith(".py") else rel_path
+    parts = trimmed.replace(os.sep, "/").split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def own_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body, *excluding* nested function/lambda bodies.
+
+    A nested ``def`` is its own execution context — usually a callback
+    (signal handler, thread target, retry hook) that runs somewhere the
+    enclosing function does not.  Attributing its calls and blocking
+    ops to the enclosing function would poison every flow-sensitive
+    check, so the scans stop at the nested ``def`` boundary.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains as text; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ModuleScan(ast.NodeVisitor):
+    """First pass: index one module's imports, functions, classes."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self._class_stack: list[_ClassInfo] = []
+        self._depth = 0  # nesting depth of function bodies
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.info.imports[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+            if alias.asname:
+                self.info.imports[alias.asname] = alias.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports are not used in this repo
+        for alias in node.names:
+            self.info.imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def _register(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        class_info = self._class_stack[-1] if self._class_stack else None
+        class_name = class_info.name if class_info else None
+        local = f"{class_name}.{node.name}" if class_name else node.name
+        info = FunctionInfo(
+            qualname=f"{self.info.module}:{local}",
+            module=self.info.module,
+            rel_path=self.info.rel_path,
+            name=node.name,
+            class_name=class_name,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        self.info.functions[local] = info
+        if class_info is not None:
+            class_info.methods[node.name] = info
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._depth == 0:
+            self._register(node)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        if self._depth == 0:
+            self._register(node)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._depth:
+            return  # classes inside functions: out of scope
+        bases = [text for base in node.bases if (text := _dotted(base)) is not None]
+        info = _ClassInfo(name=node.name, bases=bases, methods={}, attr_types={})
+        self.info.classes[node.name] = info
+        self._class_stack.append(info)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._collect_attr_types(node, info)
+
+    def _collect_attr_types(self, node: ast.ClassDef, info: _ClassInfo) -> None:
+        """``self.attr = ClassName(...)`` assignments type the attribute."""
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                    continue
+                target = stmt.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                value = stmt.value
+                if isinstance(value, ast.Call):
+                    text = _dotted(value.func)
+                    if text is not None:
+                        info.attr_types[target.attr] = text
+
+
+class CallGraph:
+    """The project graph: modules, functions, resolved call edges."""
+
+    def __init__(self, package: str) -> None:
+        self.package = package
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_module(self, rel_path: str, source: str, tree: ast.Module) -> ModuleInfo:
+        info = ModuleInfo(
+            module=module_name_for(rel_path), rel_path=rel_path, tree=tree, source=source
+        )
+        _ModuleScan(info).visit(tree)
+        self.modules[info.module] = info
+        for function in info.functions.values():
+            self.functions[function.qualname] = function
+        return info
+
+    def finish(self) -> None:
+        """Second pass: resolve call edges and scan blocking primitives."""
+        for info in self.modules.values():
+            for function in info.functions.values():
+                self._scan_function(info, function)
+
+    # -- resolution --------------------------------------------------------
+
+    def _project_module(self, dotted: str) -> ModuleInfo | None:
+        """The ModuleInfo a dotted path names, if it is ours."""
+        if dotted in self.modules:
+            return self.modules[dotted]
+        return None
+
+    def _resolve_dotted(self, info: ModuleInfo, dotted: str) -> FunctionInfo | None:
+        """Resolve ``a.b.c`` text to a project function, via imports."""
+        head, _, rest = dotted.partition(".")
+        target = info.imports.get(head)
+        if target is None:
+            return None
+        full = f"{target}.{rest}" if rest else target
+        # "from repro.serve.reload import EngineHolder" + "EngineHolder.adopt"
+        # → module repro.serve.reload, symbol EngineHolder, attr adopt.
+        for split in range(len(full.split("."))):
+            parts = full.split(".")
+            module_path = ".".join(parts[: len(parts) - split])
+            symbol = ".".join(parts[len(parts) - split :])
+            module = self._project_module(module_path)
+            if module is None:
+                continue
+            if not symbol:
+                return None
+            if symbol in module.functions:
+                return module.functions[symbol]
+            # ClassName or ClassName.method inside that module
+            cls_name, _, method = symbol.partition(".")
+            cls = module.classes.get(cls_name)
+            if cls is not None:
+                if not method:
+                    return cls.methods.get("__init__")
+                return cls.methods.get(method)
+        return None
+
+    def _class_method(self, info: ModuleInfo, cls: _ClassInfo, name: str) -> FunctionInfo | None:
+        """Method lookup through project base classes (shallow MRO)."""
+        seen: set[str] = set()
+        stack = [(info, cls)]
+        while stack:
+            module, current = stack.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            if name in current.methods:
+                return current.methods[name]
+            for base_text in current.bases:
+                base = module.classes.get(base_text)
+                if base is not None:
+                    stack.append((module, base))
+                    continue
+                resolved = self._resolve_class(module, base_text)
+                if resolved is not None:
+                    stack.append(resolved)
+        return None
+
+    def _resolve_class(
+        self, info: ModuleInfo, dotted: str
+    ) -> tuple[ModuleInfo, _ClassInfo] | None:
+        """Resolve class-name text (local or imported) to its info."""
+        if dotted in info.classes:
+            return info, info.classes[dotted]
+        head, _, rest = dotted.partition(".")
+        target = info.imports.get(head)
+        if target is None:
+            return None
+        full = f"{target}.{rest}" if rest else target
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = self._project_module(".".join(parts[:cut]))
+            if module is None:
+                continue
+            symbol = ".".join(parts[cut:])
+            if symbol in module.classes:
+                return module, module.classes[symbol]
+        return None
+
+    def resolve_call(
+        self, info: ModuleInfo, function: FunctionInfo, node: ast.Call
+    ) -> FunctionInfo | None:
+        """The FunctionInfo a call targets, or None when not provably ours."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in info.functions:
+                return info.functions[name]
+            if name in info.classes:
+                return self._class_method(info, info.classes[name], "__init__")
+            if name in info.imports:
+                return self._resolve_dotted(info, name)
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        # self.method(...) / cls.method(...)
+        if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+            if function.class_name is None:
+                return None
+            cls = info.classes.get(function.class_name)
+            if cls is None:
+                return None
+            resolved = self._class_method(info, cls, func.attr)
+            if resolved is not None:
+                return resolved
+            return None
+        # self.attr.method(...) via the attribute's constructor type
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and function.class_name is not None
+        ):
+            cls = info.classes.get(function.class_name)
+            if cls is not None:
+                attr_type = cls.attr_types.get(value.attr)
+                if attr_type is not None:
+                    resolved_cls = self._resolve_class(info, attr_type)
+                    if resolved_cls is not None:
+                        return self._class_method(*resolved_cls, func.attr)
+            return None
+        # module.func(...) / package.module.func(...)
+        text = _dotted(func)
+        if text is not None:
+            return self._resolve_dotted(info, text)
+        return None
+
+    # -- blocking-primitive scan ------------------------------------------
+
+    @staticmethod
+    def _blocking_op(node: ast.Call) -> BlockingOp | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return BlockingOp(node, "open", "open() does blocking file I/O")
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                detail = _BLOCKING_MODULE_CALLS.get((value.id, func.attr))
+                if detail is not None:
+                    return BlockingOp(node, f"{value.id}.{func.attr}", detail)
+            if func.attr in _BLOCKING_ATTR_CALLS:
+                if func.attr == "join" and node.args:
+                    return None  # "sep".join(iterable): the string method
+                # str.join via a constant receiver, e.g. "\n".join(...)
+                if isinstance(value, ast.Constant):
+                    return None
+                return BlockingOp(
+                    node, f".{func.attr}", _BLOCKING_ATTR_CALLS[func.attr]
+                )
+        return None
+
+    def _scan_function(self, info: ModuleInfo, function: FunctionInfo) -> None:
+        for node in own_nodes(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            blocking = self._blocking_op(node)
+            if blocking is not None:
+                function.blocking.append(blocking)
+                continue
+            target = self.resolve_call(info, function, node)
+            if target is not None and target.qualname != function.qualname:
+                function.calls.append(CallSite(callee=target.qualname, node=node))
+
+    # -- async-context propagation ----------------------------------------
+
+    def async_reachable(self) -> dict[str, tuple[str, ast.Call | None]]:
+        """Functions that run on the event loop, with a witness edge.
+
+        Returns ``{qualname: (caller_qualname, call_node)}`` for every
+        function reachable from an ``async def`` body through sync call
+        edges; async roots map to themselves with no node.  Awaited (or
+        even unawaited) calls *to* async functions do not extend the
+        walk — the async callee is its own root.  Function references
+        passed to executors never created edges, so they terminate
+        propagation by construction.
+        """
+        witness: dict[str, tuple[str, ast.Call | None]] = {}
+        stack: list[str] = []
+        for qualname, function in self.functions.items():
+            if function.is_async:
+                witness[qualname] = (qualname, None)
+                stack.append(qualname)
+        while stack:
+            qualname = stack.pop()
+            function = self.functions[qualname]
+            for site in function.calls:
+                callee = self.functions.get(site.callee)
+                if callee is None or callee.is_async:
+                    continue
+                if site.callee not in witness:
+                    witness[site.callee] = (qualname, site.node)
+                    stack.append(site.callee)
+        return witness
+
+
+def build_graph(
+    files: list[tuple[str, str, ast.Module]], *, package: str = "repro"
+) -> CallGraph:
+    """Build the graph from ``(rel_path, source, parsed tree)`` triples."""
+    graph = CallGraph(package)
+    for rel_path, source, tree in files:
+        graph.add_module(rel_path, source, tree)
+    graph.finish()
+    return graph

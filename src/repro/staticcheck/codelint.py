@@ -45,7 +45,7 @@ from dataclasses import dataclass
 
 from repro.staticcheck.diagnostics import Diagnostic, Severity
 
-__all__ = ["lint_file", "lint_tree", "collect_pragmas"]
+__all__ = ["CheckContext", "lint_file", "lint_package", "lint_tree", "collect_pragmas"]
 
 _PRAGMA_RE = re.compile(r"#.*staticcheck:\s*ok\[([A-Z0-9,\s]+)\]")
 
@@ -77,7 +77,7 @@ def collect_pragmas(source: str) -> dict[int, set[str]]:
 
 
 @dataclass(slots=True)
-class _Context:
+class CheckContext:
     path: str
     rel_path: str
     pragmas: dict[int, set[str]]
@@ -118,7 +118,7 @@ def _is_write_mode(mode: str) -> bool:
     return any(flag in mode for flag in ("w", "a", "x", "+"))
 
 
-def _check_rc001(tree: ast.AST, ctx: _Context) -> None:
+def _check_rc001(tree: ast.AST, ctx: CheckContext) -> None:
     if ctx.rel_path.endswith(_RC001_EXEMPT_FILES):
         return
     for node in ast.walk(tree):
@@ -166,7 +166,7 @@ def _broad_names(node: ast.expr | None) -> list[str]:
     return names
 
 
-def _check_rc002(tree: ast.AST, ctx: _Context) -> None:
+def _check_rc002(tree: ast.AST, ctx: CheckContext) -> None:
     for node in ast.walk(tree):
         if not isinstance(node, ast.ExceptHandler):
             continue
@@ -188,7 +188,7 @@ def _check_rc002(tree: ast.AST, ctx: _Context) -> None:
 # -- RC003: nondeterminism hazards ------------------------------------------
 
 
-def _check_rc003(tree: ast.AST, ctx: _Context) -> None:
+def _check_rc003(tree: ast.AST, ctx: CheckContext) -> None:
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -307,7 +307,7 @@ class _RestoreScan(ast.NodeVisitor):
 
 
 def _check_rc004_consumer(
-    ctx: _Context,
+    ctx: CheckContext,
     class_node: ast.ClassDef,
     consumer: ast.FunctionDef,
     export: ast.FunctionDef,
@@ -390,7 +390,7 @@ def _transient_declaration(class_node: ast.ClassDef) -> tuple[set[str], ast.AST 
 
 
 def _check_rc004_fields(
-    ctx: _Context,
+    ctx: CheckContext,
     class_node: ast.ClassDef,
     export: ast.FunctionDef,
     exported: set[str],
@@ -444,7 +444,7 @@ def _check_rc004_fields(
         )
 
 
-def _check_rc004(tree: ast.AST, ctx: _Context) -> None:
+def _check_rc004(tree: ast.AST, ctx: CheckContext) -> None:
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
             continue
@@ -472,11 +472,102 @@ def _check_rc004(tree: ast.AST, ctx: _Context) -> None:
         _check_rc004_fields(ctx, node, export, exported)
 
 
+# -- RC010 (per-file half): exit-code literals ------------------------------
+
+# The registry itself is where the numbers live.
+_RC010_EXEMPT_FILES = ("exitcodes.py",)
+_EXIT_CALLS = {("sys", "exit"), ("os", "_exit")}
+
+
+def _check_rc010_literals(tree: ast.AST, ctx: CheckContext) -> None:
+    """``sys.exit(3)`` must be ``sys.exit(EXIT_DEGRADED)``.
+
+    A numeric literal at an exit site is invisible to the registry —
+    and therefore to the README table the RC010 project-level half
+    keeps honest — so the same number can silently mean two things in
+    two files.  Names from :mod:`repro.exitcodes` pass; so do
+    non-literal expressions (e.g. ``sys.exit(main())``).
+    """
+    if ctx.rel_path.endswith(_RC010_EXEMPT_FILES):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and (func.value.id, func.attr) in _EXIT_CALLS
+        ):
+            continue
+        argument = node.args[0]
+        if isinstance(argument, ast.Constant) and isinstance(argument.value, int):
+            ctx.report(
+                "RC010",
+                f"{func.value.id}.{func.attr}({argument.value}) uses a bare "
+                "exit-code literal — use a named constant from "
+                "repro.exitcodes so the registry (and the README table it "
+                "gates) stays complete",
+                node,
+                subject=f"exit-literal:{argument.value}",
+            )
+
+
+# -- RC012: transient fields read in the checkpoint wire form ---------------
+
+_RC012_METHODS = ("export_state", "merge_state")
+
+
+def _check_rc012(tree: ast.AST, ctx: CheckContext) -> None:
+    """``_TRANSIENT_STATE`` fields must stay out of the wire form.
+
+    Declaring a field transient (RC004) promises it never enters a
+    checkpoint; *reading* it inside ``export_state`` or ``merge_state``
+    breaks that promise in a way the RC004 key-set check cannot see —
+    e.g. folding a transient counter into a durable one, which would
+    make resumed runs diverge from fresh ones.
+    """
+    for class_node in ast.walk(tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        transient, _declaration = _transient_declaration(class_node)
+        if not transient:
+            continue
+        for item in class_node.body:
+            if not isinstance(item, ast.FunctionDef) or item.name not in _RC012_METHODS:
+                continue
+            for node in ast.walk(item):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in transient
+                ):
+                    ctx.report(
+                        "RC012",
+                        f"{class_node.name}.{item.name} touches "
+                        f"self.{node.attr}, which _TRANSIENT_STATE declares "
+                        "process-local — transient observability must never "
+                        "flow into the checkpoint wire form",
+                        node,
+                        subject=f"{class_node.name}:{item.name}:{node.attr}",
+                    )
+
+
 # -- entry points -----------------------------------------------------------
 
 
+def _run_file_checks(tree: ast.AST, ctx: CheckContext) -> None:
+    _check_rc001(tree, ctx)
+    _check_rc002(tree, ctx)
+    _check_rc003(tree, ctx)
+    _check_rc004(tree, ctx)
+    _check_rc010_literals(tree, ctx)
+    _check_rc012(tree, ctx)
+
+
 def lint_tree(source: str, *, path: str, rel_path: str) -> list[Diagnostic]:
-    """Run all RC checks over one module's source text."""
+    """Run the per-file RC checks over one module's source text."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -490,16 +581,13 @@ def lint_tree(source: str, *, path: str, rel_path: str) -> list[Diagnostic]:
                 severity=Severity.ERROR,
             )
         ]
-    ctx = _Context(
+    ctx = CheckContext(
         path=path,
         rel_path=rel_path,
         pragmas=collect_pragmas(source),
         findings=[],
     )
-    _check_rc001(tree, ctx)
-    _check_rc002(tree, ctx)
-    _check_rc003(tree, ctx)
-    _check_rc004(tree, ctx)
+    _run_file_checks(tree, ctx)
     return ctx.findings
 
 
@@ -508,3 +596,83 @@ def lint_file(path: str, *, root: str | None = None) -> list[Diagnostic]:
         source = stream.read()
     rel_path = os.path.relpath(path, root) if root else path
     return lint_tree(source, path=path, rel_path=rel_path.replace(os.sep, "/"))
+
+
+def lint_package(package_root: str, *, source_root: str) -> list[Diagnostic]:
+    """The whole-package gate: per-file checks plus the flow-aware layer.
+
+    Parses every module under ``package_root`` exactly once, runs the
+    per-file checks on each tree, then builds the project call graph
+    and runs the cross-file checks over it: RC005–RC008
+    (:mod:`repro.staticcheck.asynccheck`) and RC009–RC011
+    (:mod:`repro.staticcheck.protocol`).  One parse per file is what
+    keeps the full self-lint inside the CI latency budget
+    (``benchmarks/bench_selflint.py``).
+    """
+    # Local imports: asynccheck/protocol import CheckContext from here.
+    from repro.staticcheck.asynccheck import check_graph
+    from repro.staticcheck.callgraph import build_graph
+    from repro.staticcheck.protocol import (
+        check_exit_code_docs,
+        check_metric_schema,
+        check_worker_protocol,
+    )
+
+    findings: list[Diagnostic] = []
+    contexts: dict[str, CheckContext] = {}
+    triples: list[tuple[str, str, ast.Module]] = []
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, encoding="utf-8") as stream:
+                source = stream.read()
+            rel_path = os.path.relpath(path, source_root).replace(os.sep, "/")
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                findings.append(
+                    Diagnostic.build(
+                        "RC002",
+                        f"file does not parse: {exc}",
+                        source=rel_path,
+                        line=exc.lineno or 0,
+                        subject="syntax-error",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            ctx = CheckContext(
+                path=path,
+                rel_path=rel_path,
+                pragmas=collect_pragmas(source),
+                findings=[],
+            )
+            contexts[rel_path] = ctx
+            triples.append((rel_path, source, tree))
+            _run_file_checks(tree, ctx)
+
+    graph = build_graph(triples)
+    check_graph(graph, contexts)
+
+    worker = graph.modules.get("repro.parallel.worker")
+    runner = graph.modules.get("repro.parallel.runner")
+    if worker is not None and runner is not None:
+        check_worker_protocol(
+            worker, runner, contexts[worker.rel_path], contexts[runner.rel_path]
+        )
+    modules_by_path = {module.rel_path: module for module in graph.modules.values()}
+    check_metric_schema(modules_by_path, contexts)
+
+    readme_path = os.path.join(os.path.dirname(source_root), "README.md")
+    readme_ctx = CheckContext(
+        path=readme_path, rel_path="README.md", pragmas={}, findings=[]
+    )
+    check_exit_code_docs(readme_path, readme_ctx)
+    contexts["README.md"] = readme_ctx
+
+    for rel_path in sorted(contexts):
+        findings.extend(contexts[rel_path].findings)
+    return findings

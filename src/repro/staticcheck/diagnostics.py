@@ -60,6 +60,15 @@ CODES: Mapping[str, tuple[Severity, str]] = {
     "RC002": (Severity.WARNING, "broad exception handler outside ErrorPolicy"),
     "RC003": (Severity.WARNING, "nondeterminism hazard"),
     "RC004": (Severity.ERROR, "export_state/restore_state field drift"),
+    # -- flow-aware codebase gate (call graph + cross-file contracts) --
+    "RC005": (Severity.ERROR, "blocking call reachable from async context"),
+    "RC006": (Severity.ERROR, "coroutine never awaited / task handle dropped"),
+    "RC007": (Severity.WARNING, "lock held across await with unguarded access"),
+    "RC008": (Severity.ERROR, "signal handler does real work"),
+    "RC009": (Severity.ERROR, "worker queue protocol drift"),
+    "RC010": (Severity.ERROR, "exit code bypasses registry or README drift"),
+    "RC011": (Severity.ERROR, "metric key surface drifts from committed schema"),
+    "RC012": (Severity.ERROR, "transient field read in checkpoint wire form"),
 }
 
 

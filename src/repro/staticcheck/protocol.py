@@ -1,0 +1,401 @@
+"""Cross-file contract checks: wire protocols, exit codes, metric keys.
+
+Three repo contracts live in *pairs* of artifacts that drift
+independently; each check here reads both sides statically and fails on
+the diff (DESIGN.md §14):
+
+* **RC009** — the worker↔supervisor message protocol.  Every message a
+  shard worker puts on the result queue is a 4-tuple
+  ``(worker_id, attempt, kind, payload)``; the parent's fold loop
+  dispatches on ``kind`` string equality.  A kind the worker emits but
+  the parent does not dispatch is silently treated as garbage (the
+  worker gets killed for it); a kind the parent dispatches but no
+  worker emits is a dead arm hiding a rename.  Both directions are
+  errors.  Non-literal kinds (the chaos harness's ``GARBAGE_KIND``)
+  are deliberately outside the contract and skipped.
+* **RC010** — process exit codes.  Every ``sys.exit(N)`` /
+  ``os._exit(N)`` with a literal integer bypasses the
+  :mod:`repro.exitcodes` registry (the per-file half, in
+  :mod:`repro.staticcheck.codelint`); and the README's operator-facing
+  exit-code table must list exactly the registry's public codes — a
+  doc that omits or invents a code is a lint finding, not a review
+  nit.
+* **RC011** — the machine-readable metric surfaces.  The key paths
+  emitted by ``ServeMetrics.snapshot`` and
+  ``PipelineHealth.summary_dict`` are consumed by dashboards and the
+  chaos tests; both surfaces are pinned in
+  ``schemas/metrics_keys.json``.  Adding, renaming or dropping a key
+  without updating the committed schema is drift in whichever
+  direction it happens.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+
+from repro.staticcheck.callgraph import ModuleInfo
+from repro.staticcheck.codelint import CheckContext
+from repro.staticcheck.diagnostics import Diagnostic
+
+__all__ = [
+    "check_worker_protocol",
+    "check_exit_code_docs",
+    "check_metric_schema",
+    "emitted_kinds",
+    "dispatched_kinds",
+    "extract_key_paths",
+    "SCHEMA_PATH",
+]
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "schemas", "metrics_keys.json")
+
+# The queue-put helpers on the worker side whose message argument must
+# be the protocol 4-tuple, and the position that argument occupies.
+_PUT_FUNCS = {"_put": 2}
+# The send helper whose first argument is the message kind.
+_SEND_FUNCS = {"_send": 0}
+
+_README_ROW_RE = re.compile(r"^\|\s*\*\*(\d+)\*\*\s*\|")
+_README_HEADING = "### Exit codes"
+
+
+# -- RC009: worker protocol -------------------------------------------------
+
+
+def _func_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def emitted_kinds(
+    module: ModuleInfo, ctx: CheckContext | None = None
+) -> dict[str, ast.Call]:
+    """Kind literals the worker module puts on the queue.
+
+    With a context, also enforces the 4-tuple shape on every ``_put``
+    message argument (a tuple of the wrong arity would unpack-crash
+    the parent's fold loop at runtime).
+    """
+    kinds: dict[str, ast.Call] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _func_name(node.func)
+        if name in _PUT_FUNCS:
+            index = _PUT_FUNCS[name]
+            if index >= len(node.args):
+                continue
+            message = node.args[index]
+            if not isinstance(message, ast.Tuple):
+                continue  # forwarding a variable: shape enforced at build site
+            if len(message.elts) != 4 and ctx is not None:
+                ctx.report(
+                    "RC009",
+                    f"queue message is a {len(message.elts)}-tuple; the "
+                    "worker protocol is (worker_id, attempt, kind, payload) "
+                    "— the parent's fold loop unpacks exactly four",
+                    message,
+                    subject=f"put-arity:{len(message.elts)}",
+                )
+                continue
+            if len(message.elts) == 4:
+                kind = message.elts[2]
+                if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+                    kinds.setdefault(kind.value, node)
+        elif name in _SEND_FUNCS:
+            index = _SEND_FUNCS[name]
+            if index < len(node.args):
+                kind = node.args[index]
+                if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+                    kinds.setdefault(kind.value, node)
+    return kinds
+
+
+def dispatched_kinds(module: ModuleInfo) -> dict[str, ast.AST]:
+    """Kind literals the supervisor-side fold loop compares against."""
+    kinds: dict[str, ast.AST] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        left = node.left
+        if not (isinstance(left, ast.Name) and left.id == "kind"):
+            continue
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                if isinstance(comparator, ast.Constant) and isinstance(
+                    comparator.value, str
+                ):
+                    kinds.setdefault(comparator.value, node)
+            elif isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+                comparator, (ast.Tuple, ast.List, ast.Set)
+            ):
+                for element in comparator.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        kinds.setdefault(element.value, node)
+    return kinds
+
+
+def check_worker_protocol(
+    worker: ModuleInfo,
+    runner: ModuleInfo,
+    worker_ctx: CheckContext,
+    runner_ctx: CheckContext,
+) -> None:
+    emitted = emitted_kinds(worker, worker_ctx)
+    dispatched = dispatched_kinds(runner)
+    for kind in sorted(set(emitted) - set(dispatched)):
+        worker_ctx.report(
+            "RC009",
+            f"worker emits kind {kind!r} that the supervisor's fold loop "
+            "never dispatches — the parent treats it as garbage and kills "
+            "the worker",
+            emitted[kind],
+            subject=f"kind-unhandled:{kind}",
+        )
+    for kind in sorted(set(dispatched) - set(emitted)):
+        runner_ctx.report(
+            "RC009",
+            f"fold loop dispatches kind {kind!r} that no worker ever emits "
+            "— dead dispatch arm, usually the fossil of a renamed kind",
+            dispatched[kind],
+            subject=f"kind-unemitted:{kind}",
+        )
+
+
+# -- RC010: README exit-code table vs the registry --------------------------
+
+
+def _readme_table_codes(readme_text: str) -> tuple[dict[int, int], int]:
+    """``{code: line_no}`` for rows of the README exit-code table."""
+    codes: dict[int, int] = {}
+    heading_line = 0
+    in_table = False
+    for line_no, line in enumerate(readme_text.splitlines(), start=1):
+        if line.startswith(_README_HEADING):
+            heading_line = line_no
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        match = _README_ROW_RE.match(line.strip())
+        if match:
+            codes.setdefault(int(match.group(1)), line_no)
+        elif line.startswith("#"):  # next section: table over
+            break
+    return codes, heading_line
+
+
+def _line_anchor(line: int) -> ast.AST:
+    """A bare AST node carrying only a location, for non-Python findings."""
+    return ast.Pass(lineno=line, col_offset=0, end_lineno=line, end_col_offset=0)
+
+
+def check_exit_code_docs(readme_path: str, ctx: CheckContext) -> None:
+    """The README table must list exactly the registry's public codes."""
+    from repro.exitcodes import public_codes
+
+    try:
+        with open(readme_path, encoding="utf-8") as stream:
+            readme = stream.read()
+    except OSError:
+        return  # no README in this install layout: nothing to drift
+    documented, heading_line = _readme_table_codes(readme)
+    if not documented:
+        ctx.report(
+            "RC010",
+            f"README has no {_README_HEADING!r} table rows — the public "
+            "exit-code contract (repro.exitcodes) must be documented",
+            _line_anchor(0),
+            subject="readme:no-table",
+        )
+        return
+    registry = public_codes()
+    for code in sorted(set(registry) - set(documented)):
+        ctx.report(
+            "RC010",
+            f"exit code {code} ({registry[code].name}) is public in "
+            "repro.exitcodes but missing from the README exit-code table "
+            "— operators script against that table",
+            _line_anchor(heading_line),
+            subject=f"readme:missing:{code}",
+        )
+    for code in sorted(set(documented) - set(registry)):
+        ctx.report(
+            "RC010",
+            f"README documents exit code {code} which is not a public code "
+            "in repro.exitcodes — stale docs or an unregistered exit",
+            _line_anchor(documented[code]),
+            subject=f"readme:stale:{code}",
+        )
+
+
+# -- RC011: metric key paths vs the committed schema ------------------------
+
+
+def _literal_paths(node: ast.Dict, prefix: str = "") -> set[str] | None:
+    """Dotted key paths of a (possibly nested) dict literal."""
+    paths: set[str] = set()
+    for key, value in zip(node.keys, node.values):
+        if key is None:
+            return None  # ** splat: surface not statically known
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        dotted = f"{prefix}{key.value}"
+        if isinstance(value, ast.Dict):
+            nested = _literal_paths(value, prefix=f"{dotted}.")
+            if nested is None:
+                return None
+            paths |= nested
+        else:
+            paths.add(dotted)
+    return paths
+
+
+def extract_key_paths(func: ast.FunctionDef) -> set[str] | None:
+    """Dotted key paths the function's returned dict emits.
+
+    Handles the two shapes the metric surfaces use: a dict literal
+    assigned to a local then returned, with optional conditional
+    ``data["key"] = {...}`` subscript extensions; or a dict literal
+    returned directly.  Returns ``None`` when the surface is not
+    statically enumerable.
+    """
+    returned: str | None = None
+    paths: set[str] | None = None
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            if isinstance(node.value, ast.Name):
+                returned = node.value.id
+            elif isinstance(node.value, ast.Dict):
+                return _literal_paths(node.value)
+    if returned is None:
+        return None
+    for node in ast.walk(func):
+        value: ast.expr | None = None
+        target: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if target is None or value is None:
+            continue
+        if isinstance(target, ast.Name) and target.id == returned:
+            if not isinstance(value, ast.Dict):
+                return None
+            literal = _literal_paths(value)
+            if literal is None:
+                return None
+            paths = literal if paths is None else paths | literal
+        elif (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == returned
+            and isinstance(target.slice, ast.Constant)
+            and isinstance(target.slice.value, str)
+        ):
+            key = target.slice.value
+            if paths is None:
+                paths = set()
+            if isinstance(value, ast.Dict):
+                nested = _literal_paths(value, prefix=f"{key}.")
+                if nested is None:
+                    return None
+                paths |= nested
+            else:
+                paths.add(key)
+    return paths
+
+
+def _find_method(module: ModuleInfo, class_name: str, method: str) -> ast.FunctionDef | None:
+    cls = module.classes.get(class_name)
+    if cls is None or method not in cls.methods:
+        return None
+    node = cls.methods[method].node
+    return node if isinstance(node, ast.FunctionDef) else None
+
+
+def check_metric_schema(
+    modules: dict[str, ModuleInfo],
+    contexts: dict[str, CheckContext],
+    *,
+    schema_path: str = SCHEMA_PATH,
+) -> None:
+    """Compare each pinned metric surface against the committed schema.
+
+    The schema maps ``"<rel_path>:<Class>.<method>"`` to the sorted
+    list of dotted key paths that surface emits.
+    """
+    try:
+        with open(schema_path, encoding="utf-8") as stream:
+            schema = json.load(stream)
+    except (OSError, ValueError):
+        schema = None
+    if not isinstance(schema, dict) or "surfaces" not in schema:
+        # No schema: every pinned surface check silently passing would
+        # defeat the gate, so say so once, attributed to the schema file.
+        any_ctx = next(iter(contexts.values()), None)
+        if any_ctx is not None:
+            any_ctx.findings.append(
+                Diagnostic.build(
+                    "RC011",
+                    f"metric key schema missing or unreadable at {schema_path} "
+                    "— the RC011 gate cannot run",
+                    source=os.path.relpath(schema_path),
+                    subject="schema-missing",
+                )
+            )
+        return
+    for surface, pinned in sorted(schema["surfaces"].items()):
+        rel_path, _, qual = surface.partition(":")
+        class_name, _, method = qual.partition(".")
+        module = modules.get(rel_path)
+        ctx = contexts.get(rel_path)
+        if module is None or ctx is None:
+            continue  # surface's module not in this lint run
+        func = _find_method(module, class_name, method)
+        if func is None:
+            ctx.report(
+                "RC011",
+                f"schema pins surface {qual} but {rel_path} has no such "
+                "method — stale schema entry",
+                module.tree,
+                subject=f"{qual}:gone",
+            )
+            continue
+        emitted = extract_key_paths(func)
+        if emitted is None:
+            ctx.report(
+                "RC011",
+                f"{qual} no longer builds its payload from dict literals — "
+                "the key surface cannot be statically checked against the "
+                "schema",
+                func,
+                subject=f"{qual}:opaque",
+            )
+            continue
+        pinned_set = set(pinned)
+        for path in sorted(emitted - pinned_set):
+            ctx.report(
+                "RC011",
+                f"{qual} emits key {path!r} that schemas/metrics_keys.json "
+                "does not pin — if the new key is intentional, update the "
+                "schema in the same change",
+                func,
+                subject=f"{qual}:unpinned:{path}",
+            )
+        for path in sorted(pinned_set - emitted):
+            ctx.report(
+                "RC011",
+                f"schema pins key {path!r} that {qual} no longer emits — "
+                "consumers scraping that key now read nothing",
+                func,
+                subject=f"{qual}:dropped:{path}",
+            )

@@ -1,15 +1,37 @@
-"""Codebase gate (RC001-RC004) on inline fixtures, plus self-cleanliness."""
+"""Codebase gate (RC001-RC012) on inline fixtures, plus self-cleanliness.
+
+The RC005-RC008 fixtures build a real call graph from inline multi-file
+sources (``_flow``); RC009-RC011 exercise the cross-artifact contract
+checks against inline worker/runner pairs, temp READMEs and temp metric
+schemas.  Every code must *fire* on its broken fixture — a gate that
+cannot fire proves nothing about the clean repo.
+"""
 
 from __future__ import annotations
 
+import ast
+import json
 import os
 
 import pytest
 
 import repro
 from repro.staticcheck import lint_source_file
-from repro.staticcheck.codelint import collect_pragmas, lint_tree
+from repro.staticcheck.asynccheck import check_graph
+from repro.staticcheck.callgraph import build_graph
+from repro.staticcheck.codelint import (
+    CheckContext,
+    collect_pragmas,
+    lint_package,
+    lint_tree,
+)
 from repro.staticcheck.diagnostics import Severity
+from repro.staticcheck.protocol import (
+    check_exit_code_docs,
+    check_metric_schema,
+    check_worker_protocol,
+    extract_key_paths,
+)
 
 
 def _codes(source: str) -> list[str]:
@@ -213,9 +235,12 @@ class TestRC004Transient:
             'return {"count": self.count, "cache_hits": self.cache_hits}',
         )
         diags = lint_tree(source, path="f.py", rel_path="f.py")
-        errors = [d for d in diags if d.severity is Severity.ERROR]
-        assert len(errors) == 1 and errors[0].code == "RC004"
+        errors = [d for d in diags if d.code == "RC004" and d.severity is Severity.ERROR]
+        assert len(errors) == 1
         assert "cache_hits" in errors[0].message
+        # Exporting a transient field also reads it in the wire form,
+        # so the RC012 gate fires on the same fixture.
+        assert "RC012" in [d.code for d in diags]
 
     def test_phantom_transient_name_warns(self):
         source = RC004_TRANSIENT.replace(
@@ -251,8 +276,583 @@ class TestPragmas:
         assert collect_pragmas(source) == {1: {"RC002"}}
 
 
+# -- flow-check fixtures (RC005-RC008) --------------------------------------
+
+
+def _flow(files: dict[str, str]) -> dict[str, CheckContext]:
+    """Run the call-graph checks over inline ``{rel_path: source}`` files."""
+    triples = []
+    contexts = {}
+    for rel_path, source in files.items():
+        triples.append((rel_path, source, ast.parse(source)))
+        contexts[rel_path] = CheckContext(
+            path=rel_path,
+            rel_path=rel_path,
+            pragmas=collect_pragmas(source),
+            findings=[],
+        )
+    graph = build_graph(triples)
+    check_graph(graph, contexts)
+    return contexts
+
+
+def _flow_findings(files: dict[str, str]):
+    contexts = _flow(files)
+    return [diag for ctx in contexts.values() for diag in ctx.findings]
+
+
+def _flow_codes(files: dict[str, str]) -> list[str]:
+    return sorted(diag.code for diag in _flow_findings(files))
+
+
+class TestRC005:
+    def test_blocking_call_directly_in_async_def(self):
+        source = "import time\n\nasync def handler():\n    time.sleep(1)\n"
+        findings = _flow_findings({"repro/app.py": source})
+        assert [d.code for d in findings] == ["RC005"]
+        assert "time.sleep" in findings[0].subject
+        assert "directly in an async def" in findings[0].message
+
+    def test_transitive_reach_through_sync_helper(self):
+        source = (
+            "import time\n\n"
+            "def helper():\n"
+            "    time.sleep(1)\n\n"
+            "async def handler():\n"
+            "    helper()\n"
+        )
+        findings = _flow_findings({"repro/app.py": source})
+        assert [d.code for d in findings] == ["RC005"]
+        # The message reconstructs the chain back to the async root.
+        assert "handler -> helper" in findings[0].message
+
+    def test_cross_module_reach(self):
+        util = "def slow():\n    open('x')\n"
+        app = (
+            "from repro.util import slow\n\n"
+            "async def handler():\n"
+            "    slow()\n"
+        )
+        findings = _flow_findings({"repro/util.py": util, "repro/app.py": app})
+        assert [d.code for d in findings] == ["RC005"]
+        assert findings[0].source == "repro/util.py"
+
+    def test_executor_hop_terminates_propagation(self):
+        # slow() is only ever *referenced* as a to_thread argument, never
+        # called from async context — a reference is not an edge.
+        source = (
+            "import asyncio\n"
+            "import time\n\n"
+            "def slow():\n"
+            "    time.sleep(1)\n\n"
+            "async def handler():\n"
+            "    await asyncio.to_thread(slow)\n"
+        )
+        assert _flow_codes({"repro/app.py": source}) == []
+
+    def test_string_join_is_not_blocking(self):
+        source = (
+            "async def render(parts, thread):\n"
+            "    text = ', '.join(parts)\n"
+            "    sep = ';'\n"
+            "    thread.join()\n"
+            "    return text\n"
+        )
+        findings = _flow_findings({"repro/app.py": source})
+        # Only thread.join() fires; the string method (constant receiver /
+        # positional iterable) passes.
+        assert [d.code for d in findings] == ["RC005"]
+        assert ".join" in findings[0].subject
+
+    def test_sync_only_code_is_out_of_scope(self):
+        source = "import time\n\ndef batch():\n    time.sleep(1)\n"
+        assert _flow_codes({"repro/app.py": source}) == []
+
+    def test_pragma_suppresses(self):
+        source = (
+            "import time\n\n"
+            "async def handler():\n"
+            "    # staticcheck: ok[RC005] test fixture\n"
+            "    time.sleep(1)\n"
+        )
+        assert _flow_codes({"repro/app.py": source}) == []
+
+
+class TestRC006:
+    def test_unawaited_coroutine_call(self):
+        source = (
+            "async def work():\n"
+            "    pass\n\n"
+            "async def handler():\n"
+            "    work()\n"
+        )
+        findings = _flow_findings({"repro/app.py": source})
+        assert [d.code for d in findings] == ["RC006"]
+        assert "unawaited:work" in findings[0].subject
+
+    def test_dropped_task_handle(self):
+        source = (
+            "import asyncio\n\n"
+            "async def work():\n"
+            "    pass\n\n"
+            "async def handler():\n"
+            "    asyncio.create_task(work())\n"
+        )
+        findings = _flow_findings({"repro/app.py": source})
+        assert [d.code for d in findings] == ["RC006"]
+        assert "dropped-task" in findings[0].subject
+
+    def test_kept_handle_and_awaited_call_are_fine(self):
+        source = (
+            "import asyncio\n\n"
+            "async def work():\n"
+            "    pass\n\n"
+            "async def handler(tasks):\n"
+            "    task = asyncio.create_task(work())\n"
+            "    tasks.add(task)\n"
+            "    await work()\n"
+        )
+        assert _flow_codes({"repro/app.py": source}) == []
+
+    def test_sync_caller_dropping_coroutine_also_fires(self):
+        source = (
+            "async def work():\n"
+            "    pass\n\n"
+            "def schedule():\n"
+            "    work()\n"
+        )
+        assert _flow_codes({"repro/app.py": source}) == ["RC006"]
+
+
+RC007_UNGUARDED = """\
+import asyncio
+
+class Manager:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self.state = 0
+
+    async def update(self):
+        async with self._lock:
+            self.state = 1
+            await asyncio.sleep(0)
+
+    def peek(self):
+        return self.state
+"""
+
+
+class TestRC007:
+    def test_unguarded_touch_of_await_guarded_attr(self):
+        findings = _flow_findings({"repro/mgr.py": RC007_UNGUARDED})
+        assert [d.code for d in findings] == ["RC007"]
+        assert findings[0].severity is Severity.WARNING
+        assert findings[0].subject == "Manager.state:unguarded"
+
+    def test_all_access_under_lock_is_fine(self):
+        source = RC007_UNGUARDED.replace(
+            "    def peek(self):\n        return self.state\n",
+            "    async def peek(self):\n"
+            "        async with self._lock:\n"
+            "            return self.state\n",
+        )
+        assert _flow_codes({"repro/mgr.py": source}) == []
+
+    def test_init_is_exempt(self):
+        # RC007_UNGUARDED's __init__ writes self.state outside the lock;
+        # dropping peek() leaves only construction-time access.
+        source = RC007_UNGUARDED.replace(
+            "    def peek(self):\n        return self.state\n", ""
+        )
+        assert _flow_codes({"repro/mgr.py": source}) == []
+
+    def test_lock_without_await_does_not_guard(self):
+        source = RC007_UNGUARDED.replace("            await asyncio.sleep(0)\n", "")
+        assert _flow_codes({"repro/mgr.py": source}) == []
+
+
+class TestRC008:
+    def test_handler_doing_real_work(self):
+        source = (
+            "import signal\n"
+            "import subprocess\n\n"
+            "def _handler(signum, frame):\n"
+            "    subprocess.run(['sync'])\n\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGTERM, _handler)\n"
+        )
+        findings = _flow_findings({"repro/sig.py": source})
+        assert [d.code for d in findings] == ["RC008"]
+        assert "subprocess.run" in findings[0].subject
+
+    def test_flag_setting_handler_is_fine(self):
+        source = (
+            "import signal\n"
+            "import threading\n\n"
+            "STOP = threading.Event()\n\n"
+            "def _handler(signum, frame):\n"
+            "    STOP.set()\n\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGTERM, _handler)\n"
+        )
+        assert _flow_codes({"repro/sig.py": source}) == []
+
+    def test_method_handler_resolves_through_self(self):
+        source = (
+            "import signal\n\n"
+            "class App:\n"
+            "    def _on_term(self, signum, frame):\n"
+            "        open('dump.log')\n\n"
+            "    def install(self):\n"
+            "        signal.signal(signal.SIGTERM, self._on_term)\n"
+        )
+        findings = _flow_findings({"repro/sig.py": source})
+        assert [d.code for d in findings] == ["RC008"]
+        assert "_on_term" in findings[0].subject
+
+    def test_factory_made_handler_resolves(self):
+        source = (
+            "import signal\n\n"
+            "def make_handler(queue):\n"
+            "    def handle(signum, frame):\n"
+            "        queue.join_thread()\n"
+            "    return handle\n\n"
+            "def install(queue):\n"
+            "    signal.signal(signal.SIGTERM, make_handler(queue))\n"
+        )
+        findings = _flow_findings({"repro/sig.py": source})
+        assert [d.code for d in findings] == ["RC008"]
+        assert "join_thread" in findings[0].subject
+
+    def test_sig_ign_and_sig_dfl_are_skipped(self):
+        source = (
+            "import signal\n\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGPIPE, signal.SIG_IGN)\n"
+            "    signal.signal(signal.SIGTERM, signal.SIG_DFL)\n"
+        )
+        assert _flow_codes({"repro/sig.py": source}) == []
+
+    def test_loop_handler_registration_is_covered(self):
+        source = (
+            "import os\n\n"
+            "def _drain():\n"
+            "    os.system('sync')\n\n"
+            "def install(loop, sig):\n"
+            "    loop.add_signal_handler(sig, _drain)\n"
+        )
+        assert _flow_codes({"repro/sig.py": source}) == ["RC008"]
+
+
+# -- protocol fixtures (RC009-RC011) ----------------------------------------
+
+WORKER_SRC = """\
+def _put(queue, attempt, message):
+    queue.put(message)
+
+def run(queue, worker_id):
+    _put(queue, 0, (worker_id, 0, "hb", None))
+    _put(queue, 0, (worker_id, 0, "done", 1))
+"""
+
+RUNNER_SRC = """\
+def fold(kind, payload):
+    if kind == "hb":
+        return "beat"
+    if kind in ("done", "batch"):
+        return payload
+    return None
+"""
+
+
+def _protocol(worker_src: str, runner_src: str):
+    contexts = {
+        rel: CheckContext(
+            path=rel, rel_path=rel, pragmas=collect_pragmas(src), findings=[]
+        )
+        for rel, src in (("worker.py", worker_src), ("runner.py", runner_src))
+    }
+    graph = build_graph(
+        [
+            ("worker.py", worker_src, ast.parse(worker_src)),
+            ("runner.py", runner_src, ast.parse(runner_src)),
+        ]
+    )
+    check_worker_protocol(
+        graph.modules["worker"],
+        graph.modules["runner"],
+        contexts["worker.py"],
+        contexts["runner.py"],
+    )
+    return contexts
+
+
+class TestRC009:
+    def test_emitted_but_undispatched_kind(self):
+        worker = WORKER_SRC.replace('"done"', '"finished"')
+        contexts = _protocol(worker, RUNNER_SRC)
+        subjects = [d.subject for d in contexts["worker.py"].findings]
+        assert "kind-unhandled:finished" in subjects
+
+    def test_dispatched_but_unemitted_kind(self):
+        contexts = _protocol(WORKER_SRC, RUNNER_SRC)
+        # RUNNER_SRC dispatches "batch" which WORKER_SRC never emits.
+        runner = [d for d in contexts["runner.py"].findings]
+        assert [d.code for d in runner] == ["RC009"]
+        assert runner[0].subject == "kind-unemitted:batch"
+
+    def test_wrong_arity_message_tuple(self):
+        worker = WORKER_SRC.replace(
+            '(worker_id, 0, "hb", None)', '(worker_id, "hb", None)'
+        )
+        contexts = _protocol(worker, RUNNER_SRC)
+        subjects = [d.subject for d in contexts["worker.py"].findings]
+        assert "put-arity:3" in subjects
+
+    def test_non_literal_kind_is_outside_the_contract(self):
+        worker = WORKER_SRC + (
+            "\ndef sabotage(queue, worker_id, garbage_kind):\n"
+            "    _put(queue, 0, (worker_id, 0, garbage_kind, None))\n"
+        )
+        runner = RUNNER_SRC.replace('("done", "batch")', '("done",)')
+        contexts = _protocol(worker, runner)
+        assert contexts["worker.py"].findings == []
+        assert contexts["runner.py"].findings == []
+
+    def test_matching_protocol_is_clean(self):
+        runner = RUNNER_SRC.replace('("done", "batch")', '("done",)')
+        contexts = _protocol(WORKER_SRC, runner)
+        assert all(not ctx.findings for ctx in contexts.values())
+
+
+def _readme_ctx(readme_path: str) -> CheckContext:
+    return CheckContext(
+        path=readme_path, rel_path="README.md", pragmas={}, findings=[]
+    )
+
+
+def _exit_code_table(codes: dict[int, object]) -> str:
+    rows = "\n".join(f"| **{code}** | meaning |" for code in sorted(codes))
+    return f"### Exit codes\n\n| code | meaning |\n|---|---|\n{rows}\n"
+
+
+class TestRC010:
+    def test_exit_literal_in_source(self):
+        diags = lint_tree("import sys\nsys.exit(3)\n", path="f.py", rel_path="f.py")
+        assert [d.code for d in diags] == ["RC010"]
+        assert diags[0].subject == "exit-literal:3"
+
+    def test_os_exit_literal_fires_too(self):
+        assert _codes("import os\nos._exit(87)\n") == ["RC010"]
+
+    def test_named_constant_passes(self):
+        source = (
+            "import sys\n"
+            "from repro.exitcodes import EXIT_DEGRADED\n"
+            "sys.exit(EXIT_DEGRADED)\n"
+        )
+        assert _codes(source) == []
+
+    def test_registry_module_is_exempt(self):
+        diags = lint_tree(
+            "import sys\nsys.exit(3)\n",
+            path="exitcodes.py",
+            rel_path="repro/exitcodes.py",
+        )
+        assert diags == []
+
+    def test_readme_matching_registry_is_clean(self, tmp_path):
+        from repro.exitcodes import public_codes
+
+        readme = tmp_path / "README.md"
+        readme.write_text(_exit_code_table(public_codes()))
+        ctx = _readme_ctx(str(readme))
+        check_exit_code_docs(str(readme), ctx)
+        assert ctx.findings == []
+
+    def test_readme_missing_a_public_code(self, tmp_path):
+        from repro.exitcodes import public_codes
+
+        codes = dict(public_codes())
+        dropped = max(codes)
+        del codes[dropped]
+        readme = tmp_path / "README.md"
+        readme.write_text(_exit_code_table(codes))
+        ctx = _readme_ctx(str(readme))
+        check_exit_code_docs(str(readme), ctx)
+        assert [d.subject for d in ctx.findings] == [f"readme:missing:{dropped}"]
+
+    def test_readme_documenting_a_phantom_code(self, tmp_path):
+        from repro.exitcodes import public_codes
+
+        codes = dict(public_codes())
+        codes[99] = None
+        readme = tmp_path / "README.md"
+        readme.write_text(_exit_code_table(codes))
+        ctx = _readme_ctx(str(readme))
+        check_exit_code_docs(str(readme), ctx)
+        assert [d.subject for d in ctx.findings] == ["readme:stale:99"]
+
+    def test_readme_without_table_is_a_finding(self, tmp_path):
+        readme = tmp_path / "README.md"
+        readme.write_text("# nothing here\n")
+        ctx = _readme_ctx(str(readme))
+        check_exit_code_docs(str(readme), ctx)
+        assert [d.subject for d in ctx.findings] == ["readme:no-table"]
+
+
+METRICS_SRC = """\
+class Metrics:
+    def snapshot(self):
+        data = {
+            "engine": "gen-3",
+            "cache": {"hits": 1, "misses": 2},
+        }
+        data["health"] = self.health()
+        return data
+"""
+
+
+def _schema_check(source: str, schema: object, tmp_path):
+    rel = "repro/metrics.py"
+    schema_file = tmp_path / "metrics_keys.json"
+    if schema is not None:
+        schema_file.write_text(json.dumps(schema))
+    graph = build_graph([(rel, source, ast.parse(source))])
+    ctx = CheckContext(
+        path=rel, rel_path=rel, pragmas=collect_pragmas(source), findings=[]
+    )
+    check_metric_schema(
+        {rel: graph.modules["repro.metrics"]},
+        {rel: ctx},
+        schema_path=str(schema_file),
+    )
+    return ctx.findings
+
+
+def _schema(paths: list[str]) -> dict:
+    return {
+        "version": 1,
+        "surfaces": {"repro/metrics.py:Metrics.snapshot": sorted(paths)},
+    }
+
+
+class TestRC011:
+    PINNED = ["cache.hits", "cache.misses", "engine", "health"]
+
+    def test_matching_schema_is_clean(self, tmp_path):
+        assert _schema_check(METRICS_SRC, _schema(self.PINNED), tmp_path) == []
+
+    def test_unpinned_new_key(self, tmp_path):
+        source = METRICS_SRC.replace('"engine": "gen-3",', '"engine": 1, "extra": 2,')
+        findings = _schema_check(source, _schema(self.PINNED), tmp_path)
+        assert [d.subject for d in findings] == ["Metrics.snapshot:unpinned:extra"]
+
+    def test_dropped_pinned_key(self, tmp_path):
+        source = METRICS_SRC.replace('"engine": "gen-3",\n        ', "")
+        findings = _schema_check(source, _schema(self.PINNED), tmp_path)
+        assert [d.subject for d in findings] == ["Metrics.snapshot:dropped:engine"]
+
+    def test_surface_method_gone(self, tmp_path):
+        source = METRICS_SRC.replace("def snapshot", "def dump")
+        findings = _schema_check(source, _schema(self.PINNED), tmp_path)
+        assert [d.subject for d in findings] == ["Metrics.snapshot:gone"]
+
+    def test_opaque_surface_is_a_finding(self, tmp_path):
+        source = (
+            "class Metrics:\n"
+            "    def snapshot(self):\n"
+            "        return dict(self.__dict__)\n"
+        )
+        findings = _schema_check(source, _schema(self.PINNED), tmp_path)
+        assert [d.subject for d in findings] == ["Metrics.snapshot:opaque"]
+
+    def test_missing_schema_file_is_a_finding(self, tmp_path):
+        findings = _schema_check(METRICS_SRC, None, tmp_path)
+        assert [d.subject for d in findings] == ["schema-missing"]
+
+    def test_extract_key_paths_handles_subscript_extension(self):
+        func = ast.parse(METRICS_SRC).body[0].body[0]
+        assert extract_key_paths(func) == {
+            "cache.hits",
+            "cache.misses",
+            "engine",
+            "health",
+        }
+
+
+RC012_SRC = """\
+from dataclasses import dataclass
+
+@dataclass
+class Health:
+    records_ok: int = 0
+    cache_hits: int = 0
+
+    _TRANSIENT_STATE = ("cache_hits",)
+
+    def export_state(self):
+        return {"records_ok": self.records_ok + self.cache_hits}
+
+    def restore_state(self, state):
+        self.records_ok = state["records_ok"]
+"""
+
+
+class TestRC012:
+    def test_transient_read_in_export_state(self):
+        diags = lint_tree(RC012_SRC, path="f.py", rel_path="f.py")
+        rc012 = [d for d in diags if d.code == "RC012"]
+        assert len(rc012) == 1
+        assert rc012[0].subject == "Health:export_state:cache_hits"
+
+    def test_transient_read_in_merge_state(self):
+        source = RC012_SRC.replace(
+            'return {"records_ok": self.records_ok + self.cache_hits}',
+            'return {"records_ok": self.records_ok}',
+        ) + (
+            "\n"
+            "    def merge_state(self, state):\n"
+            '        self.records_ok += state["records_ok"] + self.cache_hits\n'
+        )
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        rc012 = [d for d in diags if d.code == "RC012"]
+        assert len(rc012) == 1
+        assert rc012[0].subject == "Health:merge_state:cache_hits"
+
+    def test_durable_fields_in_wire_form_are_fine(self):
+        source = RC012_SRC.replace(" + self.cache_hits", "")
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        assert [d.code for d in diags if d.code == "RC012"] == []
+
+    def test_pragma_suppresses(self):
+        source = RC012_SRC.replace(
+            '        return {"records_ok": self.records_ok + self.cache_hits}',
+            "        # staticcheck: ok[RC012] test fixture\n"
+            '        return {"records_ok": self.records_ok + self.cache_hits}',
+        )
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        assert [d.code for d in diags if d.code == "RC012"] == []
+
+
+# -- the acceptance gate ----------------------------------------------------
+
+
 def test_repro_package_is_clean():
-    """The acceptance gate: ``repro lint --self`` has zero findings."""
+    """The acceptance gate: ``repro lint --self`` has zero findings.
+
+    Runs the full package driver — per-file checks *plus* the
+    call-graph (RC005-RC008) and cross-artifact (RC009-RC011) layers —
+    exactly as the CI selflint job does.
+    """
+    package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    source_root = os.path.dirname(package_root)
+    findings = lint_package(package_root, source_root=source_root)
+    assert findings == [], "\n".join(str(diag) for diag in findings)
+
+
+def test_per_file_entry_point_matches_package_driver():
+    """``lint_source_file`` (the per-file API) stays clean too."""
     package_root = os.path.dirname(os.path.abspath(repro.__file__))
     source_root = os.path.dirname(package_root)
     findings = []
