@@ -48,7 +48,15 @@ if TYPE_CHECKING:
 
 from repro.analysis.report import render_table
 from repro.core import AdClassificationPipeline
+from repro.exitcodes import EXIT_SNAPSHOT_INVALID
 from repro.filterlist import build_lists
+from repro.filterlist.snapshot import (
+    MATCHERS,
+    SnapshotError,
+    SnapshotFingerprintMismatch,
+    load_snapshot,
+    write_snapshot,
+)
 from repro.filterlist.stats import compare_lists
 from repro.http.log import read_log, write_log
 from repro.parallel.supervision import RunInterrupted, WorkerFailure
@@ -163,6 +171,69 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chaos", metavar="SPEC", help=argparse.SUPPRESS)
 
 
+def _add_matcher_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--matcher", choices=MATCHERS, default="buckets",
+                        help="matcher backend (DESIGN.md §15): keyword/host "
+                             "buckets, Aho–Corasick token prefilter, or "
+                             "combined-alternation prefilter; all three are "
+                             "decision-identical (default buckets)")
+    parser.add_argument("--engine-snapshot", metavar="FILE",
+                        help="restore the engine from a `repro compile-lists` "
+                             "snapshot instead of re-parsing lists; on durable "
+                             "runs its fingerprint is pinned against the lists "
+                             "the manifest records (mismatch exits 4)")
+    parser.add_argument("--snapshot-policy", choices=("refuse", "rebuild"),
+                        default="refuse",
+                        help="on a corrupt/truncated/version-incompatible "
+                             "snapshot: refuse (exit 6) or rebuild from lists "
+                             "(default refuse; a fingerprint mismatch always "
+                             "refuses — never silent divergence)")
+
+
+def _resolve_pipeline(
+    args: argparse.Namespace, get_lists, *, expected_fingerprint: str | None = None
+) -> AdClassificationPipeline:
+    """Build the classification pipeline: snapshot fast path or lists.
+
+    ``get_lists`` is a zero-argument callable (memoized by callers) so
+    the snapshot path can skip list synthesis entirely; it is only
+    invoked on the rebuild fallback or when no snapshot was given.
+    Durable runs pass ``expected_fingerprint`` (computed from the lists
+    the manifest pins) so a snapshot compiled from *different* list
+    content is refused — an identity violation (exit 4), never rebuilt
+    over silently.
+    """
+    from repro.core.pipeline import PipelineConfig
+
+    config = PipelineConfig(
+        use_decision_cache=not args.no_decision_cache,
+        matcher=getattr(args, "matcher", "buckets"),
+    )
+    snapshot_path = getattr(args, "engine_snapshot", None)
+    if snapshot_path:
+        try:
+            loaded = load_snapshot(
+                snapshot_path,
+                matcher=config.matcher,
+                expected_fingerprint=expected_fingerprint,
+            )
+        except FileNotFoundError:
+            if args.snapshot_policy == "refuse":
+                raise  # main() maps this to EXIT_MISSING_INPUT
+            print(f"warning: snapshot {snapshot_path} missing; "
+                  f"rebuilding engine from lists", file=sys.stderr)
+        except SnapshotFingerprintMismatch:
+            raise  # identity violation, not damage: always refuse (exit 4)
+        except SnapshotError:
+            if args.snapshot_policy == "refuse":
+                raise  # main() maps this to EXIT_SNAPSHOT_INVALID
+            print(f"warning: snapshot {snapshot_path} failed validation; "
+                  f"rebuilding engine from lists", file=sys.stderr)
+        else:
+            return AdClassificationPipeline.from_engine(loaded.engine, config)
+    return AdClassificationPipeline(get_lists(), config)
+
+
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-decision-cache", action="store_true",
                         help="disable the memoized decision layer (DESIGN.md §11); "
@@ -212,15 +283,31 @@ def _pipeline_factory(args: argparse.Namespace):
         args.publishers,
         args.eco_seed,
         not args.no_decision_cache,
+        getattr(args, "matcher", "buckets"),
+        getattr(args, "engine_snapshot", None),
+        getattr(args, "snapshot_policy", "refuse"),
     )
 
 
-def _build_pipeline(args: argparse.Namespace, lists) -> AdClassificationPipeline:
-    """Serial-path pipeline honoring the decision-cache escape hatch."""
-    from repro.core.pipeline import PipelineConfig
+def _lists_factory(args: argparse.Namespace):
+    """Zero-argument memoized list builder (snapshot paths never pay it)."""
+    memo: dict = {}
 
-    config = PipelineConfig(use_decision_cache=not args.no_decision_cache)
-    return AdClassificationPipeline(lists, config)
+    def get_lists():
+        if "lists" not in memo:
+            memo["lists"] = build_lists(_ecosystem_from(args).list_spec())
+        return memo["lists"]
+
+    return get_lists
+
+
+def _expected_engine_fingerprint(lists) -> str:
+    """The fingerprint an engine built from ``lists`` would carry."""
+    from repro.filterlist.engine import fingerprint_of_filters
+
+    return fingerprint_of_filters(
+        (name, filter_list.filters) for name, filter_list in lists.items()
+    )
 
 
 def _note_cache(health: PipelineHealth, pipeline: AdClassificationPipeline) -> None:
@@ -406,6 +493,11 @@ def _classify_params(args: argparse.Namespace) -> dict:
         # Pinned for hygiene even though cached and uncached runs are
         # byte-identical: a resumed run should be the run you started.
         "decision_cache": not args.no_decision_cache,
+        # Matcher backends are decision-identical (the differential
+        # harness proves it), but pinned anyway: a resumed run should
+        # be the run you started, snapshot fast path included.
+        "matcher": args.matcher,
+        "engine_snapshot": bool(args.engine_snapshot),
     }
 
 
@@ -504,11 +596,12 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     _check_parallel_args(args)
     if args.workers is not None:
         return _classify_parallel(args)
-    ecosystem = _ecosystem_from(args)
-    lists = build_lists(ecosystem.list_spec())
-    pipeline = _build_pipeline(args, lists)
+    get_lists = _lists_factory(args)
 
     if args.checkpoint_dir:
+        lists = get_lists()
+        expected = _expected_engine_fingerprint(lists) if args.engine_snapshot else None
+        pipeline = _resolve_pipeline(args, get_lists, expected_fingerprint=expected)
         sink = ClassifySink(
             part_path=os.path.join(args.checkpoint_dir, "output.part") if args.out else None,
             final_path=os.path.abspath(args.out) if args.out else None,
@@ -530,6 +623,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         _note_cache(result.health, pipeline)
         return _finish(result.health, always_summarize=True, fmt=args.health_format)
 
+    pipeline = _resolve_pipeline(args, get_lists)
     health = PipelineHealth()
     records = _load_http_records(args, health)
     entries = pipeline.process(
@@ -564,10 +658,12 @@ def _cmd_usage(args: argparse.Namespace) -> int:
 
     _check_checkpoint_args(args)
     ecosystem = _ecosystem_from(args)
-    lists = build_lists(ecosystem.list_spec())
-    pipeline = _build_pipeline(args, lists)
+    get_lists = _lists_factory(args)
 
     if args.checkpoint_dir:
+        lists = get_lists()
+        expected = _expected_engine_fingerprint(lists) if args.engine_snapshot else None
+        pipeline = _resolve_pipeline(args, get_lists, expected_fingerprint=expected)
         sink = UserStatsSink()
         result = _durable_run(
             args,
@@ -586,6 +682,7 @@ def _cmd_usage(args: argparse.Namespace) -> int:
         stats = sink.stats
         total_requests, total_ads = sink.total, sink.total_ads
     else:
+        pipeline = _resolve_pipeline(args, get_lists)
         health = PipelineHealth()
         records = _load_http_records(args, health)
         entries = pipeline.process(records, health=health)
@@ -686,11 +783,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         assert accumulator is not None
         return _report_tables(accumulator, health, fmt=args.health_format)
 
-    ecosystem = _ecosystem_from(args)
-    lists = build_lists(ecosystem.list_spec())
-    pipeline = _build_pipeline(args, lists)
+    get_lists = _lists_factory(args)
 
     if args.checkpoint_dir:
+        lists = get_lists()
+        expected = _expected_engine_fingerprint(lists) if args.engine_snapshot else None
+        pipeline = _resolve_pipeline(args, get_lists, expected_fingerprint=expected)
         sink = TrafficSink()
         result = _durable_run(
             args,
@@ -708,6 +806,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         health = result.health
         accumulator = sink.accumulator
     else:
+        pipeline = _resolve_pipeline(args, get_lists)
         health = PipelineHealth()
         records = _load_http_records(args, health)
         accumulator = TrafficAccumulator()
@@ -742,6 +841,41 @@ def _report_tables(
     return _finish(health, fmt=fmt)
 
 
+def _cmd_compile_lists(args: argparse.Namespace) -> int:
+    """`repro compile-lists`: freeze lists into an engine snapshot."""
+    import json
+    import time
+
+    from repro.filterlist.engine import FilterEngine
+    from repro.robustness.runstate import fingerprint_lists
+    from repro.serve import EngineSource
+
+    source = EngineSource(
+        list_paths=args.lists,
+        publishers=args.publishers,
+        eco_seed=args.eco_seed,
+        lint=args.lint,
+    )
+    started = time.perf_counter()
+    lists = source.load_lists()
+    engine = FilterEngine()
+    for name, filter_list in lists.items():
+        engine.add_filters(filter_list.filters, list_name=name)
+    build_s = time.perf_counter() - started
+    info = write_snapshot(
+        args.out,
+        engine,
+        lists_fingerprint=fingerprint_lists(lists),
+        source=json.dumps(source.describe(), sort_keys=True),
+    )
+    size = os.path.getsize(args.out)
+    print(f"compiled {info.filter_count} filters from "
+          f"{', '.join(info.list_names)} in {build_s:.2f}s")
+    print(f"wrote snapshot to {args.out} ({size / 1024:.0f} KiB, "
+          f"engine fingerprint {info.fingerprint[:12]}…)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -754,11 +888,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         publishers=args.publishers,
         eco_seed=args.eco_seed,
         lint=args.lint,
+        snapshot_path=args.engine_snapshot,
+        matcher=args.matcher,
     )
     try:
         engine = source.build()
     except FileNotFoundError:
         raise  # main() maps this to EXIT_MISSING_INPUT
+    except SnapshotError:
+        raise  # main() maps this to exit 4 (identity) or 6 (damage)
     except (OSError, ValueError) as exc:
         print(f"error: could not build engine: {exc}", file=sys.stderr)
         return EXIT_STRICT_ABORT
@@ -881,6 +1019,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_flags(p_classify)
     _add_parallel_flags(p_classify)
     _add_cache_flags(p_classify)
+    _add_matcher_flags(p_classify)
     p_classify.add_argument("--trace", required=True)
     p_classify.add_argument("--out", help="write per-request classification TSV")
     p_classify.add_argument("--max-users", type=int,
@@ -894,6 +1033,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_robustness_flags(p_usage)
     _add_checkpoint_flags(p_usage)
     _add_cache_flags(p_usage)
+    _add_matcher_flags(p_usage)
     p_usage.add_argument("--trace", required=True)
     p_usage.add_argument("--tls", required=True)
     p_usage.add_argument("--threshold", type=float, default=0.05)
@@ -946,8 +1086,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_flags(p_report)
     _add_parallel_flags(p_report)
     _add_cache_flags(p_report)
+    _add_matcher_flags(p_report)
     p_report.add_argument("--trace", required=True)
     p_report.set_defaults(func=_cmd_report)
+
+    p_compile = sub.add_parser(
+        "compile-lists",
+        help="compile filter lists into a precompiled engine snapshot "
+             "(DESIGN.md §15)",
+    )
+    _add_ecosystem_flags(p_compile)
+    p_compile.add_argument("--lists", nargs="+", metavar="FILE",
+                           help="filter-list files to compile; omit to compile "
+                                "the synthetic ecosystem's lists")
+    p_compile.add_argument("--lint", choices=("off", "refuse", "quarantine"),
+                           default="refuse",
+                           help="filter-list lint gate applied before compiling "
+                                "(default refuse; DESIGN.md §9.4)")
+    p_compile.add_argument("--out", required=True,
+                           help="snapshot path (restored via --engine-snapshot)")
+    p_compile.set_defaults(func=_cmd_compile_lists)
 
     p_serve = sub.add_parser(
         "serve", help="long-lived classification daemon (DESIGN.md §13)"
@@ -961,6 +1119,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default="refuse",
                          help="filter-list lint gate applied on load and on every "
                               "reload (default refuse; DESIGN.md §9.4)")
+    p_serve.add_argument("--matcher", choices=MATCHERS, default="buckets",
+                         help="matcher backend (DESIGN.md §15); all three are "
+                              "decision-identical (default buckets)")
+    p_serve.add_argument("--engine-snapshot", metavar="FILE",
+                         help="serve a `repro compile-lists` snapshot; SIGHUP / "
+                              "POST /-/reload re-reads the file, so swapping the "
+                              "artifact is a zero-parse hot reload; a snapshot "
+                              "that fails validation at startup exits 6, on "
+                              "reload keeps the last good engine serving")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8400,
                          help="listen port (default 8400; 0 picks a free port)")
@@ -997,6 +1164,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ManifestMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_MANIFEST_MISMATCH
+    except SnapshotFingerprintMismatch as exc:
+        # The snapshot is valid but compiled from different list content
+        # — an identity violation, same contract as a manifest mismatch.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_MANIFEST_MISMATCH
+    except SnapshotError as exc:
+        print(f"error: {exc}; recompile with `repro compile-lists` or rerun "
+              f"with --snapshot-policy rebuild", file=sys.stderr)
+        return EXIT_SNAPSHOT_INVALID
     except FileNotFoundError as exc:
         print(f"error: input file not found: {exc.filename}", file=sys.stderr)
         return EXIT_MISSING_INPUT

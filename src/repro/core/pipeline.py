@@ -27,7 +27,9 @@ from typing import Iterable, Iterator
 from repro.core.content_type import infer_content_type, type_from_mime
 from repro.core.normalize import ProtectedValues, collect_protected_values, normalize_url
 from repro.core.referrer_map import ReferrerMap
-from repro.filterlist.cache import DEFAULT_CACHE_SIZE, CacheStats, CachingEngine
+from repro.filterlist.actrie import ACTrieEngine
+from repro.filterlist.cache import DEFAULT_CACHE_SIZE, CacheStats, CachingEngine, DecisionEngine
+from repro.filterlist.combined import CombinedRegexEngine
 from repro.filterlist.engine import Classification, FilterEngine, RequestContext
 from repro.filterlist.lists import FilterList
 from repro.filterlist.options import ContentType
@@ -57,6 +59,11 @@ class PipelineConfig:
     redirect_type_fixup: bool = True
     extension_first: bool = True
     use_keyword_index: bool = True
+    # Matcher backend (DESIGN.md §15): "buckets" (keyword/host index),
+    # "actrie" (Aho–Corasick token prefilter) or "combined" (chunked
+    # alternation).  Decision-identical by the differential harness;
+    # the knob trades build time against uncached decision throughput.
+    matcher: str = "buckets"
     # Memoized decision layer (DESIGN.md §11).  Pure memoization: results
     # are byte-identical either way; the switch exists for benchmarking
     # and as an escape hatch (`repro classify --no-decision-cache`).
@@ -461,6 +468,17 @@ class StreamingClassifier:
         self._max_ts = max(self._max_ts, reorder["max_ts"])
 
 
+def _matcher_engine(config: PipelineConfig) -> DecisionEngine:
+    """Construct the configured matcher backend, empty."""
+    if config.matcher == "buckets":
+        return FilterEngine(use_keyword_index=config.use_keyword_index)
+    if config.matcher == "actrie":
+        return ACTrieEngine(use_keyword_index=config.use_keyword_index)
+    if config.matcher == "combined":
+        return CombinedRegexEngine()
+    raise ValueError(f"unknown matcher {config.matcher!r}")
+
+
 class AdClassificationPipeline:
     """End-to-end Fig 1 pipeline over header-trace records.
 
@@ -473,8 +491,7 @@ class AdClassificationPipeline:
     def __init__(self, lists: dict[str, FilterList], config: PipelineConfig | None = None):
         self.config = config or PipelineConfig()
         self.lists = lists
-        engine: FilterEngine | CachingEngine
-        engine = FilterEngine(use_keyword_index=self.config.use_keyword_index)
+        engine: DecisionEngine = _matcher_engine(self.config)
         all_filters = []
         for name, filter_list in lists.items():
             engine.add_filters(filter_list.filters, list_name=name)
@@ -484,8 +501,32 @@ class AdClassificationPipeline:
         self._engine = engine
         self._protected: ProtectedValues = collect_protected_values(all_filters)
 
+    @classmethod
+    def from_engine(
+        cls, engine: DecisionEngine, config: PipelineConfig | None = None
+    ) -> "AdClassificationPipeline":
+        """Build a pipeline around an already-built engine.
+
+        The snapshot fast path: ``repro compile-lists`` freezes the
+        engine once, and every later process restores it in
+        milliseconds instead of re-parsing lists (DESIGN.md §15).  The
+        protected-value set for URL normalization is recomputed from
+        the restored filters, so classification matches a list-built
+        pipeline exactly.
+        """
+        pipeline = cls.__new__(cls)
+        pipeline.config = config or PipelineConfig()
+        pipeline.lists = {}
+        all_filters = engine.iter_filters()
+        wrapped: DecisionEngine = engine
+        if pipeline.config.use_decision_cache:
+            wrapped = CachingEngine(engine, maxsize=pipeline.config.decision_cache_size)
+        pipeline._engine = wrapped
+        pipeline._protected = collect_protected_values(all_filters)
+        return pipeline
+
     @property
-    def engine(self) -> FilterEngine | CachingEngine:
+    def engine(self) -> DecisionEngine | CachingEngine:
         return self._engine
 
     @property

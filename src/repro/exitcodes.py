@@ -37,6 +37,7 @@ __all__ = [
     "EXIT_DEGRADED",
     "EXIT_MANIFEST_MISMATCH",
     "EXIT_WORKER_FAILURE",
+    "EXIT_SNAPSHOT_INVALID",
     "EXIT_INTERRUPTED",
     "EXIT_CHAOS_CRASH",
     "EXIT_WORKER_TERMINATED",
@@ -62,6 +63,7 @@ EXIT_MISSING_INPUT = 2
 EXIT_DEGRADED = 3
 EXIT_MANIFEST_MISMATCH = 4
 EXIT_WORKER_FAILURE = 5
+EXIT_SNAPSHOT_INVALID = 6
 EXIT_INTERRUPTED = 130
 
 # -- process-internal codes (never the repro CLI's own exit status) ---------
@@ -111,6 +113,12 @@ REGISTRY: Mapping[str, ExitCode] = {
             EXIT_WORKER_FAILURE,
             True,
             "a shard worker failed terminally and the run aborted",
+        ),
+        ExitCode(
+            "EXIT_SNAPSHOT_INVALID",
+            EXIT_SNAPSHOT_INVALID,
+            True,
+            "engine snapshot corrupt/version-incompatible under --snapshot-policy=refuse",
         ),
         ExitCode(
             "EXIT_INTERRUPTED",

@@ -17,10 +17,12 @@ from repro.filterlist.easylist import (
     synthesize_easyprivacy,
     synthesize_language_derivative,
 )
+from repro.filterlist.actrie import ACTrieEngine, AhoCorasick
 from repro.filterlist.cache import (
     CacheStats,
     CachingEngine,
     DecisionCache,
+    DecisionEngine,
     EngineFingerprintMismatch,
 )
 from repro.filterlist.engine import (
@@ -45,12 +47,37 @@ from repro.filterlist.combined import CombinedRegexEngine
 from repro.filterlist.evolution import ChurnRates, evolve, staleness_series
 from repro.filterlist.stats import ListStats, compare_lists, list_stats
 from repro.filterlist.parser import ParsedList, parse_expires, parse_list_text
+from repro.filterlist.snapshot import (
+    MATCHERS,
+    LoadedSnapshot,
+    SnapshotCorrupt,
+    SnapshotError,
+    SnapshotFingerprintMismatch,
+    SnapshotInfo,
+    SnapshotVersionError,
+    inspect_snapshot,
+    load_snapshot,
+    write_snapshot,
+)
 
 __all__ = [
+    "ACTrieEngine",
+    "AhoCorasick",
     "CacheStats",
     "CachingEngine",
     "DecisionCache",
+    "DecisionEngine",
     "EngineFingerprintMismatch",
+    "MATCHERS",
+    "LoadedSnapshot",
+    "SnapshotCorrupt",
+    "SnapshotError",
+    "SnapshotFingerprintMismatch",
+    "SnapshotInfo",
+    "SnapshotVersionError",
+    "inspect_snapshot",
+    "load_snapshot",
+    "write_snapshot",
     "CombinedRegexEngine",
     "ChurnRates",
     "evolve",

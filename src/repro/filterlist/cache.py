@@ -32,17 +32,49 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, Iterable, Protocol
 
 from repro.filterlist.engine import Classification, FilterEngine, MatchResult, RequestContext
+from repro.filterlist.filter import Filter
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "CacheStats",
     "DecisionCache",
+    "DecisionEngine",
     "CachingEngine",
     "EngineFingerprintMismatch",
 ]
+
+
+class DecisionEngine(Protocol):
+    """The matcher surface :class:`CachingEngine` (and the pipeline)
+    requires — satisfied by :class:`FilterEngine`, the actrie engine,
+    and :class:`~repro.filterlist.combined.CombinedRegexEngine`."""
+
+    @property
+    def fingerprint(self) -> str: ...
+
+    @property
+    def document_matching_needs_page_url(self) -> bool: ...
+
+    @property
+    def list_names(self) -> list[str]: ...
+
+    @property
+    def filter_count(self) -> int: ...
+
+    def add_filters(self, filters: Iterable[Filter], list_name: str | None = None) -> None: ...
+
+    def iter_filters(self) -> list[Filter]: ...
+
+    def classify(
+        self, url: str, context: RequestContext, *, request_host: str | None = None
+    ) -> Classification: ...
+
+    def match(
+        self, url: str, context: RequestContext, *, request_host: str | None = None
+    ) -> MatchResult: ...
 
 DEFAULT_CACHE_SIZE = 65536
 
@@ -149,12 +181,12 @@ class CachingEngine:
     golden gate enforce it end to end.
     """
 
-    def __init__(self, engine: FilterEngine, *, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(self, engine: DecisionEngine, *, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
         self._engine = engine
         self._cache = DecisionCache(engine.fingerprint, maxsize=maxsize)
 
     @property
-    def engine(self) -> FilterEngine:
+    def engine(self) -> DecisionEngine:
         """The wrapped engine (escape hatch for uncached access)."""
         return self._engine
 
@@ -184,14 +216,25 @@ class CachingEngine:
     def document_matching_needs_page_url(self) -> bool:
         return self._engine.document_matching_needs_page_url
 
-    def add_filters(self, filters, list_name: str | None = None) -> None:
+    def iter_filters(self) -> list[Filter]:
+        return self._engine.iter_filters()
+
+    def add_filters(self, filters: Iterable[Filter], list_name: str | None = None) -> None:
         """Load more filters and drop every memoized decision.
 
         The wrapped engine's fingerprint rotates with the new filter
-        text; re-keying the cache to it keeps the guard honest.
+        text; re-keying the cache to it keeps the guard honest.  The
+        invalidation runs even when the engine's ``add_filters`` raises
+        partway: the engine may already have mutated matching state
+        (the stale-fingerprint window), and a warm cache keyed on the
+        pre-mutation fingerprint would silently replay decisions from
+        the old filter set — e.g. after a snapshot load followed by a
+        failed incremental list add.
         """
-        self._engine.add_filters(filters, list_name)
-        self._cache.invalidate(self._engine.fingerprint)
+        try:
+            self._engine.add_filters(filters, list_name)
+        finally:
+            self._cache.invalidate(self._engine.fingerprint)
 
     # -- memoized classification --------------------------------------
 

@@ -27,6 +27,7 @@ falls back to full per-filter confirmation whenever such filters exist
 from __future__ import annotations
 
 import re
+from typing import Iterable
 
 from repro.filterlist.engine import Classification, FilterEngine, MatchResult, RequestContext
 from repro.filterlist.filter import Filter
@@ -99,7 +100,11 @@ class CombinedRegexEngine:
     """
 
     def __init__(self, *, redos_guard: bool = True) -> None:
-        self._inner = FilterEngine(use_keyword_index=False)
+        # The confirmation engine uses the keyword index so every
+        # matcher backend reports the *same* filter on multi-match URLs
+        # (the differential harness asserts identity, not just equal
+        # decisions); the combined pass only pre-rejects misses.
+        self._inner = FilterEngine(use_keyword_index=True)
         self._redos_guard = redos_guard
         self._blocking_sources: list[str] = []
         self._exception_sources: list[str] = []
@@ -110,10 +115,26 @@ class CombinedRegexEngine:
         self._hazardous_blocking: list[Filter] = []
         self._hazardous_exceptions: list[Filter] = []
 
-    def add_filters(self, filters, list_name: str | None = None) -> None:
+    @classmethod
+    def from_inner(cls, inner: FilterEngine, *, redos_guard: bool = True) -> "CombinedRegexEngine":
+        """Wrap an already-built engine (e.g. restored from a snapshot).
+
+        The alternation sources are rebuilt from the inner engine's
+        filter tables; source *order* only shapes the negative
+        pre-filter, never a decision, so index-iteration order is fine.
+        """
+        engine = cls(redos_guard=redos_guard)
+        engine._inner = inner
+        engine._register_sources(inner.iter_filters())
+        return engine
+
+    def add_filters(self, filters: Iterable[Filter], list_name: str | None = None) -> None:
         materialized = list(filters)
         self._inner.add_filters(materialized, list_name=list_name)
-        for filter_ in materialized:
+        self._register_sources(materialized)
+
+    def _register_sources(self, filters: Iterable[Filter]) -> None:
+        for filter_ in filters:
             source = _pattern_regex_source(filter_)
             hazardous = (
                 self._redos_guard and scan_pattern_source(filter_.regex.pattern) is not None
@@ -144,6 +165,9 @@ class CombinedRegexEngine:
     @property
     def filter_count(self) -> int:
         return self._inner.filter_count
+
+    def iter_filters(self) -> list[Filter]:
+        return self._inner.iter_filters()
 
     @property
     def list_names(self) -> list[str]:

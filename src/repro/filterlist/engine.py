@@ -24,13 +24,21 @@ import hashlib
 import re
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
-from repro.filterlist.filter import Filter, FilterKind, extract_keywords
-from repro.filterlist.options import ContentType
+from repro.filterlist.filter import Filter, FilterKind, compile_pattern, extract_keywords
+from repro.filterlist.options import ContentType, FilterOptions
 from repro.http.url import is_third_party, registrable_domain, split_url
 
-__all__ = ["MatchResult", "Decision", "FilterEngine", "RequestContext", "Classification"]
+__all__ = [
+    "MatchResult",
+    "Decision",
+    "FilterEngine",
+    "RequestContext",
+    "Classification",
+    "SNAPSHOT_STATE_VERSION",
+    "fingerprint_of_filters",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -150,6 +158,97 @@ def _document_is_host_only(filter_: Filter) -> bool:
     return _HOST_ONLY_DOC.match(filter_.pattern.lower()) is not None
 
 
+# Version of the engine's *state* wire form (the snapshot container in
+# repro.filterlist.snapshot has its own header version; this one guards
+# the pickled payload layout below it).
+SNAPSHOT_STATE_VERSION = 1
+
+
+def fingerprint_of_filters(groups: "Iterable[tuple[str, Iterable[Filter]]]") -> str:
+    """The fingerprint an engine would carry after adding these groups.
+
+    Replays the :meth:`FilterEngine.add_filters` hash chain (one batch
+    per ``(list_name, filters)`` group, in order) without building any
+    index — cheap enough to pin a snapshot's identity against freshly
+    parsed lists before trusting it (DESIGN.md §15).
+    """
+    fingerprint = hashlib.sha256(b"repro.filterlist.engine").hexdigest()
+    for list_name, filters in groups:
+        hasher = hashlib.sha256(fingerprint.encode("ascii"))
+        for filter_ in filters:
+            hasher.update(filter_.text.encode("utf-8", "replace"))
+            hasher.update(b"\x00")
+            hasher.update((filter_.list_name or list_name).encode("utf-8", "replace"))
+            hasher.update(b"\x00")
+        fingerprint = hasher.hexdigest()
+    return fingerprint
+
+
+def _filter_to_wire(filter_: Filter) -> tuple:
+    """Primitive, regex-free wire form of one compiled filter."""
+    opts = filter_.options
+    return (
+        filter_.text,
+        filter_.kind.value,
+        filter_.pattern,
+        filter_.list_name,
+        (
+            int(opts.type_mask),
+            sorted(opts.domains_include),
+            sorted(opts.domains_exclude),
+            opts.third_party,
+            opts.match_case,
+            opts.elemhide_exception,
+            opts.generic_hide,
+            opts.collapse,
+            tuple(opts.unknown_options),
+            tuple(opts.conflicts),
+        ),
+    )
+
+
+def _filter_from_wire(wire: tuple) -> Filter:
+    """Rebuild a filter from its wire form, recompiling the regex.
+
+    Reconstructs directly rather than via :meth:`Filter.parse` so the
+    restored object is independent of parse-mode defaults: the snapshot
+    records exactly the option set the original engine matched with.
+    """
+    text, kind_value, pattern, list_name, opt_wire = wire
+    (
+        type_mask,
+        domains_include,
+        domains_exclude,
+        third_party,
+        match_case,
+        elemhide_exception,
+        generic_hide,
+        collapse,
+        unknown_options,
+        conflicts,
+    ) = opt_wire
+    options = FilterOptions(
+        type_mask=ContentType(type_mask),
+        domains_include=frozenset(domains_include),
+        domains_exclude=frozenset(domains_exclude),
+        third_party=third_party,
+        match_case=match_case,
+        elemhide_exception=elemhide_exception,
+        generic_hide=generic_hide,
+        collapse=collapse,
+        unknown_options=tuple(unknown_options),
+        conflicts=tuple(conflicts),
+    )
+    return Filter(
+        text=text,
+        kind=FilterKind(kind_value),
+        pattern=pattern,
+        regex=compile_pattern(pattern, match_case=match_case),
+        options=options,
+        list_name=list_name,
+    )
+
+
 class _FilterIndex:
     """Keyword index over one kind of filters (blocking or exception).
 
@@ -213,6 +312,34 @@ class _FilterIndex:
     def __len__(self) -> int:
         return self._count
 
+    def to_snapshot(self, ref: "Callable[[Filter], int]") -> dict:
+        """Primitive wire form preserving the exact bucket layout.
+
+        Bucket membership *and* iteration order decide which filter a
+        multi-match reports, so the snapshot stores the index shape
+        explicitly (as lists of table references) instead of letting the
+        loader re-run keyword selection over a different history.
+        """
+        return {
+            "by_host": [(key, [ref(f) for f in bucket]) for key, bucket in self._by_host.items()],
+            "by_keyword": [
+                (kw, [ref(f) for f in bucket]) for kw, bucket in self._by_keyword.items()
+            ],
+            "keywordless": [ref(f) for f in self._keywordless],
+            "count": self._count,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict, filters: list[Filter]) -> "_FilterIndex":
+        index = cls()
+        for key, bucket in data["by_host"]:
+            index._by_host[key] = [filters[i] for i in bucket]
+        for kw, bucket in data["by_keyword"]:
+            index._by_keyword[kw] = [filters[i] for i in bucket]
+        index._keywordless = [filters[i] for i in data["keywordless"]]
+        index._count = data["count"]
+        return index
+
 
 class FilterEngine:
     """Multi-list filter matcher with ABP semantics.
@@ -238,15 +365,26 @@ class FilterEngine:
         self._page_sensitive_documents = False
 
     def add_filters(self, filters: Iterable[Filter], list_name: str | None = None) -> None:
-        """Register filters; ``list_name`` overrides their attribution."""
+        """Register filters; ``list_name`` overrides their attribution.
+
+        The fingerprint rotates *before* the indexes mutate: if indexing
+        a filter raises halfway through the batch, the engine is left
+        with changed matching state but must never be left with the old
+        fingerprint, or a warm :class:`~repro.filterlist.cache.DecisionCache`
+        keyed on it would keep replaying decisions computed against the
+        pre-mutation filter set (the stale-fingerprint window).
+        """
+        materialized = list(filters)
         hasher = hashlib.sha256(self._fingerprint.encode("ascii"))
-        for filter_ in filters:
+        for filter_ in materialized:
             if list_name is not None and not filter_.list_name:
                 filter_.list_name = list_name
             hasher.update(filter_.text.encode("utf-8", "replace"))
             hasher.update(b"\x00")
             hasher.update(filter_.list_name.encode("utf-8", "replace"))
             hasher.update(b"\x00")
+        self._fingerprint = hasher.hexdigest()
+        for filter_ in materialized:
             if filter_.is_exception:
                 self._exceptions.add(filter_, self._keyword_counts)
                 if filter_.options.is_document_exception:
@@ -257,7 +395,6 @@ class FilterEngine:
                 self._blocking.add(filter_, self._keyword_counts)
         if list_name is not None and list_name not in self._list_names:
             self._list_names.append(list_name)
-        self._fingerprint = hasher.hexdigest()
 
     @property
     def list_names(self) -> list[str]:
@@ -266,6 +403,14 @@ class FilterEngine:
     @property
     def filter_count(self) -> int:
         return len(self._blocking) + len(self._exceptions)
+
+    def iter_filters(self) -> list[Filter]:
+        """Every registered filter, in index-iteration order.
+
+        Document exceptions live in both the exception index and the
+        ``_document_exceptions`` fast path; they appear once here.
+        """
+        return self._blocking.all_filters() + self._exceptions.all_filters()
 
     @property
     def fingerprint(self) -> str:
@@ -395,6 +540,68 @@ class FilterEngine:
             whitelist_filter=whitelist_hit,
             blacklist_lists=tuple(hit_lists),
         )
+
+    def export_snapshot_state(self) -> dict:
+        """Picklable primitive form of the full matcher state.
+
+        The filter table is deduplicated by object identity so document
+        exceptions (which appear both in the exception index and the
+        ``_document_exceptions`` fast path) restore as one shared object,
+        preserving the original aliasing.
+        """
+        table: list[Filter] = []
+        ids: dict[int, int] = {}
+
+        def ref(filter_: Filter) -> int:
+            key = id(filter_)
+            if key not in ids:
+                ids[key] = len(table)
+                table.append(filter_)
+            return ids[key]
+
+        blocking = self._blocking.to_snapshot(ref)
+        exceptions = self._exceptions.to_snapshot(ref)
+        document_exceptions = [ref(f) for f in self._document_exceptions]
+        return {
+            "state_version": SNAPSHOT_STATE_VERSION,
+            "fingerprint": self._fingerprint,
+            "use_index": self._use_index,
+            "list_names": list(self._list_names),
+            "page_sensitive_documents": self._page_sensitive_documents,
+            "keyword_counts": sorted(self._keyword_counts.items()),
+            "filters": [_filter_to_wire(f) for f in table],
+            "blocking": blocking,
+            "exceptions": exceptions,
+            "document_exceptions": document_exceptions,
+        }
+
+    @classmethod
+    def restore_snapshot_state(cls, state: dict) -> "FilterEngine":
+        """Rebuild an engine from :meth:`export_snapshot_state` output.
+
+        A classmethod so subclasses (the actrie engine) restore as their
+        own type.  ``_keyword_counts`` is restored too: filters added
+        *after* a snapshot load must land in the same buckets they would
+        have landed in had the whole history run in one process, or the
+        restored engine and a from-scratch engine could report different
+        filters for multi-match URLs.
+        """
+        version = state.get("state_version")
+        if version != SNAPSHOT_STATE_VERSION:
+            raise ValueError(
+                f"unsupported engine snapshot state version {version!r} "
+                f"(expected {SNAPSHOT_STATE_VERSION})"
+            )
+        engine = cls(use_keyword_index=state["use_index"])
+        filters = [_filter_from_wire(wire) for wire in state["filters"]]
+        engine._blocking = _FilterIndex.from_snapshot(state["blocking"], filters)
+        engine._exceptions = _FilterIndex.from_snapshot(state["exceptions"], filters)
+        engine._document_exceptions = [filters[i] for i in state["document_exceptions"]]
+        engine._keyword_counts = dict(state["keyword_counts"])
+        engine._list_names = list(state["list_names"])
+        engine._fingerprint = state["fingerprint"]
+        engine._page_sensitive_documents = state["page_sensitive_documents"]
+        return engine
 
 
 @dataclass(frozen=True, slots=True)

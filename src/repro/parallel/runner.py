@@ -74,7 +74,12 @@ _STRAGGLER_GRACE_S = 10.0
 
 
 def build_ecosystem_pipeline(
-    publishers: int, eco_seed: int, use_decision_cache: bool = True
+    publishers: int,
+    eco_seed: int,
+    use_decision_cache: bool = True,
+    matcher: str = "buckets",
+    snapshot_path: str | None = None,
+    snapshot_policy: str = "refuse",
 ) -> AdClassificationPipeline:
     """Picklable pipeline factory for ecosystem-backed CLI runs.
 
@@ -84,13 +89,29 @@ def build_ecosystem_pipeline(
     therefore also gets its own decision cache (when enabled), which is
     naturally coherent: sharding is per-user, and a cache is pure
     memoization of a deterministic engine anyway.
+
+    With ``snapshot_path``, workers skip the rebuild entirely and
+    deserialize the precompiled engine in milliseconds (DESIGN.md §15)
+    — the spin-up win multiplies by the pool size.  Validation failures
+    propagate (``refuse``) so the supervisor surfaces them instead of
+    shards silently diverging; ``rebuild`` falls back to the
+    deterministic list build, which is decision-identical anyway.
     """
     from repro.core.pipeline import PipelineConfig
     from repro.filterlist import build_lists
+    from repro.filterlist.snapshot import SnapshotError, load_snapshot
     from repro.web import Ecosystem, EcosystemConfig
 
+    config = PipelineConfig(use_decision_cache=use_decision_cache, matcher=matcher)
+    if snapshot_path:
+        try:
+            loaded = load_snapshot(snapshot_path, matcher=matcher)
+        except (SnapshotError, FileNotFoundError):
+            if snapshot_policy == "refuse":
+                raise
+        else:
+            return AdClassificationPipeline.from_engine(loaded.engine, config)
     ecosystem = Ecosystem.generate(EcosystemConfig(n_publishers=publishers, seed=eco_seed))
-    config = PipelineConfig(use_decision_cache=use_decision_cache)
     return AdClassificationPipeline(build_lists(ecosystem.list_spec()), config)
 
 

@@ -30,9 +30,12 @@ import os
 import threading
 from typing import Callable
 
-from repro.filterlist.cache import CacheStats, CachingEngine
+from repro.filterlist.actrie import ACTrieEngine
+from repro.filterlist.cache import CacheStats, CachingEngine, DecisionEngine
+from repro.filterlist.combined import CombinedRegexEngine
 from repro.filterlist.engine import FilterEngine
 from repro.filterlist.lists import FilterList
+from repro.filterlist.snapshot import load_snapshot
 from repro.robustness.retry import RetryExhausted, RetryPolicy
 
 __all__ = ["EngineHolder", "EngineSource", "ReloadManager", "ReloadOutcome"]
@@ -43,12 +46,17 @@ DEFAULT_RELOAD_RETRY = RetryPolicy(
 
 
 class EngineSource:
-    """Where engines come from: list files, or the synthetic ecosystem.
+    """Where engines come from: list files, ecosystem, or a snapshot.
 
     File mode re-reads ``--lists`` paths on every (re)build, which is
     what makes ``SIGHUP`` / ``POST /-/reload`` pick up on-disk changes.
     Ecosystem mode rebuilds deterministically from the generation seed —
     its fingerprint never changes, so reloads are honest no-ops.
+    Snapshot mode deserializes a ``repro compile-lists`` artifact in
+    milliseconds; a reload re-reads the snapshot file, so replacing the
+    artifact on disk and sending ``SIGHUP`` is the zero-parse hot-reload
+    path (DESIGN.md §15).  Snapshot bytes are checksummed, not linted —
+    lint gating happened at compile time.
     """
 
     def __init__(
@@ -59,23 +67,44 @@ class EngineSource:
         eco_seed: int = 20151028,
         lint: str = "refuse",
         use_keyword_index: bool = True,
+        snapshot_path: str | None = None,
+        matcher: str = "buckets",
     ) -> None:
         if lint not in ("off", "refuse", "quarantine"):
             raise ValueError(f"unknown lint policy {lint!r}")
+        if snapshot_path and list_paths:
+            raise ValueError("snapshot_path and list_paths are mutually exclusive")
         self.list_paths = list(list_paths or [])
         self.publishers = publishers
         self.eco_seed = eco_seed
         self.lint = lint
         self.use_keyword_index = use_keyword_index
+        self.snapshot_path = snapshot_path
+        self.matcher = matcher
 
-    def build(self) -> FilterEngine:
-        """Parse/lint the sources into a fresh engine (blocking)."""
-        engine = FilterEngine(use_keyword_index=self.use_keyword_index)
-        for name, filter_list in self._load_lists().items():
+    def _empty_engine(self) -> DecisionEngine:
+        if self.matcher == "actrie":
+            return ACTrieEngine(use_keyword_index=self.use_keyword_index)
+        if self.matcher == "combined":
+            return CombinedRegexEngine()
+        return FilterEngine(use_keyword_index=self.use_keyword_index)
+
+    def build(self) -> DecisionEngine:
+        """Parse/lint the sources into a fresh engine (blocking).
+
+        Snapshot mode raises :class:`~repro.filterlist.snapshot.SnapshotError`
+        (a ``ValueError`` subclass it is not — the retry policy treats it
+        as terminal) when the artifact fails validation; the reload
+        manager keeps the last good engine serving in that case.
+        """
+        if self.snapshot_path:
+            return load_snapshot(self.snapshot_path, matcher=self.matcher).engine
+        engine = self._empty_engine()
+        for name, filter_list in self.load_lists().items():
             engine.add_filters(filter_list.filters, list_name=name)
         return engine
 
-    def _load_lists(self) -> dict[str, FilterList]:
+    def load_lists(self) -> dict[str, FilterList]:
         if not self.list_paths:
             from repro.filterlist import build_lists
             from repro.web import Ecosystem, EcosystemConfig
@@ -93,6 +122,12 @@ class EngineSource:
         return lists
 
     def describe(self) -> dict:
+        if self.snapshot_path:
+            return {
+                "mode": "snapshot",
+                "path": self.snapshot_path,
+                "matcher": self.matcher,
+            }
         if self.list_paths:
             return {"mode": "files", "lists": list(self.list_paths), "lint": self.lint}
         return {
@@ -112,7 +147,7 @@ class EngineHolder:
 
     def __init__(
         self,
-        engine: FilterEngine,
+        engine: DecisionEngine,
         *,
         cache_size: int | None,
     ) -> None:
@@ -120,15 +155,15 @@ class EngineHolder:
         self._generation = 1
         self._retired_stats = CacheStats()
         self._lock = threading.Lock()
-        self._engine: CachingEngine | FilterEngine = self._wrap(engine)
+        self._engine: CachingEngine | DecisionEngine = self._wrap(engine)
 
-    def _wrap(self, engine: FilterEngine) -> CachingEngine | FilterEngine:
+    def _wrap(self, engine: DecisionEngine) -> CachingEngine | DecisionEngine:
         if self._cache_size is None:
             return engine
         return CachingEngine(engine, maxsize=self._cache_size)
 
     @property
-    def engine(self) -> CachingEngine | FilterEngine:
+    def engine(self) -> CachingEngine | DecisionEngine:
         return self._engine
 
     @property
@@ -157,7 +192,7 @@ class EngineHolder:
         total.merge(caching.stats)
         return total
 
-    def adopt(self, engine: FilterEngine) -> str:
+    def adopt(self, engine: DecisionEngine) -> str:
         """Swap in a freshly-built engine; returns ``"swapped"``/``"noop"``.
 
         An identical fingerprint proves the list contents did not
@@ -251,7 +286,7 @@ class ReloadManager:
             )
             return ReloadOutcome(status, self.holder)
 
-    def _build_with_retry(self) -> FilterEngine:
+    def _build_with_retry(self) -> DecisionEngine:
         return self.retry.run(
             self.source.build,
             retry_on=(OSError, ValueError),

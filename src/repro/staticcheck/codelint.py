@@ -325,7 +325,7 @@ def _check_rc004_consumer(
         ctx.report(
             "RC004",
             f"{class_node.name}.{consumer.name} reads key(s) "
-            f"{sorted(missing)} that {class_node.name}.export_state never "
+            f"{sorted(missing)} that {class_node.name}.{export.name} never "
             "writes — resume would crash or silently default",
             consumer,
             subject=f"{class_node.name}:{consumer.name}:{','.join(sorted(missing))}",
@@ -334,7 +334,7 @@ def _check_rc004_consumer(
     if unconsumed and not scan.consumes_all:
         ctx.report(
             "RC004",
-            f"{class_node.name}.export_state writes key(s) "
+            f"{class_node.name}.{export.name} writes key(s) "
             f"{sorted(unconsumed)} that {class_node.name}.{consumer.name} "
             "never reads — state is silently dropped on resume",
             export,
@@ -454,22 +454,34 @@ def _check_rc004(tree: ast.AST, ctx: CheckContext) -> None:
             if isinstance(item, ast.FunctionDef)
         }
         export = methods.get("export_state")
-        if export is None:
-            continue
-        exported = _export_keys(export)
-        if exported is None:
-            continue  # delegation or dynamic construction: not checkable
-        restore = next(
-            (methods[name] for name in _RESTORE_METHODS if name in methods), None
-        )
-        if restore is not None:
-            _check_rc004_consumer(ctx, node, restore, export, exported)
-        # merge_state (shard-parallel fold, DESIGN.md §10) consumes the
-        # same export payload, so it is held to the same drift gate.
-        merge = methods.get("merge_state")
-        if merge is not None:
-            _check_rc004_consumer(ctx, node, merge, export, exported)
-        _check_rc004_fields(ctx, node, export, exported)
+        if export is not None:
+            exported = _export_keys(export)
+            if exported is not None:
+                restore = next(
+                    (methods[name] for name in _RESTORE_METHODS if name in methods),
+                    None,
+                )
+                if restore is not None:
+                    _check_rc004_consumer(ctx, node, restore, export, exported)
+                # merge_state (shard-parallel fold, DESIGN.md §10) consumes
+                # the same export payload, so it shares the drift gate.
+                merge = methods.get("merge_state")
+                if merge is not None:
+                    _check_rc004_consumer(ctx, node, merge, export, exported)
+                _check_rc004_fields(ctx, node, export, exported)
+        # The engine-snapshot wire form (DESIGN.md §15) is a second
+        # export/restore pair with the same failure mode: a key written
+        # but never read (or read but never written) makes a restored
+        # engine silently diverge from the engine that was compiled.
+        snapshot_export = methods.get("export_snapshot_state")
+        if snapshot_export is not None:
+            exported = _export_keys(snapshot_export)
+            if exported is not None:
+                snapshot_restore = methods.get("restore_snapshot_state")
+                if snapshot_restore is not None:
+                    _check_rc004_consumer(
+                        ctx, node, snapshot_restore, snapshot_export, exported
+                    )
 
 
 # -- RC010 (per-file half): exit-code literals ------------------------------
@@ -515,7 +527,11 @@ def _check_rc010_literals(tree: ast.AST, ctx: CheckContext) -> None:
 
 # -- RC012: transient fields read in the checkpoint wire form ---------------
 
-_RC012_METHODS = ("export_state", "merge_state")
+# export_snapshot_state is the engine-snapshot wire form (DESIGN.md §15):
+# snapshot-only machinery (compiled prefilters, lazy indices, caches)
+# must be declared _TRANSIENT_STATE and rebuilt after restore, never
+# serialized.
+_RC012_METHODS = ("export_state", "merge_state", "export_snapshot_state")
 
 
 def _check_rc012(tree: ast.AST, ctx: CheckContext) -> None:

@@ -19,9 +19,16 @@ import random
 import string
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
-__all__ = ["CorruptionConfig", "CorruptionStats", "TraceCorruptor", "LINE_PATHOLOGIES"]
+__all__ = [
+    "CorruptionConfig",
+    "CorruptionStats",
+    "TraceCorruptor",
+    "LINE_PATHOLOGIES",
+    "ByteCorruptor",
+    "BYTE_PATHOLOGIES",
+]
 
 # Line-level pathologies; each hit line gets one, chosen uniformly.
 LINE_PATHOLOGIES = (
@@ -204,3 +211,72 @@ class TraceCorruptor:
         with atomic_writer(dst) as stream:
             stream.write(self.corrupt_text(text))
         return self.stats
+
+
+# Binary-artifact pathologies; each names one storage failure mode the
+# framed formats (checkpoints, engine snapshots) must *detect*.
+BYTE_PATHOLOGIES = ("truncate", "bitflip", "zero_run", "append")
+
+
+class ByteCorruptor:
+    """Seeded damage for framed binary artifacts (snapshots, checkpoints).
+
+    The TSV corruptor above models capture loss; this one models
+    storage loss — a copy cut short, a flipped bit on a bad sector, a
+    zeroed page, garbage appended by a torn write.  Every pathology is
+    deterministic under ``seed`` so fault-injection tests shrink and
+    replay (tests/test_snapshot.py); the framed formats' contract is
+    that each of these is *detected*, never deserialized into silently
+    different state.
+    """
+
+    def __init__(self, seed: int = 1337) -> None:
+        self._seed = seed
+
+    def _rng(self, salt: str) -> random.Random:
+        return random.Random(f"{self._seed}:{salt}")
+
+    def truncate(self, data: bytes) -> bytes:
+        """Cut the artifact short mid-write (keeps at least one byte)."""
+        if len(data) <= 1:
+            return data[:0]
+        return data[: self._rng("truncate").randrange(1, len(data))]
+
+    def bitflip(self, data: bytes) -> bytes:
+        """Flip one bit somewhere in the artifact."""
+        if not data:
+            return data
+        rng = self._rng("bitflip")
+        position = rng.randrange(len(data))
+        damaged = bytearray(data)
+        damaged[position] ^= 1 << rng.randrange(8)
+        return bytes(damaged)
+
+    def zero_run(self, data: bytes, length: int = 64) -> bytes:
+        """Zero a run of bytes, like a lost page."""
+        if not data:
+            return data
+        rng = self._rng("zero_run")
+        start = rng.randrange(len(data))
+        end = min(len(data), start + length)
+        return data[:start] + b"\x00" * (end - start) + data[end:]
+
+    def append(self, data: bytes, length: int = 32) -> bytes:
+        """Append trailing garbage, like a torn rewrite."""
+        rng = self._rng("append")
+        return data + bytes(rng.randrange(256) for _ in range(length))
+
+    def corrupt(self, data: bytes, pathology: str) -> bytes:
+        """Apply one named pathology from :data:`BYTE_PATHOLOGIES`."""
+        if pathology not in BYTE_PATHOLOGIES:
+            raise ValueError(f"unknown byte pathology {pathology!r}")
+        method: Callable[[bytes], bytes] = getattr(self, pathology)
+        return method(data)
+
+    def corrupt_file(self, src: str, dst: str, pathology: str) -> None:
+        from repro.robustness.atomic import atomic_writer
+
+        with open(src, "rb") as stream:
+            data = stream.read()
+        with atomic_writer(dst, mode="wb") as stream:
+            stream.write(self.corrupt(data, pathology))

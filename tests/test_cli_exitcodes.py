@@ -128,3 +128,90 @@ def trace_file(tmp_path_factory):
     )
     assert proc.returncode == 0, proc.stderr
     return path
+
+
+@pytest.fixture(scope="module")
+def snapshot_file(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("snapshot")
+    path = tmp / "engine.snap"
+    proc = _cli(["compile-lists", *_ECO, "--out", str(path)], tmp)
+    assert proc.returncode == 0, proc.stderr
+    assert "wrote snapshot" in proc.stdout
+    return path
+
+
+class TestSnapshotExitCodes:
+    """Snapshot failure classes: 2 missing, 4 identity, 6 damage,
+    0 under --snapshot-policy rebuild (see README exit-code table)."""
+
+    def _classify(self, tmp_path, trace_file, *extra):
+        return _cli(
+            ["classify", *_ECO, "--trace", str(trace_file),
+             "--out", str(tmp_path / "out.tsv"), *extra],
+            tmp_path,
+        )
+
+    def test_snapshot_run_is_byte_identical(self, tmp_path, trace_file, snapshot_file):
+        base = self._classify(tmp_path, trace_file)
+        assert base.returncode == 0, base.stderr
+        baseline = (tmp_path / "out.tsv").read_bytes()
+        for matcher in ("buckets", "actrie", "combined"):
+            proc = self._classify(
+                tmp_path, trace_file,
+                "--engine-snapshot", str(snapshot_file), "--matcher", matcher,
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert (tmp_path / "out.tsv").read_bytes() == baseline, matcher
+
+    def test_corrupt_snapshot_exits_6(self, tmp_path, trace_file, snapshot_file):
+        from repro.exitcodes import EXIT_SNAPSHOT_INVALID
+        from repro.trace.corruption import ByteCorruptor
+
+        damaged = tmp_path / "damaged.snap"
+        ByteCorruptor().corrupt_file(str(snapshot_file), str(damaged), "bitflip")
+        proc = self._classify(tmp_path, trace_file, "--engine-snapshot", str(damaged))
+        assert proc.returncode == EXIT_SNAPSHOT_INVALID, proc.stderr
+        assert "checksum mismatch" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_corrupt_snapshot_rebuild_policy_recovers(
+        self, tmp_path, trace_file, snapshot_file
+    ):
+        from repro.trace.corruption import ByteCorruptor
+
+        damaged = tmp_path / "damaged2.snap"
+        ByteCorruptor().corrupt_file(str(snapshot_file), str(damaged), "truncate")
+        proc = self._classify(
+            tmp_path, trace_file,
+            "--engine-snapshot", str(damaged), "--snapshot-policy", "rebuild",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "rebuilding" in proc.stderr
+
+    def test_missing_snapshot_exits_2(self, tmp_path, trace_file):
+        proc = self._classify(
+            tmp_path, trace_file, "--engine-snapshot", str(tmp_path / "absent.snap")
+        )
+        assert proc.returncode == EXIT_MISSING_INPUT, proc.stderr
+        assert "absent.snap" in proc.stderr
+
+    def test_durable_run_pins_snapshot_identity(self, tmp_path, trace_file):
+        """A snapshot compiled from *different* lists than the manifest
+        records is an identity violation: exit 4, like any manifest
+        mismatch — never silently classified with the wrong engine."""
+        wrong = tmp_path / "wrong.snap"
+        proc = _cli(
+            ["compile-lists", "--publishers", "80", "--eco-seed", "7",
+             "--out", str(wrong)],
+            tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        (tmp_path / "ckpt").mkdir()
+        proc = self._classify(
+            tmp_path, trace_file,
+            "--engine-snapshot", str(wrong),
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        )
+        assert proc.returncode == EXIT_MANIFEST_MISMATCH, proc.stderr
+        assert "fingerprint" in proc.stderr
+        assert "Traceback" not in proc.stderr

@@ -1,0 +1,316 @@
+"""Snapshot format: round-trip identity, fault injection, exit discipline.
+
+The contract under test (DESIGN.md §15): a ``repro compile-lists``
+artifact either restores the *exact* engine that was compiled, or the
+load raises a typed :class:`SnapshotError` — storage damage, version
+skew and identity drift are all *detected*, never deserialized into a
+silently different matcher.  :class:`ByteCorruptor` provides the
+seeded storage pathologies (the binary sibling of the TSV trace
+corruptor).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.filterlist.actrie import ACTrieEngine
+from repro.filterlist.cache import CachingEngine
+from repro.filterlist.combined import CombinedRegexEngine
+from repro.filterlist.engine import (
+    SNAPSHOT_STATE_VERSION,
+    FilterEngine,
+    RequestContext,
+    fingerprint_of_filters,
+)
+from repro.filterlist.filter import Filter
+from repro.filterlist.options import ContentType
+from repro.filterlist.snapshot import (
+    MATCHERS,
+    SnapshotCorrupt,
+    SnapshotError,
+    SnapshotFingerprintMismatch,
+    SnapshotVersionError,
+    inspect_snapshot,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.serve.reload import EngineSource
+from repro.trace.corruption import BYTE_PATHOLOGIES, ByteCorruptor
+
+_FILTERS = {
+    "easylist": [
+        "||ads.example^$third-party",
+        "/adserver/*",
+        "&ad_slot=",
+        "/banners/*$image",
+        "@@||ads.example/player/",
+        "@@||news.example^$document",
+    ],
+    "easyprivacy": ["/pixel.gif?", "/track.js$script"],
+}
+
+_PROBES = [
+    ("http://ads.example/creative/1.gif", ContentType.IMAGE, "http://news.example/"),
+    ("http://ads.example/player/core.js", ContentType.SCRIPT, "http://news.example/"),
+    ("http://pub.example/adserver/x", ContentType.OTHER, "http://pub.example/"),
+    ("http://t.example/pixel.gif?uid=1", ContentType.IMAGE, "http://news.example/"),
+    ("http://clean.example/index.html", ContentType.DOCUMENT, "http://clean.example/"),
+]
+
+
+def _engine() -> FilterEngine:
+    engine = FilterEngine()
+    for name, texts in _FILTERS.items():
+        engine.add_filters([Filter.parse(t) for t in texts], list_name=name)
+    return engine
+
+
+def _decisions(engine) -> list[tuple]:
+    out = []
+    for url, content_type, page in _PROBES:
+        context = RequestContext(content_type, page)
+        result = engine.match(url, context)
+        out.append((
+            result.decision,
+            result.blocking_filter.text if result.blocking_filter else None,
+            result.list_name,
+            result.whitelist_name,
+        ))
+    return out
+
+
+@pytest.fixture()
+def snapshot_path(tmp_path) -> str:
+    path = str(tmp_path / "engine.snap")
+    write_snapshot(path, _engine(), lists_fingerprint="abcd1234", source="unit")
+    return path
+
+
+class TestRoundTrip:
+    def test_restored_engine_is_decision_identical(self, snapshot_path):
+        base = _engine()
+        loaded = load_snapshot(snapshot_path)
+        assert loaded.engine.fingerprint == base.fingerprint
+        assert loaded.engine.filter_count == base.filter_count
+        assert loaded.engine.list_names == base.list_names
+        assert _decisions(loaded.engine) == _decisions(base)
+
+    @pytest.mark.parametrize("matcher", MATCHERS)
+    def test_every_matcher_restores(self, snapshot_path, matcher):
+        loaded = load_snapshot(snapshot_path, matcher=matcher)
+        assert _decisions(loaded.engine) == _decisions(_engine())
+
+    def test_unknown_matcher_is_rejected(self, snapshot_path):
+        with pytest.raises(ValueError, match="unknown matcher"):
+            load_snapshot(snapshot_path, matcher="bloom")
+
+    def test_write_is_byte_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.snap"), str(tmp_path / "b.snap")
+        write_snapshot(a, _engine(), lists_fingerprint="ff", source="x")
+        write_snapshot(b, _engine(), lists_fingerprint="ff", source="x")
+        assert pathlib.Path(a).read_bytes() == pathlib.Path(b).read_bytes()
+
+    def test_inspect_reports_metadata_without_engine(self, snapshot_path):
+        info = inspect_snapshot(snapshot_path)
+        assert info.state_version == SNAPSHOT_STATE_VERSION
+        assert info.lists_fingerprint == "abcd1234"
+        assert info.source == "unit"
+        assert info.filter_count == 8
+        assert info.list_names == ("easylist", "easyprivacy")
+        assert info.fingerprint == _engine().fingerprint
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        # Not SnapshotCorrupt: a missing artifact is a missing input
+        # (exit 2), not storage damage (exit 6).
+        with pytest.raises(FileNotFoundError):
+            load_snapshot(str(tmp_path / "nope.snap"))
+
+
+class TestFaultInjection:
+    """Every storage pathology is detected, never a wrong decision."""
+
+    @pytest.mark.parametrize("pathology", BYTE_PATHOLOGIES)
+    @pytest.mark.parametrize("seed", [1, 1337, 9009])
+    def test_byte_damage_is_detected(self, snapshot_path, pathology, seed):
+        ByteCorruptor(seed=seed).corrupt_file(snapshot_path, snapshot_path, pathology)
+        with pytest.raises(SnapshotError):
+            load_snapshot(snapshot_path)
+
+    def test_damage_never_reaches_decisions(self, snapshot_path, tmp_path):
+        """Exhaustive single-bit flips over a prefix: detect or refuse,
+        and on the rare undetected-header flip never diverge silently."""
+        clean = pathlib.Path(snapshot_path).read_bytes()
+        expected = _decisions(_engine())
+        damaged_path = tmp_path / "damaged.snap"
+        for position in range(0, min(len(clean), 256)):
+            for bit in range(8):
+                damaged = bytearray(clean)
+                damaged[position] ^= 1 << bit
+                damaged_path.write_bytes(bytes(damaged))
+                try:
+                    loaded = load_snapshot(str(damaged_path))
+                except SnapshotError:
+                    continue
+                # A flip inside the stored *digest or length* that still
+                # validates is impossible; anything that loads must be
+                # decision-identical.
+                assert _decisions(loaded.engine) == expected, (position, bit)
+
+    def test_truncated_header(self, snapshot_path):
+        data = pathlib.Path(snapshot_path).read_bytes()
+        pathlib.Path(snapshot_path).write_bytes(data[:10])
+        with pytest.raises(SnapshotCorrupt, match="truncated header"):
+            load_snapshot(snapshot_path)
+
+    def test_bad_magic(self, snapshot_path):
+        data = bytearray(pathlib.Path(snapshot_path).read_bytes())
+        data[:8] = b"NOTASNAP"
+        pathlib.Path(snapshot_path).write_bytes(bytes(data))
+        with pytest.raises(SnapshotCorrupt, match="bad magic"):
+            load_snapshot(snapshot_path)
+
+    def test_version_bump_is_a_version_error(self, snapshot_path):
+        data = bytearray(pathlib.Path(snapshot_path).read_bytes())
+        data[8] = 99  # container version field (little-endian u32 after magic)
+        pathlib.Path(snapshot_path).write_bytes(bytes(data))
+        with pytest.raises(SnapshotVersionError, match="unsupported snapshot version"):
+            load_snapshot(snapshot_path)
+
+    def test_fingerprint_mismatch_is_identity_not_damage(self, snapshot_path):
+        expected = "0" * 64
+        with pytest.raises(SnapshotFingerprintMismatch) as excinfo:
+            load_snapshot(snapshot_path, expected_fingerprint=expected)
+        assert excinfo.value.expected == expected
+        assert excinfo.value.actual == _engine().fingerprint
+        # and the matching pin loads fine
+        load_snapshot(snapshot_path, expected_fingerprint=_engine().fingerprint)
+
+
+class TestFingerprintOfFilters:
+    """The manifest-side fingerprint replays the engine's hash chain."""
+
+    def test_matches_engine_fingerprint(self):
+        groups = [
+            (name, [Filter.parse(t) for t in texts])
+            for name, texts in _FILTERS.items()
+        ]
+        assert fingerprint_of_filters(groups) == _engine().fingerprint
+
+    def test_order_and_content_sensitivity(self):
+        groups = [("easylist", [Filter.parse("/ad/")])]
+        base = fingerprint_of_filters(groups)
+        assert fingerprint_of_filters([("easylist", [Filter.parse("/ads/")])]) != base
+        assert fingerprint_of_filters([("other", [Filter.parse("/ad/")])]) != base
+
+
+class TestCachingEngineStaleFingerprintWindow:
+    """Satellite 3: mutation after a snapshot load must not replay
+    decisions keyed to the pre-mutation fingerprint."""
+
+    def test_add_filters_rekeys_cache(self, snapshot_path):
+        caching = CachingEngine(load_snapshot(snapshot_path).engine)
+        context = RequestContext(ContentType.IMAGE, "http://pub.example/")
+        url = "http://late.example/sneaky.gif"
+        assert caching.match(url, context).decision == "none"
+        caching.add_filters([Filter.parse("||late.example^")], list_name="update")
+        assert caching.match(url, context).decision == "block"
+
+    def test_partial_add_failure_still_invalidates(self, snapshot_path):
+        class ExplodingEngine(FilterEngine):
+            def add_filters(self, filters, list_name=None):
+                super().add_filters(filters, list_name)
+                raise RuntimeError("mid-add crash after state mutation")
+
+        state = load_snapshot(snapshot_path).engine.export_snapshot_state()
+        engine = ExplodingEngine.restore_snapshot_state(state)
+        caching = CachingEngine(engine)
+        context = RequestContext(ContentType.IMAGE, "http://pub.example/")
+        url = "http://late.example/sneaky.gif"
+        assert caching.match(url, context).decision == "none"  # warm the cache
+        with pytest.raises(RuntimeError):
+            caching.add_filters([Filter.parse("||late.example^")], list_name="update")
+        # The engine mutated before raising; a stale cache would replay
+        # the memoized "none" here.
+        assert caching.match(url, context).decision == "block"
+
+    def test_add_after_restore_matches_cold_build(self, snapshot_path):
+        """Appending to a restored engine lands in the same buckets a
+        cold build would use — restored ``_keyword_counts`` keep the
+        rarest-keyword choice stable."""
+        restored = load_snapshot(snapshot_path).engine
+        extra = ["/promo/*$script", "||extra.example^"]
+        restored.add_filters([Filter.parse(t) for t in extra], list_name="update")
+        cold = _engine()
+        cold.add_filters([Filter.parse(t) for t in extra], list_name="update")
+        assert restored.fingerprint == cold.fingerprint
+        probes = _PROBES + [
+            ("http://extra.example/x.gif", ContentType.IMAGE, "http://news.example/"),
+            ("http://pub.example/promo/a.js", ContentType.SCRIPT, "http://news.example/"),
+        ]
+        for url, content_type, page in probes:
+            context = RequestContext(content_type, page)
+            assert (
+                restored.match(url, context).decision
+                == cold.match(url, context).decision
+            ), url
+
+
+class TestEngineSourceSnapshotMode:
+    """`repro serve --engine-snapshot`: snapshot-backed build and reload."""
+
+    def test_builds_requested_matcher(self, snapshot_path):
+        for matcher, kind in (
+            ("buckets", FilterEngine),
+            ("actrie", ACTrieEngine),
+            ("combined", CombinedRegexEngine),
+        ):
+            source = EngineSource(snapshot_path=snapshot_path, matcher=matcher)
+            engine = source.build()
+            assert isinstance(engine, kind)
+            assert _decisions(engine) == _decisions(_engine())
+
+    def test_describe_reports_snapshot_mode(self, snapshot_path):
+        source = EngineSource(snapshot_path=snapshot_path, matcher="actrie")
+        description = source.describe()
+        assert description["mode"] == "snapshot"
+        assert description["path"] == snapshot_path
+        assert description["matcher"] == "actrie"
+
+    def test_snapshot_and_lists_are_exclusive(self, snapshot_path, tmp_path):
+        lists = tmp_path / "list.txt"
+        lists.write_text("/ad/\n")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            EngineSource(snapshot_path=snapshot_path, list_paths=[str(lists)])
+
+    def test_corrupt_snapshot_fails_the_build(self, snapshot_path):
+        ByteCorruptor().corrupt_file(snapshot_path, snapshot_path, "bitflip")
+        source = EngineSource(snapshot_path=snapshot_path)
+        with pytest.raises(SnapshotError):
+            source.build()
+
+
+class TestFromInner:
+    def test_combined_from_inner_equals_incremental(self):
+        base = _engine()
+        from_inner = CombinedRegexEngine.from_inner(base)
+        incremental = CombinedRegexEngine()
+        for name, texts in _FILTERS.items():
+            incremental.add_filters([Filter.parse(t) for t in texts], list_name=name)
+        assert from_inner.fingerprint == incremental.fingerprint
+        assert _decisions(from_inner) == _decisions(incremental)
+
+
+class TestByteCorruptor:
+    def test_deterministic_under_seed(self):
+        data = bytes(range(256)) * 4
+        for pathology in BYTE_PATHOLOGIES:
+            a = ByteCorruptor(seed=7).corrupt(data, pathology)
+            b = ByteCorruptor(seed=7).corrupt(data, pathology)
+            assert a == b
+            assert a != data
+
+    def test_unknown_pathology_rejected(self):
+        with pytest.raises(ValueError, match="unknown byte pathology"):
+            ByteCorruptor().corrupt(b"x", "gamma_ray")

@@ -864,3 +864,91 @@ def test_per_file_entry_point_matches_package_driver():
                     lint_source_file(os.path.join(dirpath, filename), root=source_root)
                 )
     assert findings == [], "\n".join(str(diag) for diag in findings)
+
+
+RC004_SNAPSHOT = """\
+class Engine:
+    def export_snapshot_state(self):
+        return {"filters": self.filters, "buckets": self.buckets}
+
+    @classmethod
+    def restore_snapshot_state(cls, state):
+        engine = cls()
+        engine.filters = state["filters"]
+        engine.buckets = state["buckets"]
+        return engine
+"""
+
+
+class TestRC004SnapshotPair:
+    """export_snapshot_state/restore_snapshot_state are held to the
+    same key-drift gate as the checkpoint wire forms (DESIGN.md §15)."""
+
+    def test_clean_snapshot_pair_passes(self):
+        assert _codes(RC004_SNAPSHOT) == []
+
+    def test_exported_snapshot_key_never_restored(self):
+        source = RC004_SNAPSHOT.replace(
+            '        engine.buckets = state["buckets"]\n', ""
+        )
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        assert [d.code for d in diags] == ["RC004"]
+        assert "buckets" in diags[0].message
+        assert "export_snapshot_state" in diags[0].message
+
+    def test_restored_snapshot_key_never_exported(self):
+        source = RC004_SNAPSHOT.replace(
+            'return {"filters": self.filters, "buckets": self.buckets}',
+            'return {"filters": self.filters}',
+        )
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        errors = [d for d in diags if d.code == "RC004"]
+        assert len(errors) == 1
+        assert "buckets" in errors[0].message
+
+    def test_snapshot_pair_without_restore_is_not_checked(self):
+        # A class that only *consumes* snapshots (no exporter) has no
+        # statically pairable wire form.
+        source = RC004_SNAPSHOT.replace(
+            "    def export_snapshot_state(self):\n"
+            '        return {"filters": self.filters, "buckets": self.buckets}\n\n',
+            "",
+        )
+        assert _codes(source) == []
+
+
+RC012_SNAPSHOT = """\
+from dataclasses import dataclass
+
+@dataclass
+class Engine:
+    filters: list = None
+    compiled: object = None
+
+    _TRANSIENT_STATE = ("compiled",)
+
+    def export_snapshot_state(self):
+        return {"filters": self.filters}
+
+    def restore_snapshot_state(self, state):
+        self.filters = state["filters"]
+"""
+
+
+class TestRC012SnapshotState:
+    """Snapshot-only derived state must be declared transient and must
+    never leak into the snapshot wire form (satellite: `repro lint
+    --self` stays green with ACTrieEngine's ``_compiled`` automaton)."""
+
+    def test_transient_field_outside_snapshot_form_passes(self):
+        assert _codes(RC012_SNAPSHOT) == []
+
+    def test_transient_read_in_export_snapshot_state(self):
+        source = RC012_SNAPSHOT.replace(
+            'return {"filters": self.filters}',
+            'return {"filters": self.filters, "compiled": self.compiled}',
+        )
+        diags = lint_tree(source, path="f.py", rel_path="f.py")
+        rc012 = [d for d in diags if d.code == "RC012"]
+        assert len(rc012) == 1
+        assert rc012[0].subject == "Engine:export_snapshot_state:compiled"
