@@ -237,3 +237,69 @@ def test_matcher_head_to_head_rbn2(rbn2, lists, results_dir):
     ]
     write_result(results_dir, "engine_matchers.txt", "\n".join(lines) + "\n")
     assert speedup >= 3.0, f"actrie speedup regressed: {speedup:.2f}x < 3x"
+
+
+def test_url_split_cache_sweep(rbn2, results_dir):
+    """Hit-rate and wall-time sweep over ``split_url`` memo bounds.
+
+    The stream is the classify-time lookup sequence for the RBN-2
+    trace — per record the pipeline splits the request URL (normalize),
+    the referrer (page attribution) and the page URL again per match
+    context — so temporal locality here is exactly what the production
+    memo sees.  Tunes ``repro.http.url.URL_CACHE_SIZE``; writes
+    ``results/url_split_cache.txt``.
+    """
+    import functools
+    import time
+
+    from conftest import write_result
+    from repro.http.url import URL_CACHE_SIZE, split_url
+
+    _, trace, entries = rbn2
+    stream = []
+    for record, entry in zip(trace.http, entries):
+        stream.append(record.url)
+        if record.referrer:
+            stream.append(record.referrer)
+        stream.append(entry.normalized_url)
+        if entry.page_url:
+            stream.append(entry.page_url)
+    distinct = len(set(stream))
+
+    raw = split_url.__wrapped__
+    rows = []
+    for size in (1024, 4096, 16384, 32768, 65536, None):
+        cached = functools.lru_cache(maxsize=size)(raw)
+        best = float("inf")
+        for _ in range(3):
+            cached.cache_clear()
+            started = time.perf_counter()
+            for url in stream:
+                cached(url)
+            best = min(best, time.perf_counter() - started)
+        info = cached.cache_info()
+        rows.append((size, info.hits / len(stream), best))
+
+    lines = [
+        "split_url lru_cache maxsize sweep (classify-time lookup stream)",
+        f"stream: {len(stream)} lookups, {distinct} distinct URLs "
+        f"({len(trace.http)} RBN-2 records)",
+        "",
+        f"{'maxsize':>9} {'hit_rate':>9} {'pass_s':>7} {'ns/lookup':>10}",
+    ]
+    for size, hit_rate, best in rows:
+        label = "unbounded" if size is None else str(size)
+        lines.append(
+            f"{label:>9} {hit_rate * 100:>8.1f}% {best:>7.3f} "
+            f"{best / len(stream) * 1e9:>10.0f}"
+        )
+    lines += [
+        "",
+        f"shipping URL_CACHE_SIZE={URL_CACHE_SIZE}",
+    ]
+    write_result(results_dir, "url_split_cache.txt", "\n".join(lines) + "\n")
+
+    by_size = {size: hit_rate for size, hit_rate, _ in rows}
+    # The shipped bound must be within a point of an unbounded memo —
+    # if this trips, the working set grew and URL_CACHE_SIZE is stale.
+    assert by_size[None] - by_size[URL_CACHE_SIZE] < 0.01

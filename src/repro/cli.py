@@ -58,7 +58,9 @@ from repro.filterlist.snapshot import (
     write_snapshot,
 )
 from repro.filterlist.stats import compare_lists
-from repro.http.log import read_log, write_log
+from repro.http.binlog import write_binlog
+from repro.http.log import SeekableLogReader, write_log
+from repro.http.url import split_url
 from repro.parallel.supervision import RunInterrupted, WorkerFailure
 from repro.robustness import (
     EXIT_INTERRUPTED,
@@ -311,15 +313,20 @@ def _expected_engine_fingerprint(lists) -> str:
 
 
 def _note_cache(health: PipelineHealth, pipeline: AdClassificationPipeline) -> None:
-    """Fold the pipeline's decision-cache counters into ``health``.
+    """Fold the process's cache counters into ``health``.
 
     The counters are transient observability (never checkpointed or
     merged — see ``PipelineHealth._TRANSIENT_STATE``); this is the one
-    place the serial CLI path copies them over for reporting.
+    place the serial CLI path copies them over for reporting.  Covers
+    both the decision cache and the ``split_url`` memo (pool workers
+    ship their own counters in the ``done`` message instead).
     """
     stats = pipeline.decision_cache_stats
     if stats is not None:
         health.add_cache_stats(stats.hits, stats.misses, stats.evictions)
+    url_info = split_url.cache_info()
+    if url_info.hits or url_info.misses:
+        health.add_url_cache_stats(url_info.hits, url_info.misses)
 
 
 def _quarantine_path(args: argparse.Namespace) -> str:
@@ -335,10 +342,10 @@ def _load_http_records(args: argparse.Namespace, health: PipelineHealth):
         quarantine_path = _quarantine_path(args)
         quarantine = QuarantineWriter.open(quarantine_path)
     try:
-        with open(args.trace) as stream:
-            records = list(
-                read_log(stream, on_error=policy, health=health, quarantine=quarantine)
-            )
+        with SeekableLogReader(
+            args.trace, on_error=policy, health=health, quarantine=quarantine
+        ) as reader:
+            records = list(reader)
     finally:
         if quarantine is not None:
             quarantine.close()
@@ -460,8 +467,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     config = preset(scale=args.scale)
     generator = RBNTraceGenerator(config, ecosystem=ecosystem)
     trace = generator.generate()
-    with atomic_writer(args.out) as stream:
-        count = write_log(trace.http, stream)
+    if args.format == "bin":
+        with atomic_writer(args.out, mode="wb") as stream:
+            count = write_binlog(trace.http, stream)
+    else:
+        with atomic_writer(args.out) as stream:
+            count = write_log(trace.http, stream)
     print(f"wrote {count} HTTP records to {args.out}")
     if args.tls_out:
         with atomic_writer(args.tls_out) as stream:
@@ -470,6 +481,46 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"({generator.subscribers} subscribers, "
           f"{config.duration_s / 3600:.1f} h window)")
     return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    """Transcode an HTTP log between TSV and binlog framing.
+
+    The input format is sniffed from the leading magic; the default
+    target is the *other* format.  Records stream straight from the
+    reader into the writer, so conversion is O(1) in memory, and the
+    usual error policies apply — a damaged frame aborts a strict
+    convert (exit 1) or is dropped/quarantined and reported via the
+    degraded exit (3), exactly like ``classify`` would treat it.
+    """
+    policy = ErrorPolicy(args.on_error)
+    health = PipelineHealth()
+    quarantine = None
+    quarantine_path = None
+    if policy is ErrorPolicy.QUARANTINE:
+        quarantine_path = _quarantine_path(args)
+        quarantine = QuarantineWriter.open(quarantine_path)
+    try:
+        with SeekableLogReader(
+            args.trace, on_error=policy, health=health, quarantine=quarantine
+        ) as reader:
+            source = reader.format
+            target = args.to or ("tsv" if source == "bin" else "bin")
+            if target == "bin":
+                with atomic_writer(args.out, mode="wb") as stream:
+                    count = write_binlog(reader, stream)
+            else:
+                with atomic_writer(args.out) as stream:
+                    count = write_log(reader, stream)
+    finally:
+        if quarantine is not None:
+            quarantine.close()
+    if quarantine is not None and quarantine.count:
+        print(f"quarantined {quarantine.count} lines to {quarantine_path}")
+    print(f"converted {count} records: {args.trace} ({source}) -> {args.out} ({target})")
+    if health.records_dropped:
+        print(health.summary())
+    return health.exit_code()
 
 
 def _classify_summary(total: int, ads: int, whitelisted: int) -> None:
@@ -1005,13 +1056,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ecosystem_flags(p_eco)
     p_eco.set_defaults(func=_cmd_ecosystem)
 
-    p_trace = sub.add_parser("trace", help="generate an RBN capture to TSV")
+    p_trace = sub.add_parser("trace", help="generate an RBN capture to TSV or binlog")
     _add_ecosystem_flags(p_trace)
     p_trace.add_argument("--preset", choices=("rbn1", "rbn2"), default="rbn2")
     p_trace.add_argument("--scale", type=float, default=0.002)
-    p_trace.add_argument("--out", required=True, help="HTTP log TSV path")
+    p_trace.add_argument("--out", required=True, help="HTTP log path")
+    p_trace.add_argument("--format", choices=("tsv", "bin"), default="tsv",
+                         help="HTTP log encoding: TSV interchange (default) or "
+                              "the binary ingestion fast path (DESIGN.md §16)")
     p_trace.add_argument("--tls-out", help="TLS connection log TSV path")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_convert = sub.add_parser(
+        "convert",
+        help="transcode an HTTP log between TSV and binary framing",
+        description="Transcode an HTTP log between the TSV interchange format and "
+                    "the binary ingestion framing (DESIGN.md §16). The input format "
+                    "is sniffed; classification over either encoding of the same "
+                    "records is byte-identical.",
+    )
+    p_convert.add_argument("--trace", required=True, help="input HTTP log (format sniffed)")
+    p_convert.add_argument("--out", required=True, help="output path")
+    p_convert.add_argument("--to", choices=("tsv", "bin"),
+                           help="target encoding (default: the opposite of the input)")
+    p_convert.add_argument("--on-error", choices=("strict", "skip", "quarantine"),
+                           default="strict",
+                           help="what to do with damaged frames (default strict)")
+    p_convert.add_argument("--quarantine-out",
+                           help="sidecar path for rejected frames "
+                                "(default <trace>.quarantine)")
+    p_convert.set_defaults(func=_cmd_convert)
 
     p_classify = sub.add_parser("classify", help="classify a stored HTTP log")
     _add_ecosystem_flags(p_classify)

@@ -33,6 +33,7 @@ differential harness (``tests/test_engine_differential.py``).
 from __future__ import annotations
 
 import hashlib
+import mmap
 import pickle
 import struct
 from dataclasses import dataclass
@@ -162,15 +163,43 @@ def _info_from_payload(payload: dict) -> SnapshotInfo:
     )
 
 
-def _read_payload(path: str) -> dict:
-    """Read and validate the framing; raises :class:`SnapshotError`."""
+def _read_payload(path: str, *, use_mmap: bool = True) -> dict:
+    """Read and validate the framing; raises :class:`SnapshotError`.
+
+    The file is mapped read-only (zero-copy restore, PR 9's leftover):
+    header fields are unpacked in place, the digest is computed over a
+    ``memoryview`` of the mapping, and ``pickle.loads`` consumes the
+    same view — the payload bytes are never copied into an intermediate
+    ``bytes`` object.  ``use_mmap=False`` forces the plain ``read()``
+    path (empty or pseudo files, and the A/B leg in
+    ``benchmarks/bench_ingest.py``).
+    """
     try:
-        with open(path, "rb") as stream:
-            data = stream.read()
+        stream = open(path, "rb")  # staticcheck: ok[RC001] read-only mmap source
     except FileNotFoundError:
         raise  # missing input, not damage — callers map it to exit 2
     except OSError as exc:
         raise SnapshotCorrupt(f"{path}: {exc}") from None
+    mapped: mmap.mmap | None = None
+    data: bytes | mmap.mmap
+    try:
+        if use_mmap:
+            try:
+                mapped = mmap.mmap(stream.fileno(), 0, access=mmap.ACCESS_READ)
+                data = mapped
+            except (ValueError, OSError):  # empty / unmappable file: fall back to a copy
+                stream.seek(0)
+                data = stream.read()
+        else:
+            data = stream.read()
+        return _validate_payload(path, data)
+    finally:
+        if mapped is not None:
+            mapped.close()
+        stream.close()
+
+
+def _validate_payload(path: str, data: bytes | mmap.mmap) -> dict:
     if len(data) < _HEADER.size:
         raise SnapshotCorrupt(f"{path}: truncated header ({len(data)} bytes)")
     magic, version, length, digest = _HEADER.unpack_from(data)
@@ -180,15 +209,20 @@ def _read_payload(path: str) -> dict:
         raise SnapshotVersionError(
             f"{path}: unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
         )
-    blob = data[_HEADER.size :]
-    if len(blob) != length:
-        raise SnapshotCorrupt(f"{path}: torn payload ({len(blob)}/{length} bytes)")
-    if hashlib.sha256(blob).digest() != digest:
-        raise SnapshotCorrupt(f"{path}: checksum mismatch")
+    blob = memoryview(data)[_HEADER.size :]
     try:
-        payload = pickle.loads(blob)
-    except Exception as exc:  # pickle raises a zoo of types; staticcheck: ok[RC002] rethrown as SnapshotCorrupt
-        raise SnapshotCorrupt(f"{path}: undecodable payload: {exc}") from None
+        if len(blob) != length:
+            raise SnapshotCorrupt(f"{path}: torn payload ({len(blob)}/{length} bytes)")
+        if hashlib.sha256(blob).digest() != digest:
+            raise SnapshotCorrupt(f"{path}: checksum mismatch")
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:  # pickle raises a zoo of types; staticcheck: ok[RC002] rethrown as SnapshotCorrupt
+            raise SnapshotCorrupt(f"{path}: undecodable payload: {exc}") from None
+    finally:
+        # Release the view before the caller closes the mapping —
+        # mmap.close() raises BufferError while views are outstanding.
+        blob.release()
     if not isinstance(payload, dict) or "state" not in payload:
         raise SnapshotCorrupt(f"{path}: unexpected payload shape")
     state = payload["state"]
@@ -221,14 +255,16 @@ def load_snapshot(
     *,
     matcher: str = "buckets",
     expected_fingerprint: str | None = None,
+    use_mmap: bool = True,
 ) -> LoadedSnapshot:
     """Restore an engine from ``path``; raises :class:`SnapshotError`.
 
     ``expected_fingerprint`` pins identity: pass the engine fingerprint
     a run manifest recorded (or one freshly computed from list files) to
     refuse a stale or wrong snapshot *before* any decision is made.
+    ``use_mmap=False`` opts out of the zero-copy restore path.
     """
-    payload = _read_payload(path)
+    payload = _read_payload(path, use_mmap=use_mmap)
     state = payload["state"]
     if expected_fingerprint is not None and state["fingerprint"] != expected_fingerprint:
         raise SnapshotFingerprintMismatch(expected_fingerprint, state["fingerprint"])

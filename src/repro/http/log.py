@@ -140,6 +140,8 @@ _REASON_CATEGORIES = [
     ("bad value", "bad-value"),
     ("missing fields", "missing-fields"),
     ("unknown fields", "unknown-fields"),
+    ("damaged block", "damaged-block"),
+    ("unreadable binlog", "damaged-file"),
 ]
 
 
@@ -280,26 +282,100 @@ def read_log(
     """
     handler = _LineHandler(on_error=on_error, health=health, quarantine=quarantine)
     for line_no, line in enumerate(stream, start=1):
-        record = handler.handle(line.rstrip("\n"), line_no)
+        record = handler.handle(_strip_eol(line), line_no)
         if record is not None:
             yield record
+
+
+def _strip_eol(line: str) -> str:
+    """Strip one line terminator — ``\\n`` or ``\\r\\n``.
+
+    ``rstrip("\\n")`` alone let a CRLF log poison the last field of
+    every record with a trailing ``\\r``; stripping characterwise (not
+    ``rstrip("\\r\\n")``, which would eat a value's own trailing
+    newlines) normalizes both conventions.
+    """
+    if line.endswith("\n"):
+        line = line[:-1]
+    if line.endswith("\r"):
+        line = line[:-1]
+    return line
+
+
+class _TextLogReader:
+    """TSV backend of :class:`SeekableLogReader`: line-at-a-time binary
+    reads with the coordinates (`offset`/`line_no`/`header`) a durable
+    checkpoint stores."""
+
+    format = "tsv"
+
+    def __init__(
+        self,
+        file,
+        *,
+        on_error: ErrorPolicy = ErrorPolicy.STRICT,
+        health: PipelineHealth | None = None,
+        quarantine: QuarantineWriter | None = None,
+        shard: tuple[int, int] | None = None,
+    ):
+        self._file = file
+        self._handler = _LineHandler(
+            on_error=on_error, health=health, quarantine=quarantine, shard=shard
+        )
+        self.offset = 0
+        self.line_no = 0
+
+    @property
+    def header(self) -> list[str] | None:
+        return self._handler.header
+
+    @property
+    def owned(self) -> bool:
+        return self._handler.owned
+
+    def seek(self, *, offset: int, line_no: int, header: list[str] | None) -> None:
+        self._file.seek(offset)
+        self.offset = offset
+        self.line_no = line_no
+        self._handler.header = header
+
+    def __iter__(self) -> Iterator[HttpLogRecord]:
+        for raw in self._file:
+            self.offset += len(raw)
+            self.line_no += 1
+            line = _strip_eol(raw.decode("utf-8", errors="replace"))
+            record = self._handler.handle(line, self.line_no)
+            if record is not None:
+                yield record
+
+    def close(self) -> None:
+        self._file.close()
 
 
 class SeekableLogReader:
     """Record iterator over an on-disk log with byte-offset accounting.
 
     Durable runs (DESIGN.md §8) checkpoint their input position between
-    records and later continue mid-file, so this reader iterates the
-    file in *binary* mode and maintains three resumable coordinates:
+    records and later continue mid-file, so this reader maintains three
+    resumable coordinates:
 
-    * ``offset`` — byte position after the last consumed line;
-    * ``line_no`` — 1-based number of the last consumed line;
-    * ``header`` — the adopted column header, which may precede the
-      resume point and must therefore travel in the checkpoint.
+    * ``offset`` — byte position after the last consumed frame (a TSV
+      line, or a binlog record / damaged frame);
+    * ``line_no`` — 1-based ordinal of the last consumed frame;
+    * ``header`` — the adopted column header (TSV only; ``None`` for
+      binlog), which may precede the resume point and must therefore
+      travel in the checkpoint.
 
     The coordinates update *before* a record is yielded, so at yield
     time they already describe the post-record position a checkpoint
     should store.  Error-policy routing matches :func:`read_log`.
+
+    The on-disk format is sniffed from the leading magic: a file that
+    opens with ``RPROBLOG`` takes the zero-copy binary fast path
+    (:class:`repro.http.binlog.BinLogReader`, DESIGN.md §16); anything
+    else is read as TSV.  Both backends expose identical coordinate
+    semantics, so `--resume`, `--workers` sharding, and quarantine
+    accounting compose with either format unchanged.
     """
 
     def __init__(
@@ -311,32 +387,49 @@ class SeekableLogReader:
         quarantine: QuarantineWriter | None = None,
         shard: tuple[int, int] | None = None,
     ):
-        self._file = open(path, "rb")
-        self._handler = _LineHandler(
-            on_error=on_error, health=health, quarantine=quarantine, shard=shard
-        )
-        self.offset = 0
-        self.line_no = 0
+        from repro.http import binlog  # local import: binlog builds on this module
+
+        file = open(path, "rb")
+        try:
+            magic = file.read(len(binlog.BINLOG_MAGIC))
+            file.seek(0)
+            impl: _TextLogReader | binlog.BinLogReader
+            if magic == binlog.BINLOG_MAGIC:
+                impl = binlog.BinLogReader(
+                    file, on_error=on_error, health=health, quarantine=quarantine, shard=shard
+                )
+            else:
+                impl = _TextLogReader(
+                    file, on_error=on_error, health=health, quarantine=quarantine, shard=shard
+                )
+        except BaseException:  # staticcheck: ok[RC002] cleanup-and-reraise, nothing swallowed
+            file.close()
+            raise
+        self._impl = impl
+
+    @property
+    def format(self) -> str:
+        """``"tsv"`` or ``"bin"`` — the sniffed on-disk format."""
+        return self._impl.format
+
+    @property
+    def offset(self) -> int:
+        return self._impl.offset
+
+    @property
+    def line_no(self) -> int:
+        return self._impl.line_no
 
     @property
     def header(self) -> list[str] | None:
-        return self._handler.header
+        return self._impl.header
 
     def seek(self, *, offset: int, line_no: int, header: list[str] | None) -> None:
         """Restore a checkpointed position (and the header adopted before it)."""
-        self._file.seek(offset)
-        self.offset = offset
-        self.line_no = line_no
-        self._handler.header = header
+        self._impl.seek(offset=offset, line_no=line_no, header=header)
 
     def __iter__(self) -> Iterator[HttpLogRecord]:
-        for raw in self._file:
-            self.offset += len(raw)
-            self.line_no += 1
-            line = raw.decode("utf-8", errors="replace").rstrip("\n")
-            record = self._handler.handle(line, self.line_no)
-            if record is not None:
-                yield record
+        return iter(self._impl)
 
     def iter_shard(self) -> Iterator[tuple[HttpLogRecord, bool]]:
         """Yield every parsed record with its ownership flag.
@@ -348,12 +441,12 @@ class SeekableLogReader:
         every record is owned, which makes one-worker pools exercise
         the same path.
         """
-        handler = self._handler
-        for record in self:
-            yield record, handler.owned
+        impl = self._impl
+        for record in impl:
+            yield record, impl.owned
 
     def close(self) -> None:
-        self._file.close()
+        self._impl.close()
 
     def __enter__(self) -> "SeekableLogReader":
         return self

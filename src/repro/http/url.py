@@ -20,6 +20,7 @@ from functools import lru_cache
 
 __all__ = [
     "SplitUrl",
+    "URL_CACHE_SIZE",
     "split_url",
     "join_url",
     "hostname_of",
@@ -101,7 +102,17 @@ class SplitUrl:
         return join_url(self)
 
 
-@lru_cache(maxsize=16384)
+#: Bound on the ``split_url`` memo.  Tuned empirically on the RBN-2
+#: classify stream (``bench_engine_micro.py::test_url_split_cache_sweep``,
+#: results in ``benchmarks/results/url_split_cache.txt``): page URLs and
+#: referrers repeat heavily while request URLs are near-unique, so the
+#: hit rate climbs until the working set of repeated URLs fits and is
+#: flat beyond 32Ki entries; 64Ki buys <1pt over 32Ki at twice the
+#: retained memory, and an unbounded memo would grow with trace length.
+URL_CACHE_SIZE = 32768
+
+
+@lru_cache(maxsize=URL_CACHE_SIZE)
 def split_url(url: str) -> SplitUrl:
     """Split ``url`` into :class:`SplitUrl` components.
 

@@ -522,6 +522,9 @@ class ParallelRun:
             cache_stats = message.get("cache")
             if cache_stats is not None:
                 health.add_cache_stats(*cache_stats)
+            url_cache_stats = message.get("url_cache")
+            if url_cache_stats is not None:
+                health.add_url_cache_stats(*url_cache_stats)
         health.worker_restarts += supervisor.restarts
         health.heartbeat_gaps += supervisor.heartbeat_gaps
         health.shards_degraded += len(degraded_shards)

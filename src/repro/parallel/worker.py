@@ -48,6 +48,7 @@ from repro.analysis.traffic import TrafficAccumulator
 from repro.core.pipeline import AdClassificationPipeline, StreamingClassifier
 from repro.exitcodes import EXIT_WORKER_ORPHANED, EXIT_WORKER_TERMINATED
 from repro.http.log import HttpLogRecord, SeekableLogReader
+from repro.http.url import split_url
 from repro.robustness.checkpoint import CheckpointStore
 from repro.robustness.crash import CRASH_EXIT_CODE, FaultAction, WorkerFaultInjector
 from repro.robustness.health import PipelineHealth
@@ -366,6 +367,7 @@ class _ShardWorker:
             self._emit(index, entry)
         self._flush()
         cache_stats = self.pipeline.decision_cache_stats
+        url_info = split_url.cache_info()
         done = {
             "arrivals": self._arrivals,
             "health": self.health.export_state(),
@@ -378,6 +380,7 @@ class _ShardWorker:
                 if cache_stats is not None
                 else None
             ),
+            "url_cache": (url_info.hits, url_info.misses),
         }
         self._send("done", done)
 

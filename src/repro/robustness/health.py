@@ -61,6 +61,8 @@ class PipelineHealth:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    url_cache_hits: int = 0
+    url_cache_misses: int = 0
     worker_restarts: int = 0
     shards_degraded: int = 0
     heartbeat_gaps: int = 0
@@ -81,6 +83,8 @@ class PipelineHealth:
         "cache_hits",
         "cache_misses",
         "cache_evictions",
+        "url_cache_hits",
+        "url_cache_misses",
         "worker_restarts",
         "shards_degraded",
         "heartbeat_gaps",
@@ -110,6 +114,15 @@ class PipelineHealth:
         self.cache_hits += hits
         self.cache_misses += misses
         self.cache_evictions += evictions
+
+    def add_url_cache_stats(self, hits: int, misses: int) -> None:
+        """Fold ``split_url`` memo counters (one process's or one shard's).
+
+        Transient like the decision-cache counters: hit rates describe
+        this process's parse-path effectiveness, never the output.
+        """
+        self.url_cache_hits += hits
+        self.url_cache_misses += misses
 
     def record_worker_restart(self) -> None:
         """One shard worker was respawned by the supervisor (§12)."""
@@ -186,7 +199,7 @@ class PipelineHealth:
             self.stage_errors.setdefault(stage, Counter()).update(reasons)
 
     def cache_summary(self) -> str:
-        """Decision-cache effectiveness block, or ``""`` when unused.
+        """Cache effectiveness blocks (decision + url-split), or ``""``.
 
         Kept out of :meth:`summary` on purpose: the health summary is
         byte-compared across execution plans (serial vs shards, cached
@@ -195,19 +208,35 @@ class PipelineHealth:
         *before* the ``-- pipeline health --`` marker so marker-anchored
         comparisons never see it.
         """
+        blocks = []
         lookups = self.cache_hits + self.cache_misses
-        if not lookups:
-            return ""
-        rate = 100.0 * self.cache_hits / lookups
-        return "\n".join(
-            [
-                "-- decision cache --",
-                f"lookups:           {lookups}",
-                f"hits:              {self.cache_hits} ({rate:.1f}%)",
-                f"misses:            {self.cache_misses}",
-                f"evictions:         {self.cache_evictions}",
-            ]
-        )
+        if lookups:
+            rate = 100.0 * self.cache_hits / lookups
+            blocks.append(
+                "\n".join(
+                    [
+                        "-- decision cache --",
+                        f"lookups:           {lookups}",
+                        f"hits:              {self.cache_hits} ({rate:.1f}%)",
+                        f"misses:            {self.cache_misses}",
+                        f"evictions:         {self.cache_evictions}",
+                    ]
+                )
+            )
+        url_lookups = self.url_cache_hits + self.url_cache_misses
+        if url_lookups:
+            url_rate = 100.0 * self.url_cache_hits / url_lookups
+            blocks.append(
+                "\n".join(
+                    [
+                        "-- url-split cache --",
+                        f"lookups:           {url_lookups}",
+                        f"hits:              {self.url_cache_hits} ({url_rate:.1f}%)",
+                        f"misses:            {self.url_cache_misses}",
+                    ]
+                )
+            )
+        return "\n".join(blocks)
 
     def summary_dict(self, *, transient: bool = True) -> dict:
         """Machine-readable counterpart of :meth:`summary` (+ cache block).
@@ -242,12 +271,17 @@ class PipelineHealth:
         }
         if transient:
             lookups = self.cache_hits + self.cache_misses
+            url_lookups = self.url_cache_hits + self.url_cache_misses
             data["cache"] = {
                 "lookups": lookups,
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "evictions": self.cache_evictions,
                 "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+                "url_split_lookups": url_lookups,
+                "url_split_hits": self.url_cache_hits,
+                "url_split_misses": self.url_cache_misses,
+                "url_split_hit_rate": self.url_cache_hits / url_lookups if url_lookups else 0.0,
             }
             data["supervision"] = {
                 "worker_restarts": self.worker_restarts,

@@ -65,6 +65,34 @@ class TestRoundTrip:
         assert len(list(read_log(io.StringIO(text)))) == 1
 
 
+class TestCrlfHandling:
+    """Regression: a CRLF-terminated log must not poison the last field
+    (``rstrip("\\n")`` alone left a trailing ``\\r`` on ``flow_id``)."""
+
+    def test_read_log_strips_crlf(self):
+        records = [_record(), _record(ts=1001.0, flow_id=8)]
+        crlf_text = records_to_text(records).replace("\n", "\r\n")
+        parsed = list(read_log(io.StringIO(crlf_text, newline="")))
+        assert parsed == records
+
+    def test_seekable_reader_strips_crlf(self, tmp_path):
+        from repro.http.log import SeekableLogReader
+
+        records = [_record(), _record(ts=1001.0, flow_id=8)]
+        path = tmp_path / "crlf.tsv"
+        path.write_bytes(records_to_text(records).replace("\n", "\r\n").encode())
+        with SeekableLogReader(str(path)) as reader:
+            assert list(reader) == records
+            # offsets still count the real on-disk bytes, CR included
+            assert reader.offset == path.stat().st_size
+
+    def test_value_trailing_cr_preserved(self):
+        # Only the line terminator is stripped — a field whose value
+        # ends in a (escaped) newline keeps it.
+        record = _record(uri="/seen\n")
+        assert records_from_text(records_to_text([record])) == [record]
+
+
 class TestUrlProperty:
     def test_relative_uri(self):
         assert _record().url == "http://site.example/x?y=1"

@@ -127,6 +127,15 @@ class TestRoundTrip:
         with pytest.raises(FileNotFoundError):
             load_snapshot(str(tmp_path / "nope.snap"))
 
+    def test_mmap_and_read_restores_agree(self, snapshot_path):
+        # The zero-copy (mmap) restore and the plain read() path must
+        # produce the same engine — and the mapping must be released
+        # (the file stays deletable / the view raises no BufferError).
+        mapped = load_snapshot(snapshot_path, use_mmap=True)
+        copied = load_snapshot(snapshot_path, use_mmap=False)
+        assert mapped.info == copied.info
+        assert _decisions(mapped.engine) == _decisions(copied.engine)
+
 
 class TestFaultInjection:
     """Every storage pathology is detected, never a wrong decision."""
